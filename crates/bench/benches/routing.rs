@@ -1,0 +1,67 @@
+//! Routing micro-benchmarks: per-query latency of every method (the basis
+//! of Table 5's QPS column), constrained vs unconstrained decoding, DFS
+//! serialization, and index construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dbcopilot_core::{DbcRouter, SerializationMode};
+use dbcopilot_eval::{build_method, prepare, CorpusKind, MethodKind, Scale};
+use dbcopilot_graph::{dfs_serialize, IterOrder};
+use dbcopilot_retrieval::SchemaRouter;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut scale = Scale::quick();
+    scale.synth_pairs = 800;
+    scale.router.epochs = 3;
+    let prepared = prepare(CorpusKind::Spider, &scale);
+    let question = &prepared.corpus.test[0].question;
+
+    let mut group = c.benchmark_group("route_one_query");
+    for &m in &[MethodKind::Bm25, MethodKind::Sxfmr, MethodKind::CrushBm25, MethodKind::Dtr, MethodKind::DbCopilot]
+    {
+        let (router, _) = build_method(m, &prepared, &scale);
+        group.bench_with_input(BenchmarkId::from_parameter(m.label()), question, |b, q| {
+            b.iter(|| router.route(q, 100))
+        });
+    }
+    group.finish();
+
+    // constrained vs unconstrained decoding (Table 7 CD ablation cost)
+    let (mut dbc, _) = DbcRouter::fit(
+        prepared.graph.clone(),
+        &prepared.synth_examples[..400],
+        scale.router.clone(),
+        SerializationMode::Dfs,
+    );
+    let mut group = c.benchmark_group("decoding");
+    group.bench_function("constrained", |b| b.iter(|| dbc.sequences(question)));
+    dbc.decode_opts.constrained = false;
+    group.bench_function("unconstrained", |b| b.iter(|| dbc.sequences(question)));
+    dbc.decode_opts.constrained = true;
+    dbc.decode_opts.diverse = false;
+    group.bench_function("plain_beams", |b| b.iter(|| dbc.sequences(question)));
+    group.finish();
+
+    // DFS serialization
+    let schema = &prepared.corpus.test[0].schema;
+    c.bench_function("dfs_serialize", |b| {
+        b.iter(|| dfs_serialize(&prepared.graph, schema, IterOrder::Fixed))
+    });
+
+    // index construction
+    c.bench_function("bm25_build", |b| {
+        b.iter(|| {
+            dbcopilot_retrieval::Bm25Index::build(
+                prepared.targets.clone(),
+                dbcopilot_retrieval::Bm25Params::default(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_routing
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! SQL engine micro-benchmarks: parsing and the executor's main operators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dbcopilot_sqlengine::{execute, parse_select, Database, DatabaseSchema, DataType, TableSchema, Value};
+
+fn make_db(rows: usize) -> Database {
+    let mut schema = DatabaseSchema::new("bench");
+    schema.add_table(
+        TableSchema::new("orders")
+            .column("order_id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("amount", DataType::Float)
+            .column("status", DataType::Text)
+            .column("customer_id", DataType::Int)
+            .primary(0),
+    );
+    schema.add_table(
+        TableSchema::new("customer")
+            .column("customer_id", DataType::Int)
+            .column("name", DataType::Text)
+            .column("region", DataType::Text)
+            .primary(0),
+    );
+    let mut db = Database::from_schema(&schema);
+    let statuses = ["active", "pending", "closed"];
+    let regions = ["north", "south", "east", "west"];
+    for i in 0..rows {
+        db.insert(
+            "orders",
+            vec![
+                Value::Int(i as i64),
+                Value::Text(format!("o{i}")),
+                Value::Float((i % 97) as f64 * 1.5),
+                Value::Text(statuses[i % 3].into()),
+                Value::Int((i % (rows / 4).max(1)) as i64),
+            ],
+        )
+        .unwrap();
+    }
+    for i in 0..rows / 4 {
+        db.insert(
+            "customer",
+            vec![Value::Int(i as i64), Value::Text(format!("c{i}")), Value::Text(regions[i % 4].into())],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let db = make_db(1000);
+    c.bench_function("parse_join_query", |b| {
+        b.iter(|| {
+            parse_select(
+                "SELECT o.name FROM orders AS o JOIN customer AS c \
+                 ON o.customer_id = c.customer_id WHERE c.region = 'north' ORDER BY o.name LIMIT 10",
+            )
+        })
+    });
+    c.bench_function("scan_filter_1k", |b| {
+        b.iter(|| execute(&db, "SELECT name FROM orders WHERE amount > 50"))
+    });
+    c.bench_function("group_by_1k", |b| {
+        b.iter(|| execute(&db, "SELECT status, COUNT(*) FROM orders GROUP BY status"))
+    });
+    c.bench_function("join_1k_x_250", |b| {
+        b.iter(|| {
+            execute(
+                &db,
+                "SELECT o.name FROM orders AS o JOIN customer AS c \
+                 ON o.customer_id = c.customer_id WHERE c.region = 'north'",
+            )
+        })
+    });
+    c.bench_function("subquery_max_1k", |b| {
+        b.iter(|| {
+            execute(&db, "SELECT name FROM orders WHERE amount = (SELECT MAX(amount) FROM orders)")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 7: (a) table mAP vs database size; (b) table recall@k vs k.
+
+use dbcopilot_eval::{
+    build_method, map_by_db_size, prepare, recall_curve, render_series, CorpusKind, MethodKind,
+    Scale,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let prepared = prepare(CorpusKind::Spider, &scale);
+    let methods =
+        [MethodKind::Bm25, MethodKind::Sxfmr, MethodKind::CrushBm25, MethodKind::Dtr, MethodKind::DbCopilot];
+    let ks = [1usize, 5, 10, 20, 30, 50];
+
+    let mut fig7a = Vec::new();
+    let mut fig7b = Vec::new();
+    for &m in &methods {
+        eprintln!("  building {}", m.label());
+        let (router, _) = build_method(m, &prepared, &scale);
+        let rows =
+            map_by_db_size(router.as_ref(), &prepared.corpus.test, &prepared.corpus.collection, 100);
+        fig7a.push((
+            m.label().to_string(),
+            rows.iter().map(|&(b, v, _)| (b as f64, v)).collect::<Vec<_>>(),
+        ));
+        let curve = recall_curve(router.as_ref(), &prepared.corpus.test, &ks);
+        fig7b.push((
+            m.label().to_string(),
+            curve.iter().map(|&(k, v)| (k as f64, v)).collect::<Vec<_>>(),
+        ));
+    }
+    println!("{}", render_series("Figure 7(a) — table mAP by database size (x = #tables bucket)", &fig7a));
+    println!("{}", render_series("Figure 7(b) — table recall@k (x = k)", &fig7b));
+}

@@ -1,0 +1,25 @@
+//! Table 2: dataset statistics of the three benchmark corpora.
+
+use dbcopilot_eval::{prepare, CorpusKind, Scale};
+use dbcopilot_synth::{render_table2, DatasetStats};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut stats = Vec::new();
+    for &kind in CorpusKind::ALL {
+        let p = prepare(kind, &scale);
+        stats.push(DatasetStats::of(&p.corpus));
+        if kind == CorpusKind::Spider {
+            // robustness variants share the collection (paper footnote)
+            let mut syn = DatasetStats::of(&p.corpus);
+            syn.name = "spider-syn".into();
+            syn.train = 0;
+            let mut real = syn.clone();
+            real.name = "spider-real".into();
+            stats.push(syn);
+            stats.push(real);
+        }
+    }
+    println!("== Table 2 — dataset statistics ==");
+    println!("{}", render_table2(&stats));
+}

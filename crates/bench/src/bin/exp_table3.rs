@@ -1,0 +1,38 @@
+//! Table 3: schema routing performance on the regular test sets.
+//!
+//! Reproduces the shape of the paper's Table 3: DBCopilot vs zero-shot
+//! (BM25, SXFMR), LLM-enhanced (CRUSH×2) and fine-tuned (BM25-ft, DTR)
+//! baselines on Spider-like, Bird-like and Fiben-like corpora.
+
+use dbcopilot_bench::render_routing_rows;
+use dbcopilot_eval::{build_method, eval_routing, prepare, CorpusKind, MethodKind, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    for &kind in CorpusKind::ALL {
+        let t0 = std::time::Instant::now();
+        let prepared = prepare(kind, &scale);
+        eprintln!(
+            "[{}] prepared: {} dbs / {} tables / {} test questions ({:.1}s)",
+            kind.name(),
+            prepared.corpus.collection.num_databases(),
+            prepared.corpus.collection.num_tables(),
+            prepared.corpus.test.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        let mut rows = Vec::new();
+        for &method in MethodKind::ALL {
+            let t1 = std::time::Instant::now();
+            let (router, report) = build_method(method, &prepared, &scale);
+            let metrics = eval_routing(router.as_ref(), &prepared.corpus.test, 100);
+            eprintln!(
+                "  {:<12} build {:>6.1}s eval {:>6.1}s",
+                method.label(),
+                report.build_secs,
+                t1.elapsed().as_secs_f64() - report.build_secs
+            );
+            rows.push((method.label().to_string(), metrics));
+        }
+        println!("{}", render_routing_rows(&format!("Table 3 — {}", kind.name()), &rows));
+    }
+}

@@ -1,0 +1,22 @@
+//! Table 4: schema routing on the robustness test sets (Spider-syn /
+//! Spider-real analogs): questions paraphrase or drop schema mentions.
+
+use dbcopilot_bench::render_routing_rows;
+use dbcopilot_eval::{build_method, eval_routing, prepare, CorpusKind, MethodKind, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let prepared = prepare(CorpusKind::Spider, &scale);
+    let syn = prepared.corpus.test_syn.as_ref().expect("spider corpus has syn variant");
+    let real = prepared.corpus.test_real.as_ref().expect("spider corpus has real variant");
+    let mut rows_syn = Vec::new();
+    let mut rows_real = Vec::new();
+    for &method in MethodKind::ALL {
+        let (router, _) = build_method(method, &prepared, &scale);
+        eprintln!("  evaluating {}", method.label());
+        rows_syn.push((method.label().to_string(), eval_routing(router.as_ref(), syn, 100)));
+        rows_real.push((method.label().to_string(), eval_routing(router.as_ref(), real, 100)));
+    }
+    println!("{}", render_routing_rows("Table 4 — Spider-syn", &rows_syn));
+    println!("{}", render_routing_rows("Table 4 — Spider-real", &rows_real));
+}

@@ -1,0 +1,68 @@
+//! Table 6: end-to-end schema-agnostic NL2SQL — execution accuracy (EX) and
+//! LLM cost for the oracle tests, three prompt strategies over three
+//! routing methods, and human-in-the-loop selection. Runs Spider, Bird and
+//! the Spider-syn robustness variant like the paper.
+
+use dbcopilot_bench::render_ex_rows;
+use dbcopilot_core::{DbcRouter, SerializationMode};
+use dbcopilot_eval::{
+    build_method, eval_ex, prepare, CorpusKind, MethodKind, Scale, SchemaSource, Strategy,
+};
+use dbcopilot_nl2sql::CopilotLM;
+
+fn main() {
+    let scale = Scale::from_env();
+    for &kind in &[CorpusKind::Spider, CorpusKind::Bird] {
+        let prepared = prepare(kind, &scale);
+        let llm = CopilotLM::new(scale.llm.clone());
+        // build routing methods once
+        let (crush, _) = build_method(MethodKind::CrushBm25, &prepared, &scale);
+        let (dtr, _) = build_method(MethodKind::Dtr, &prepared, &scale);
+        let (dbc, _) = DbcRouter::fit(
+            prepared.graph.clone(),
+            &prepared.synth_examples,
+            scale.router.clone(),
+            SerializationMode::Dfs,
+        );
+
+        let mut eval_sets: Vec<(&str, &[dbcopilot_synth::Instance])> =
+            vec![("regular", &prepared.corpus.test)];
+        if let Some(syn) = prepared.corpus.test_syn.as_ref() {
+            eval_sets.push(("syn", syn));
+        }
+        for (set_name, instances) in eval_sets {
+            let mut rows = Vec::new();
+            // --- oracle tests
+            for (name, source, strat) in [
+                ("Gold T. & C.", SchemaSource::OracleGoldTc, Strategy::Best),
+                ("Gold T.", SchemaSource::OracleGoldT, Strategy::Best),
+                ("Gold DB", SchemaSource::OracleGoldDb, Strategy::Best),
+                ("5 DB w. Gold", SchemaSource::OracleFiveDb, Strategy::Multiple(5)),
+            ] {
+                let r = eval_ex(&prepared.corpus, instances, &source, strat, &llm);
+                rows.push((name.to_string(), r.ex, r.cost));
+            }
+            // --- methods × strategies
+            let sources: Vec<(&str, SchemaSource)> = vec![
+                ("CRUSH_BM25", SchemaSource::Method(crush.as_ref())),
+                ("DTR", SchemaSource::Method(dtr.as_ref())),
+                ("DBCopilot", SchemaSource::Copilot(&dbc)),
+            ];
+            for (strat_name, strat) in [
+                ("Top 1", Strategy::Best),
+                ("Top 5", Strategy::Multiple(5)),
+                ("COT 5", Strategy::Cot(5)),
+                ("Human 5", Strategy::HumanInTheLoop(5)),
+            ] {
+                for (mname, source) in &sources {
+                    let r = eval_ex(&prepared.corpus, instances, source, strat, &llm);
+                    rows.push((format!("{mname} / {strat_name}"), r.ex, r.cost));
+                }
+            }
+            println!(
+                "{}",
+                render_ex_rows(&format!("Table 6 — {} ({set_name})", kind.name()), &rows)
+            );
+        }
+    }
+}

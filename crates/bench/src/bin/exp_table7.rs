@@ -1,0 +1,82 @@
+//! Table 7: ablation studies — basic serialization (BS), original training
+//! data (OD), mixed data (MD), no constrained decoding (CD), no diverse
+//! beam search (DB). Reported as deltas from the full DBCopilot, on Spider
+//! and Bird as in the paper.
+
+use dbcopilot_core::{examples_from_instances, DbcRouter, SerializationMode};
+use dbcopilot_eval::{eval_routing, prepare, CorpusKind, RoutingMetrics, Scale};
+
+fn delta(base: &RoutingMetrics, v: &RoutingMetrics) -> String {
+    format!(
+        "ΔDB R@1 {:+6.2}  ΔDB R@5 {:+6.2}  ΔTab R@5 {:+6.2}  ΔTab R@15 {:+6.2}",
+        v.db_r1 - base.db_r1,
+        v.db_r5 - base.db_r5,
+        v.table_r5 - base.table_r5,
+        v.table_r15 - base.table_r15
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    for &kind in &[CorpusKind::Spider, CorpusKind::Bird] {
+        let prepared = prepare(kind, &scale);
+        let test = &prepared.corpus.test;
+        println!("== Table 7 — ablations on {} ==", kind.name());
+
+        // full model
+        let (full, _) = DbcRouter::fit(
+            prepared.graph.clone(),
+            &prepared.synth_examples,
+            scale.router.clone(),
+            SerializationMode::Dfs,
+        );
+        let base = eval_routing(&full, test, 100);
+        println!(
+            "DBCopilot      DB R@1 {:6.2}  DB R@5 {:6.2}  Tab R@5 {:6.2}  Tab R@15 {:6.2}",
+            base.db_r1, base.db_r5, base.table_r5, base.table_r15
+        );
+
+        // w/ basic serialization
+        let (bs, _) = DbcRouter::fit(
+            prepared.graph.clone(),
+            &prepared.synth_examples,
+            scale.router.clone(),
+            SerializationMode::Basic,
+        );
+        println!("w/ BS          {}", delta(&base, &eval_routing(&bs, test, 100)));
+
+        // w/ original NL2SQL training data (train DBs are disjoint from
+        // test DBs, so generative retrieval cannot reach unseen schemata)
+        let original = examples_from_instances(&prepared.corpus.train);
+        if !original.is_empty() {
+            let (od, _) = DbcRouter::fit(
+                prepared.graph.clone(),
+                &original,
+                scale.router.clone(),
+                SerializationMode::Dfs,
+            );
+            println!("w/ OD          {}", delta(&base, &eval_routing(&od, test, 100)));
+
+            // mixed synthetic + original
+            let mut mixed = prepared.synth_examples.clone();
+            mixed.extend(original);
+            let (md, _) = DbcRouter::fit(
+                prepared.graph.clone(),
+                &mixed,
+                scale.router.clone(),
+                SerializationMode::Dfs,
+            );
+            println!("w/ MD          {}", delta(&base, &eval_routing(&md, test, 100)));
+        }
+
+        // decode-time ablations reuse the trained weights and only change
+        // the decoding options
+        let mut full = full;
+        full.decode_opts.constrained = false;
+        println!("w/o CD         {}", delta(&base, &eval_routing(&full, test, 100)));
+        full.decode_opts.constrained = true;
+        full.decode_opts.diverse = false;
+        println!("w/o DB         {}", delta(&base, &eval_routing(&full, test, 100)));
+        println!();
+    }
+}

@@ -1,0 +1,540 @@
+//! Graph-based constrained decoding and diverse beam search (paper §3.5,
+//! Figure 4).
+//!
+//! At each autoregressive step the decoder may only emit symbols that
+//! continue the name of an *accessible* schema element:
+//!
+//! * first, a database name (from the prefix trie over all databases);
+//! * then tables of that database — the first table freely, later tables
+//!   only among relation-neighbors of already-decoded tables;
+//! * `SEP` / `EOS` are allowed exactly when the current prefix completes an
+//!   accessible element name (`EOS` additionally requires ≥ 1 table).
+//!
+//! Diverse beam search (Vijayakumar et al., 2016) splits beams into groups;
+//! each group pays a penalty for re-using symbols chosen by earlier groups
+//! in the same step, yielding varied candidate schemata.
+
+use std::collections::HashMap;
+
+use dbcopilot_graph::{NodeId, QuerySchema, SchemaGraph, Trie};
+use dbcopilot_nn::Tensor;
+
+use crate::model::RouterModel;
+use crate::vocab::{PieceVocab, Sym, BOS, EOS, SEP};
+
+/// Precomputed decoding tables for a schema graph.
+pub struct Constrainer<'g> {
+    graph: &'g SchemaGraph,
+    /// Prefix trie over database names.
+    db_trie: Trie<NodeId>,
+    /// Per-database table name lists `(piece_seq, node)`.
+    tables_by_db: HashMap<NodeId, Vec<(Vec<Sym>, NodeId)>>,
+    max_tables: usize,
+}
+
+impl<'g> Constrainer<'g> {
+    pub fn new(graph: &'g SchemaGraph, vocab: &PieceVocab, max_tables: usize) -> Self {
+        let mut db_trie = Trie::new();
+        let mut tables_by_db = HashMap::new();
+        for db in graph.database_nodes() {
+            let seq = vocab
+                .encode_name(graph.name(db))
+                .expect("database name pieces must be in vocab");
+            db_trie.insert(&seq, db);
+            let mut tables = Vec::new();
+            for t in graph.tables_of(db) {
+                let tseq = vocab
+                    .encode_name(graph.name(t))
+                    .expect("table name pieces must be in vocab");
+                tables.push((tseq, t));
+            }
+            tables_by_db.insert(db, tables);
+        }
+        Constrainer { graph, db_trie, tables_by_db, max_tables }
+    }
+
+    /// Initial decode state.
+    pub fn initial(&self) -> DecodeState {
+        DecodeState { db: None, tables: Vec::new(), prefix: Vec::new(), done: false }
+    }
+
+    /// Accessible table names for a state: all tables of the database when
+    /// none is decoded yet, else relation-neighbors of decoded tables.
+    fn accessible_tables(&self, state: &DecodeState) -> Vec<&(Vec<Sym>, NodeId)> {
+        let Some(db) = state.db else { return Vec::new() };
+        let all = &self.tables_by_db[&db];
+        if state.tables.is_empty() {
+            return all.iter().collect();
+        }
+        if state.tables.len() >= self.max_tables {
+            return Vec::new();
+        }
+        let mut neighbors: Vec<NodeId> = Vec::new();
+        for &t in &state.tables {
+            for r in self.graph.related_tables(t) {
+                if !state.tables.contains(&r) && !neighbors.contains(&r) {
+                    neighbors.push(r);
+                }
+            }
+        }
+        all.iter().filter(|(_, n)| neighbors.contains(n)).collect()
+    }
+
+    /// Allowed next symbols for a state.
+    pub fn allowed(&self, state: &DecodeState) -> Vec<Sym> {
+        if state.done {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        match state.db {
+            None => {
+                // decoding the database name through the trie
+                if let Some(cur) = self.db_trie.walk(&state.prefix) {
+                    out.extend(self.db_trie.continuations(cur));
+                    if self.db_trie.terminal(cur).is_some() && !state.prefix.is_empty() {
+                        out.push(SEP); // commit database, start first table
+                    }
+                }
+            }
+            Some(_) => {
+                let candidates = self.accessible_tables(state);
+                let mut complete = false;
+                for (seq, _) in &candidates {
+                    if seq.len() > state.prefix.len() && seq.starts_with(&state.prefix) {
+                        let next = seq[state.prefix.len()];
+                        if !out.contains(&next) {
+                            out.push(next);
+                        }
+                    }
+                    if **seq == state.prefix {
+                        complete = true;
+                    }
+                }
+                if complete {
+                    out.push(EOS);
+                    // another table may follow if any remains accessible
+                    // after committing this one
+                    let committed = self.commit(state);
+                    if let Some(c) = committed {
+                        if !self.accessible_tables(&c).is_empty() {
+                            out.push(SEP);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Commit the current prefix as a completed element; `None` if the
+    /// prefix is not a complete accessible name.
+    fn commit(&self, state: &DecodeState) -> Option<DecodeState> {
+        let mut next = state.clone();
+        match state.db {
+            None => {
+                let cur = self.db_trie.walk(&state.prefix)?;
+                let db = *self.db_trie.terminal(cur)?;
+                next.db = Some(db);
+            }
+            Some(_) => {
+                let candidates = self.accessible_tables(state);
+                let (_, node) = candidates.iter().find(|(seq, _)| *seq == state.prefix)?;
+                next.tables.push(*node);
+            }
+        }
+        next.prefix.clear();
+        Some(next)
+    }
+
+    /// Advance a state by one symbol; `None` if the symbol is invalid
+    /// (used by the unconstrained-decoding ablation, where beams may die).
+    pub fn advance(&self, state: &DecodeState, sym: Sym) -> Option<DecodeState> {
+        if state.done {
+            return None;
+        }
+        match sym {
+            SEP => self.commit(state),
+            EOS => {
+                let committed = self.commit(state)?;
+                if committed.tables.is_empty() {
+                    return None; // a schema needs at least one table
+                }
+                let mut done = committed;
+                done.done = true;
+                Some(done)
+            }
+            BOS => None,
+            piece => {
+                let mut next = state.clone();
+                next.prefix.push(piece);
+                Some(next)
+            }
+        }
+    }
+
+    /// The decoded query schema of a finished state.
+    pub fn schema_of(&self, state: &DecodeState) -> Option<QuerySchema> {
+        let db = state.db?;
+        if state.tables.is_empty() {
+            return None;
+        }
+        Some(QuerySchema::new(
+            self.graph.name(db).to_string(),
+            state.tables.iter().map(|t| self.graph.name(*t).to_string()).collect(),
+        ))
+    }
+}
+
+/// Decoder state: the dynamic part of Figure 4's prefix tree walk.
+#[derive(Debug, Clone)]
+pub struct DecodeState {
+    pub db: Option<NodeId>,
+    pub tables: Vec<NodeId>,
+    /// Pieces of the element currently being decoded.
+    pub prefix: Vec<Sym>,
+    pub done: bool,
+}
+
+/// Decoding options.
+#[derive(Debug, Clone)]
+pub struct DecodeOptions {
+    pub beams: usize,
+    pub groups: usize,
+    pub diversity_penalty: f32,
+    /// Disable graph constraints (Table 7 ablation "w/o CD"): the model may
+    /// emit any symbol; beams that commit invalid names die.
+    pub constrained: bool,
+    /// Plain beam search instead of diverse groups (ablation "w/o DB").
+    pub diverse: bool,
+    pub max_steps: usize,
+}
+
+impl DecodeOptions {
+    pub fn from_config(cfg: &crate::model::RouterConfig) -> Self {
+        DecodeOptions {
+            beams: cfg.beams,
+            groups: cfg.beam_groups,
+            diversity_penalty: cfg.diversity_penalty,
+            constrained: true,
+            diverse: true,
+            max_steps: 48,
+        }
+    }
+}
+
+/// One decoded candidate sequence.
+#[derive(Debug, Clone)]
+pub struct DecodedSchema {
+    pub schema: QuerySchema,
+    /// Sequence log-probability.
+    pub logp: f32,
+}
+
+#[derive(Clone)]
+struct Beam {
+    state: DecodeState,
+    h: Tensor,
+    prev: Sym,
+    logp: f32,
+}
+
+/// Run (diverse) beam search for one question.
+pub fn beam_search(
+    model: &RouterModel,
+    constrainer: &Constrainer<'_>,
+    vocab_len: usize,
+    question: &str,
+    opts: &DecodeOptions,
+) -> Vec<DecodedSchema> {
+    let q = model.encode_infer(question);
+    let groups = if opts.diverse { opts.groups.max(1) } else { 1 };
+    let beams_per_group = (opts.beams / groups).max(1);
+    let init = Beam { state: constrainer.initial(), h: q.clone(), prev: BOS, logp: 0.0 };
+    let mut group_beams: Vec<Vec<Beam>> = vec![vec![init]; groups];
+    let mut finished: Vec<(DecodeState, f32)> = Vec::new();
+    let all_syms: Vec<Sym> = (0..vocab_len as Sym).collect();
+
+    for _step in 0..opts.max_steps {
+        let mut any_alive = false;
+        let mut used: HashMap<Sym, f32> = HashMap::new();
+        for beams in group_beams.iter_mut() {
+            let mut expansions: Vec<(Beam, Sym, f32)> = Vec::new();
+            for beam in beams.iter() {
+                if beam.state.done {
+                    continue;
+                }
+                let allowed: Vec<Sym> = if opts.constrained {
+                    constrainer.allowed(&beam.state)
+                } else {
+                    all_syms.clone()
+                };
+                if allowed.is_empty() {
+                    continue;
+                }
+                // advance hidden state once per beam
+                let h_next = model.step_infer(beam.prev, &q, &beam.h);
+                let lps = model.logprobs_infer(&h_next, &allowed);
+                for (i, &sym) in allowed.iter().enumerate() {
+                    let penalty =
+                        opts.diversity_penalty * used.get(&sym).copied().unwrap_or(0.0);
+                    let score = beam.logp + lps[i] - penalty;
+                    expansions.push((
+                        Beam { state: beam.state.clone(), h: h_next.clone(), prev: sym, logp: beam.logp + lps[i] },
+                        sym,
+                        score,
+                    ));
+                }
+            }
+            expansions.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+            let mut next_beams: Vec<Beam> = Vec::with_capacity(beams_per_group);
+            for (beam, sym, _) in expansions {
+                if next_beams.len() >= beams_per_group {
+                    break;
+                }
+                let Some(next_state) = constrainer.advance(&beam.state, sym) else {
+                    continue; // invalid under unconstrained decoding
+                };
+                *used.entry(sym).or_insert(0.0) += 1.0;
+                if next_state.done {
+                    finished.push((next_state, beam.logp));
+                    // a finished beam still occupies a slot this step
+                    next_beams.push(Beam { state: DecodeState { done: true, ..next_state_placeholder() }, ..beam });
+                } else {
+                    any_alive = true;
+                    next_beams.push(Beam { state: next_state, ..beam });
+                }
+            }
+            *beams = next_beams;
+        }
+        if !any_alive {
+            break;
+        }
+    }
+
+    let mut out: Vec<DecodedSchema> = finished
+        .into_iter()
+        .filter_map(|(state, logp)| {
+            constrainer.schema_of(&state).map(|schema| DecodedSchema { schema, logp })
+        })
+        .collect();
+    out.sort_by(|a, b| b.logp.partial_cmp(&a.logp).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+fn next_state_placeholder() -> DecodeState {
+    DecodeState { db: None, tables: Vec::new(), prefix: Vec::new(), done: true }
+}
+
+/// Merge candidate sequences that share a database: union their tables,
+/// keep the best sequence score (paper §3.5 "combine tables from schema
+/// sequences that share the same database").
+pub fn merge_candidates(decoded: &[DecodedSchema]) -> Vec<DecodedSchema> {
+    let mut by_db: Vec<DecodedSchema> = Vec::new();
+    for d in decoded {
+        match by_db.iter_mut().find(|c| c.schema.database == d.schema.database) {
+            Some(existing) => {
+                for t in &d.schema.tables {
+                    if !existing.schema.tables.iter().any(|x| x.eq_ignore_ascii_case(t)) {
+                        existing.schema.tables.push(t.clone());
+                    }
+                }
+                existing.logp = existing.logp.max(d.logp);
+            }
+            None => by_db.push(d.clone()),
+        }
+    }
+    by_db.sort_by(|a, b| b.logp.partial_cmp(&a.logp).unwrap_or(std::cmp::Ordering::Equal));
+    by_db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{RouterConfig, RouterModel};
+    use dbcopilot_sqlengine::{Collection, DataType, DatabaseSchema, TableSchema};
+
+    fn collection() -> Collection {
+        let mut c = Collection::new();
+        let mut db = DatabaseSchema::new("concert_singer");
+        db.add_table(
+            TableSchema::new("singer").column("singer_id", DataType::Int).primary(0),
+        );
+        db.add_table(
+            TableSchema::new("concert").column("concert_id", DataType::Int).primary(0),
+        );
+        db.add_table(
+            TableSchema::new("singer_in_concert")
+                .column("singer_id", DataType::Int)
+                .column("concert_id", DataType::Int)
+                .foreign("singer_id", "singer", "singer_id")
+                .foreign("concert_id", "concert", "concert_id"),
+        );
+        let mut world = DatabaseSchema::new("world");
+        world.add_table(TableSchema::new("country").column("code", DataType::Text).primary(0));
+        world.add_table(
+            TableSchema::new("countrylanguage")
+                .column("countrycode", DataType::Text)
+                .foreign("countrycode", "country", "code"),
+        );
+        c.add_database(db);
+        c.add_database(world);
+        c
+    }
+
+    #[test]
+    fn initial_allows_only_db_starts() {
+        let coll = collection();
+        let g = SchemaGraph::build(&coll);
+        let v = PieceVocab::build(&g);
+        let c = Constrainer::new(&g, &v, 4);
+        let allowed = c.allowed(&c.initial());
+        let concert = v.id_of("concert").unwrap();
+        let world = v.id_of("world").unwrap();
+        assert!(allowed.contains(&concert));
+        assert!(allowed.contains(&world));
+        assert!(!allowed.contains(&SEP));
+        assert!(!allowed.contains(&EOS));
+    }
+
+    #[test]
+    fn db_must_complete_before_sep() {
+        let coll = collection();
+        let g = SchemaGraph::build(&coll);
+        let v = PieceVocab::build(&g);
+        let c = Constrainer::new(&g, &v, 4);
+        let mut s = c.initial();
+        s = c.advance(&s, v.id_of("concert").unwrap()).unwrap();
+        // "concert" is not a complete db name ("concert_singer" is) → no SEP
+        let allowed = c.allowed(&s);
+        assert!(!allowed.contains(&SEP));
+        assert!(allowed.contains(&v.id_of("singer").unwrap()));
+        s = c.advance(&s, v.id_of("singer").unwrap()).unwrap();
+        let allowed = c.allowed(&s);
+        assert!(allowed.contains(&SEP));
+    }
+
+    #[test]
+    fn first_table_free_then_neighbors_only() {
+        let coll = collection();
+        let g = SchemaGraph::build(&coll);
+        let v = PieceVocab::build(&g);
+        let c = Constrainer::new(&g, &v, 4);
+        let mut s = c.initial();
+        for p in ["concert", "singer"] {
+            s = c.advance(&s, v.id_of(p).unwrap()).unwrap();
+        }
+        s = c.advance(&s, SEP).unwrap(); // commit db
+        assert!(s.db.is_some());
+        // first table: all three starts allowed
+        let allowed = c.allowed(&s);
+        assert!(allowed.contains(&v.id_of("singer").unwrap()));
+        assert!(allowed.contains(&v.id_of("concert").unwrap()));
+        // decode "singer", commit via SEP
+        s = c.advance(&s, v.id_of("singer").unwrap()).unwrap();
+        // prefix "singer" completes table `singer` but also prefixes
+        // singer_in_concert; both SEP/EOS and "in" allowed
+        let allowed = c.allowed(&s);
+        assert!(allowed.contains(&SEP));
+        assert!(allowed.contains(&EOS));
+        assert!(allowed.contains(&v.id_of("in").unwrap()));
+        s = c.advance(&s, SEP).unwrap();
+        // next table must be a neighbor of `singer` → only singer_in_concert
+        let allowed = c.allowed(&s);
+        assert_eq!(allowed, vec![v.id_of("singer").unwrap()]);
+    }
+
+    #[test]
+    fn eos_requires_a_table() {
+        let coll = collection();
+        let g = SchemaGraph::build(&coll);
+        let v = PieceVocab::build(&g);
+        let c = Constrainer::new(&g, &v, 4);
+        let mut s = c.initial();
+        s = c.advance(&s, v.id_of("world").unwrap()).unwrap();
+        assert!(c.advance(&s, EOS).is_none(), "EOS before any table must fail");
+    }
+
+    #[test]
+    fn full_sequence_decodes_to_schema() {
+        let coll = collection();
+        let g = SchemaGraph::build(&coll);
+        let v = PieceVocab::build(&g);
+        let c = Constrainer::new(&g, &v, 4);
+        let mut s = c.initial();
+        let syms = [
+            v.id_of("world").unwrap(),
+            SEP,
+            v.id_of("country").unwrap(),
+            SEP,
+            v.id_of("countrylanguage").unwrap(),
+            EOS,
+        ];
+        for &sym in &syms {
+            s = c.advance(&s, sym).unwrap_or_else(|| panic!("blocked at {sym}"));
+        }
+        let schema = c.schema_of(&s).unwrap();
+        assert!(schema.same_as(&QuerySchema::new(
+            "world",
+            vec!["country".into(), "countrylanguage".into()]
+        )));
+    }
+
+    #[test]
+    fn untrained_beam_search_emits_valid_schemata() {
+        let coll = collection();
+        let g = SchemaGraph::build(&coll);
+        let v = PieceVocab::build(&g);
+        let c = Constrainer::new(&g, &v, 3);
+        let model = RouterModel::new(RouterConfig::tiny(), v.len());
+        let opts = DecodeOptions {
+            beams: 4,
+            groups: 4,
+            diversity_penalty: 1.0,
+            constrained: true,
+            diverse: true,
+            max_steps: 24,
+        };
+        let out = beam_search(&model, &c, v.len(), "which language is spoken", &opts);
+        assert!(!out.is_empty(), "constrained decoding must always yield schemata");
+        for d in &out {
+            assert!(g.is_valid_schema(&d.schema), "invalid: {}", d.schema);
+        }
+    }
+
+    #[test]
+    fn diverse_groups_yield_distinct_candidates() {
+        let coll = collection();
+        let g = SchemaGraph::build(&coll);
+        let v = PieceVocab::build(&g);
+        let c = Constrainer::new(&g, &v, 3);
+        let model = RouterModel::new(RouterConfig::tiny(), v.len());
+        let opts = DecodeOptions {
+            beams: 6,
+            groups: 6,
+            diversity_penalty: 2.0,
+            constrained: true,
+            diverse: true,
+            max_steps: 24,
+        };
+        let out = beam_search(&model, &c, v.len(), "question", &opts);
+        let dbs: std::collections::HashSet<&str> =
+            out.iter().map(|d| d.schema.database.as_str()).collect();
+        assert!(dbs.len() >= 2, "diverse beams should cover both databases: {out:?}");
+    }
+
+    #[test]
+    fn merge_unions_tables_per_db() {
+        let a = DecodedSchema {
+            schema: QuerySchema::new("world", vec!["country".into()]),
+            logp: -1.0,
+        };
+        let b = DecodedSchema {
+            schema: QuerySchema::new("world", vec!["countrylanguage".into(), "country".into()]),
+            logp: -2.0,
+        };
+        let m = merge_candidates(&[a, b]);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].schema.tables.len(), 2);
+        assert_eq!(m[0].logp, -1.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! `dbcopilot-core` — the paper's primary contribution: a compact
+//! generative-retrieval ("differentiable search index") schema router with
+//! graph-constrained diverse beam search.
+//!
+//! * [`vocab`] — word-piece output vocabulary over schema element names;
+//! * [`model`] — the encoder–decoder network ([`model::RouterModel`]);
+//! * [`decode`] — Figure 4: dynamic prefix-tree constrained decoding +
+//!   diverse beam search, with candidate merging;
+//! * [`train`] — Figure 2: random-walk schema sampling + reverse question
+//!   generation + teacher-forced training (with the serialization and data
+//!   ablations of Table 7);
+//! * [`router`] — the high-level [`router::DbcRouter`] API, implementing the
+//!   shared `SchemaRouter` trait used by every method in the evaluation.
+
+pub mod decode;
+pub mod model;
+pub mod persist;
+pub mod router;
+pub mod train;
+pub mod vocab;
+
+pub use decode::{beam_search, merge_candidates, Constrainer, DecodeOptions, DecodedSchema};
+pub use model::{RouterConfig, RouterModel};
+pub use persist::{extend_router, load_router, load_router_file, save_router, save_router_file};
+pub use router::DbcRouter;
+pub use train::{
+    examples_from_instances, synthesize_training_data, train_router, SerializationMode,
+    TrainExample, TrainStats,
+};
+pub use vocab::{PieceVocab, Sym, BOS, EOS, SEP};

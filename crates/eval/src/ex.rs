@@ -1,0 +1,273 @@
+//! End-to-end schema-agnostic NL2SQL evaluation: execution accuracy and
+//! cost (Table 6).
+
+use dbcopilot_core::DbcRouter;
+use dbcopilot_graph::QuerySchema;
+use dbcopilot_nl2sql::{
+    basic_prompt, cot_selection_prompt, estimate_tokens, multiple_prompt, CopilotLM, CostModel,
+    PromptSchema,
+};
+use dbcopilot_retrieval::SchemaRouter;
+use dbcopilot_sqlengine::{compare_to_gold, execute, parse_select};
+use dbcopilot_synth::{Corpus, Instance};
+
+/// Where candidate schemata come from.
+pub enum SchemaSource<'a> {
+    /// Gold tables restricted to the gold SQL's columns.
+    OracleGoldTc,
+    /// Gold tables, all columns.
+    OracleGoldT,
+    /// The whole gold database.
+    OracleGoldDb,
+    /// Five database schemata including the gold one.
+    OracleFiveDb,
+    /// A retrieval baseline (top database + its retrieved tables).
+    Method(&'a (dyn SchemaRouter + Send + Sync)),
+    /// The DBCopilot router (merged beam candidates).
+    Copilot(&'a DbcRouter),
+}
+
+impl SchemaSource<'_> {
+    /// Candidate schemata for one instance, best first.
+    pub fn candidates(&self, corpus: &Corpus, inst: &Instance, k: usize) -> Vec<QuerySchema> {
+        match self {
+            SchemaSource::OracleGoldTc | SchemaSource::OracleGoldT => vec![inst.schema.clone()],
+            SchemaSource::OracleGoldDb => vec![whole_db(corpus, &inst.schema.database)],
+            SchemaSource::OracleFiveDb => {
+                let mut out = vec![whole_db(corpus, &inst.schema.database)];
+                for name in corpus.collection.databases.keys() {
+                    if out.len() >= 5 {
+                        break;
+                    }
+                    if !name.eq_ignore_ascii_case(&inst.schema.database) {
+                        out.push(whole_db(corpus, name));
+                    }
+                }
+                out
+            }
+            SchemaSource::Method(router) => {
+                router.route(&inst.question, 100).candidate_schemata(k, 4)
+            }
+            SchemaSource::Copilot(router) => router
+                .route_schemata(&inst.question)
+                .into_iter()
+                .take(k)
+                .map(|d| d.schema)
+                .collect(),
+        }
+    }
+
+    /// Column filter for the Gold T&C oracle.
+    fn column_filter(&self, inst: &Instance) -> Option<Vec<String>> {
+        match self {
+            SchemaSource::OracleGoldTc => {
+                let cols = parse_select(&inst.sql).ok()?.referenced_columns();
+                Some(cols)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn whole_db(corpus: &Corpus, name: &str) -> QuerySchema {
+    let tables = corpus
+        .collection
+        .database(name)
+        .map(|db| db.tables.iter().map(|t| t.name.clone()).collect())
+        .unwrap_or_default();
+    QuerySchema::new(name.to_string(), tables)
+}
+
+/// Prompting strategy for Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Top-1 candidate, basic prompt.
+    Best,
+    /// Top-k candidates concatenated.
+    Multiple(usize),
+    /// Two-turn chain of thought over top-k candidates.
+    Cot(usize),
+    /// Human selects the best of the top-k candidates, then basic prompt.
+    HumanInTheLoop(usize),
+}
+
+/// Aggregated EX report.
+#[derive(Debug, Clone, Default)]
+pub struct ExReport {
+    /// Execution accuracy in percent.
+    pub ex: f64,
+    /// Total LLM cost in dollars.
+    pub cost: f64,
+    pub queries: usize,
+    /// Gold queries that failed to execute (corpus defects; count as miss).
+    pub gold_errors: usize,
+}
+
+/// Evaluate execution accuracy of a schema source + prompt strategy.
+pub fn eval_ex(
+    corpus: &Corpus,
+    instances: &[Instance],
+    source: &SchemaSource<'_>,
+    strategy: Strategy,
+    llm: &CopilotLM,
+) -> ExReport {
+    let pricing = CostModel::gpt35_turbo();
+    let mut report = ExReport { queries: instances.len(), ..Default::default() };
+    let mut matches = 0usize;
+    for inst in instances {
+        let k = match strategy {
+            Strategy::Best => 1,
+            Strategy::Multiple(k) | Strategy::Cot(k) | Strategy::HumanInTheLoop(k) => k,
+        };
+        let mut cands = source.candidates(corpus, inst, k);
+        if cands.is_empty() {
+            continue; // no prompt at all → automatic miss, no cost
+        }
+        // Resolve against the collection (and filter columns for Gold T&C).
+        let filter = source.column_filter(inst);
+        let resolve = |s: &QuerySchema| {
+            let mut p = PromptSchema::resolve(&corpus.collection, s);
+            if let Some(f) = &filter {
+                p = p.clone().with_columns_filtered(f);
+            }
+            p
+        };
+
+        let (prompt, out) = match strategy {
+            Strategy::Best => {
+                let p = basic_prompt(&resolve(&cands[0]), &inst.question);
+                let out = llm.generate_sql(&p, &inst.question);
+                (p, out)
+            }
+            Strategy::Multiple(_) => {
+                let schemas: Vec<PromptSchema> = cands.iter().map(&resolve).collect();
+                let p = multiple_prompt(&schemas, &inst.question);
+                let out = llm.generate_sql(&p, &inst.question);
+                (p, out)
+            }
+            Strategy::Cot(_) => {
+                let schemas: Vec<PromptSchema> = cands.iter().map(&resolve).collect();
+                let turn1 = cot_selection_prompt(&schemas, &inst.question);
+                let (pick, sel_tokens) = llm.select_schema(&schemas, &inst.question);
+                report.cost +=
+                    pricing.query_cost(estimate_tokens(&turn1.text), sel_tokens);
+                let chosen = schemas.get(pick).cloned().unwrap_or_else(|| schemas[0].clone());
+                let p = basic_prompt(&chosen, &inst.question);
+                let out = llm.generate_sql(&p, &inst.question);
+                (p, out)
+            }
+            Strategy::HumanInTheLoop(_) => {
+                // the human picks the covering candidate, else best overlap
+                cands.sort_by_key(|c| {
+                    let covers = c.covers(&inst.schema);
+                    let overlap = inst
+                        .schema
+                        .tables
+                        .iter()
+                        .filter(|t| {
+                            c.database.eq_ignore_ascii_case(&inst.schema.database)
+                                && c.tables.iter().any(|x| x.eq_ignore_ascii_case(t))
+                        })
+                        .count();
+                    std::cmp::Reverse((covers as usize, overlap))
+                });
+                let p = basic_prompt(&resolve(&cands[0]), &inst.question);
+                let out = llm.generate_sql(&p, &inst.question);
+                (p, out)
+            }
+        };
+        report.cost += pricing.query_cost(estimate_tokens(&prompt.text), out.output_tokens);
+
+        let Some(db) = corpus.store.database(&inst.schema.database) else {
+            report.gold_errors += 1;
+            continue;
+        };
+        let gold = match execute(db, &inst.sql) {
+            Ok(rs) => rs,
+            Err(_) => {
+                report.gold_errors += 1;
+                continue;
+            }
+        };
+        if let Some(sql) = &out.sql {
+            if compare_to_gold(db, &gold, sql).is_match() {
+                matches += 1;
+            }
+        }
+    }
+    report.ex = matches as f64 / report.queries.max(1) as f64 * 100.0;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{prepare, CorpusKind};
+    use crate::scale::Scale;
+    use dbcopilot_nl2sql::LlmConfig;
+
+    fn quick_prepared() -> (crate::harness::Prepared, CopilotLM) {
+        let mut s = Scale::quick();
+        s.spider = dbcopilot_synth::CorpusSizes { num_databases: 10, train_n: 200, test_n: 120 };
+        let p = prepare(CorpusKind::Spider, &s);
+        let llm = CopilotLM::new(LlmConfig {
+            seed: 3,
+            distraction_per_table: 0.01,
+            synonym_resolution: 0.95,
+            base_error: 0.05,
+        });
+        (p, llm)
+    }
+
+    #[test]
+    fn oracle_ordering_holds() {
+        let (p, llm) = quick_prepared();
+        let tc = eval_ex(&p.corpus, &p.corpus.test, &SchemaSource::OracleGoldTc, Strategy::Best, &llm);
+        let t = eval_ex(&p.corpus, &p.corpus.test, &SchemaSource::OracleGoldT, Strategy::Best, &llm);
+        let db =
+            eval_ex(&p.corpus, &p.corpus.test, &SchemaSource::OracleGoldDb, Strategy::Best, &llm);
+        let five = eval_ex(
+            &p.corpus,
+            &p.corpus.test,
+            &SchemaSource::OracleFiveDb,
+            Strategy::Multiple(5),
+            &llm,
+        );
+        assert_eq!(tc.gold_errors, 0, "gold SQL must execute");
+        // small-sample tolerance: orderings are asserted with slack here and
+        // exactly reproduced at full scale (EXPERIMENTS.md)
+        assert!(tc.ex + 3.0 >= t.ex, "gold T&C {:.1} vs gold T {:.1}", tc.ex, t.ex);
+        assert!(t.ex >= db.ex - 5.0, "gold T {:.1} vs gold DB {:.1}", t.ex, db.ex);
+        assert!(db.ex + 8.0 >= five.ex, "gold DB {:.1} vs 5 DB {:.1}", db.ex, five.ex);
+        assert!(tc.ex > 50.0, "gold T&C should be strong, got {:.1}", tc.ex);
+        // cost grows with prompt width
+        assert!(five.cost > tc.cost);
+    }
+
+    #[test]
+    fn human_in_the_loop_beats_best_for_weak_sources() {
+        let (p, llm) = quick_prepared();
+        let s = Scale::quick();
+        let (bm25, _) = crate::harness::build_method(crate::harness::MethodKind::Bm25, &p, &s);
+        let best = eval_ex(
+            &p.corpus,
+            &p.corpus.test,
+            &SchemaSource::Method(bm25.as_ref()),
+            Strategy::Best,
+            &llm,
+        );
+        let human = eval_ex(
+            &p.corpus,
+            &p.corpus.test,
+            &SchemaSource::Method(bm25.as_ref()),
+            Strategy::HumanInTheLoop(5),
+            &llm,
+        );
+        assert!(
+            human.ex + 1e-9 >= best.ex,
+            "human {:.1} should be ≥ best {:.1}",
+            human.ex,
+            best.ex
+        );
+    }
+}

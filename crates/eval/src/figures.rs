@@ -1,0 +1,104 @@
+//! Figure regeneration: Figure 7 (a/b) and Figure 10 series.
+
+use dbcopilot_retrieval::SchemaRouter;
+use dbcopilot_sqlengine::Collection;
+use dbcopilot_synth::Instance;
+
+use crate::metrics::{average_precision, table_recall_at_k};
+
+/// Figure 7(a): table mAP bucketed by the number of tables in the gold
+/// database. Returns `(db_size_bucket, mAP, count)` rows.
+pub fn map_by_db_size(
+    router: &(dyn SchemaRouter + Send + Sync),
+    instances: &[Instance],
+    collection: &Collection,
+    top_tables: usize,
+) -> Vec<(usize, f64, usize)> {
+    let mut buckets: std::collections::BTreeMap<usize, (f64, usize)> =
+        std::collections::BTreeMap::new();
+    for inst in instances {
+        let size = collection
+            .database(&inst.schema.database)
+            .map(|db| db.tables.len())
+            .unwrap_or(0);
+        // bucket db sizes to even numbers like the paper's x-axis
+        let bucket = (size + 1) / 2 * 2;
+        let result = router.route(&inst.question, top_tables);
+        let ap = average_precision(&result, &inst.schema);
+        let e = buckets.entry(bucket).or_insert((0.0, 0));
+        e.0 += ap;
+        e.1 += 1;
+    }
+    buckets.into_iter().map(|(b, (sum, n))| (b, sum / n.max(1) as f64, n)).collect()
+}
+
+/// Figure 7(b): mean table recall at each `k`.
+pub fn recall_curve(
+    router: &(dyn SchemaRouter + Send + Sync),
+    instances: &[Instance],
+    ks: &[usize],
+) -> Vec<(usize, f64)> {
+    let max_k = ks.iter().copied().max().unwrap_or(50);
+    let mut sums = vec![0.0f64; ks.len()];
+    for inst in instances {
+        let result = router.route(&inst.question, max_k);
+        for (i, &k) in ks.iter().enumerate() {
+            sums[i] += table_recall_at_k(&result, &inst.schema, k);
+        }
+    }
+    let n = instances.len().max(1) as f64;
+    ks.iter().zip(sums).map(|(&k, s)| (k, s / n)).collect()
+}
+
+/// Render an ASCII series plot: one line per `(x, y)` pair.
+pub fn render_series(title: &str, series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut out = format!("== {title} ==\n");
+    for (name, points) in series {
+        out.push_str(&format!("{name:<14}"));
+        for (x, y) in points {
+            out.push_str(&format!(" ({x:.0},{y:.3})"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{build_method, prepare, CorpusKind, MethodKind};
+    use crate::scale::Scale;
+
+    #[test]
+    fn recall_curve_monotone_nondecreasing() {
+        let mut s = Scale::quick();
+        s.spider = dbcopilot_synth::CorpusSizes { num_databases: 6, train_n: 120, test_n: 25 };
+        s.synth_pairs = 150;
+        let p = prepare(CorpusKind::Spider, &s);
+        let (router, _) = build_method(MethodKind::Bm25, &p, &s);
+        let curve = recall_curve(router.as_ref(), &p.corpus.test, &[1, 5, 10, 20]);
+        for w in curve.windows(2) {
+            assert!(w[1].1 + 1e-9 >= w[0].1, "recall@k must be non-decreasing: {curve:?}");
+        }
+    }
+
+    #[test]
+    fn map_by_db_size_buckets() {
+        let mut s = Scale::quick();
+        s.spider = dbcopilot_synth::CorpusSizes { num_databases: 6, train_n: 120, test_n: 25 };
+        s.synth_pairs = 150;
+        let p = prepare(CorpusKind::Spider, &s);
+        let (router, _) = build_method(MethodKind::Bm25, &p, &s);
+        let rows = map_by_db_size(router.as_ref(), &p.corpus.test, &p.corpus.collection, 100);
+        assert!(!rows.is_empty());
+        let total: usize = rows.iter().map(|(_, _, n)| n).sum();
+        assert_eq!(total, p.corpus.test.len());
+    }
+
+    #[test]
+    fn render_series_format() {
+        let s = render_series("fig", &[("BM25".into(), vec![(1.0, 0.5)])]);
+        assert!(s.contains("fig"));
+        assert!(s.contains("BM25"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Experiment harness: corpus preparation, method construction, and
+//! parallel routing evaluation.
+
+use std::time::Instant;
+
+use dbcopilot_core::{DbcRouter, SerializationMode, TrainExample};
+use dbcopilot_graph::SchemaGraph;
+use dbcopilot_retrieval::{
+    build_dtr, build_sxfmr, tune_bm25, Bm25Index, Bm25Params, Crush, SchemaRouter, TargetSet,
+};
+use dbcopilot_synth::{
+    build_bird_like, build_fiben_like, build_spider_like, questioner_pairs, Corpus, Questioner,
+    QuestionerConfig,
+};
+
+use crate::metrics::RoutingMetrics;
+use crate::scale::Scale;
+
+/// Which benchmark corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusKind {
+    Spider,
+    Bird,
+    Fiben,
+}
+
+impl CorpusKind {
+    pub const ALL: &'static [CorpusKind] = &[CorpusKind::Spider, CorpusKind::Bird, CorpusKind::Fiben];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            CorpusKind::Spider => "Spider",
+            CorpusKind::Bird => "Bird",
+            CorpusKind::Fiben => "Fiben",
+        }
+    }
+}
+
+/// A fully prepared benchmark: corpus, graph, retrieval targets, questioner
+/// and shared synthetic training data.
+pub struct Prepared {
+    pub kind: CorpusKind,
+    pub corpus: Corpus,
+    pub graph: SchemaGraph,
+    pub targets: TargetSet,
+    pub questioner: Questioner,
+    /// Synthetic (pseudo-question, schema) pairs (Figure 2) shared by the
+    /// router and the fine-tuned baselines.
+    pub synth_examples: Vec<TrainExample>,
+}
+
+/// Build one benchmark end to end.
+pub fn prepare(kind: CorpusKind, scale: &Scale) -> Prepared {
+    let corpus = match kind {
+        CorpusKind::Spider => build_spider_like(&scale.spider, scale.seed),
+        CorpusKind::Bird => build_bird_like(&scale.bird, scale.seed),
+        CorpusKind::Fiben => build_fiben_like(scale.fiben_test, scale.fiben_areas, scale.seed),
+    };
+    let mut graph = SchemaGraph::build(&corpus.collection);
+    dbcopilot_graph::augment_graph_with_joinable(
+        &mut graph,
+        &corpus.store,
+        dbcopilot_graph::joinable::DEFAULT_JACCARD_THRESHOLD,
+    );
+    let targets = TargetSet::from_collection(&corpus.collection);
+
+    // The paper trains one questioner on the Spider+Bird training splits;
+    // Fiben has no training questions, so its questioner is transferred
+    // from a Spider-like corpus.
+    let pairs = if corpus.train.is_empty() {
+        let helper = build_spider_like(
+            &dbcopilot_synth::CorpusSizes {
+                num_databases: scale.spider.num_databases.min(40),
+                train_n: scale.spider.train_n.min(1500),
+                test_n: 1,
+            },
+            scale.seed.wrapping_add(777),
+        );
+        questioner_pairs(&helper)
+    } else {
+        questioner_pairs(&corpus)
+    };
+    let questioner = Questioner::train(&pairs, &QuestionerConfig::default());
+
+    let synth_examples = dbcopilot_core::synthesize_training_data(
+        &graph,
+        &corpus.meta,
+        &questioner,
+        scale.synth_pairs,
+        scale.seed.wrapping_add(31),
+    );
+
+    Prepared { kind, corpus, graph, targets, questioner, synth_examples }
+}
+
+/// The schema-routing methods of Tables 3–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    Bm25,
+    Sxfmr,
+    CrushBm25,
+    CrushSxfmr,
+    Bm25Ft,
+    Dtr,
+    DbCopilot,
+}
+
+impl MethodKind {
+    pub const ALL: &'static [MethodKind] = &[
+        MethodKind::Bm25,
+        MethodKind::Sxfmr,
+        MethodKind::CrushBm25,
+        MethodKind::CrushSxfmr,
+        MethodKind::Bm25Ft,
+        MethodKind::Dtr,
+        MethodKind::DbCopilot,
+    ];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodKind::Bm25 => "BM25",
+            MethodKind::Sxfmr => "SXFMR",
+            MethodKind::CrushBm25 => "CRUSH_BM25",
+            MethodKind::CrushSxfmr => "CRUSH_SXFMR",
+            MethodKind::Bm25Ft => "BM25 (ft)",
+            MethodKind::Dtr => "DTR",
+            MethodKind::DbCopilot => "DBCopilot",
+        }
+    }
+}
+
+/// Construction report for Table 5.
+pub struct BuildReport {
+    pub build_secs: f64,
+    pub disk_bytes: usize,
+}
+
+/// Synthetic training pairs in the `(question, gold tables)` format the
+/// baseline tuners consume.
+pub fn baseline_train_pairs(prepared: &Prepared) -> Vec<(String, Vec<(String, String)>)> {
+    prepared
+        .synth_examples
+        .iter()
+        .map(|ex| {
+            (
+                ex.question.clone(),
+                ex.schema
+                    .tables
+                    .iter()
+                    .map(|t| (ex.schema.database.clone(), t.clone()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Build one routing method (trains where needed). Returns the router and
+/// its build report.
+pub fn build_method(
+    kind: MethodKind,
+    prepared: &Prepared,
+    scale: &Scale,
+) -> (Box<dyn SchemaRouter + Send + Sync>, BuildReport) {
+    let start = Instant::now();
+    let (router, disk): (Box<dyn SchemaRouter + Send + Sync>, usize) = match kind {
+        MethodKind::Bm25 => {
+            let idx = Bm25Index::build(prepared.targets.clone(), Bm25Params::default());
+            let disk = idx.size_bytes();
+            (Box::new(idx), disk)
+        }
+        MethodKind::Bm25Ft => {
+            let train = baseline_train_pairs(prepared);
+            // tuning on a sample keeps the grid search fast
+            let sample: Vec<_> = train.into_iter().take(400).collect();
+            let params = tune_bm25(&prepared.targets, &sample, 15);
+            let idx = Bm25Index::build_labeled(prepared.targets.clone(), params, "BM25 (ft)");
+            let disk = idx.size_bytes();
+            (Box::new(idx), disk)
+        }
+        MethodKind::Sxfmr => {
+            let r = build_sxfmr(prepared.targets.clone(), scale.encoder.clone());
+            let disk = r.size_bytes();
+            (Box::new(r), disk)
+        }
+        MethodKind::Dtr => {
+            let train = baseline_train_pairs(prepared);
+            let r = build_dtr(prepared.targets.clone(), &train, scale.encoder.clone());
+            let disk = r.size_bytes();
+            (Box::new(r), disk)
+        }
+        MethodKind::CrushBm25 => {
+            let idx = Bm25Index::build(prepared.targets.clone(), Bm25Params::default());
+            let disk = idx.size_bytes();
+            let c = Crush::new(idx, prepared.graph.clone(), "CRUSH_BM25");
+            (Box::new(c), disk)
+        }
+        MethodKind::CrushSxfmr => {
+            let r = build_sxfmr(prepared.targets.clone(), scale.encoder.clone());
+            let disk = r.size_bytes();
+            let c = Crush::new(r, prepared.graph.clone(), "CRUSH_SXFMR");
+            (Box::new(c), disk)
+        }
+        MethodKind::DbCopilot => {
+            let (router, _) = DbcRouter::fit(
+                prepared.graph.clone(),
+                &prepared.synth_examples,
+                scale.router.clone(),
+                SerializationMode::Dfs,
+            );
+            let disk = router.size_bytes();
+            (Box::new(router), disk)
+        }
+    };
+    (router, BuildReport { build_secs: start.elapsed().as_secs_f64(), disk_bytes: disk })
+}
+
+/// Evaluate a router over instances (parallel over question chunks).
+pub fn eval_routing(
+    router: &(dyn SchemaRouter + Send + Sync),
+    instances: &[dbcopilot_synth::Instance],
+    top_tables: usize,
+) -> RoutingMetrics {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+    let chunk = instances.len().div_ceil(threads).max(1);
+    let mut total = RoutingMetrics::default();
+    let partials: Vec<RoutingMetrics> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = instances
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move |_| {
+                    let mut m = RoutingMetrics::default();
+                    for inst in part {
+                        let result = router.route(&inst.question, top_tables);
+                        m.add(&result, &inst.schema);
+                    }
+                    m
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("eval worker")).collect()
+    })
+    .expect("eval scope");
+    for p in &partials {
+        total.merge(p);
+    }
+    total.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Scale {
+        let mut s = Scale::quick();
+        s.spider = dbcopilot_synth::CorpusSizes { num_databases: 8, train_n: 150, test_n: 30 };
+        s.synth_pairs = 200;
+        s
+    }
+
+    #[test]
+    fn prepare_spider_quick() {
+        let s = quick();
+        let p = prepare(CorpusKind::Spider, &s);
+        assert_eq!(p.corpus.collection.num_databases(), 8);
+        assert_eq!(p.synth_examples.len(), 200);
+        assert!(!p.targets.is_empty());
+    }
+
+    #[test]
+    fn bm25_method_builds_and_evaluates() {
+        let s = quick();
+        let p = prepare(CorpusKind::Spider, &s);
+        let (router, report) = build_method(MethodKind::Bm25, &p, &s);
+        assert!(report.disk_bytes > 0);
+        let m = eval_routing(router.as_ref(), &p.corpus.test, 100);
+        assert_eq!(m.queries, p.corpus.test.len());
+        assert!(m.db_r5 > 0.0, "BM25 should find some databases: {m:?}");
+    }
+
+    #[test]
+    fn synthetic_pairs_cover_test_databases() {
+        // the crux of the paper: synthesis covers ALL databases, including
+        // those only seen at test time
+        let s = quick();
+        let p = prepare(CorpusKind::Spider, &s);
+        let synth_dbs: std::collections::HashSet<&str> =
+            p.synth_examples.iter().map(|e| e.schema.database.as_str()).collect();
+        for db in &p.corpus.test_databases {
+            assert!(synth_dbs.contains(db.as_str()), "test db {db} not covered");
+        }
+    }
+}

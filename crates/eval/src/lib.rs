@@ -1,0 +1,28 @@
+//! `dbcopilot-eval` — metrics and the experiment harness that regenerates
+//! every table and figure of the paper's evaluation (§4).
+//!
+//! * [`metrics`] — Recall@k (database/table) and mAP (§4.1.4);
+//! * [`harness`] — corpus preparation, method construction ([Table 3–5
+//!   baselines + DBCopilot]), parallel routing evaluation;
+//! * [`ex`] — end-to-end execution accuracy and cost (Table 6), including
+//!   the oracle tests and human-in-the-loop selection;
+//! * [`resources`] — QPS / build time / index size (Table 5);
+//! * [`figures`] — Figure 7(a/b) and series rendering;
+//! * [`scale`] — `quick`/`full` experiment presets (`DBC_SCALE`).
+
+pub mod ex;
+pub mod figures;
+pub mod harness;
+pub mod metrics;
+pub mod resources;
+pub mod scale;
+
+pub use ex::{eval_ex, ExReport, SchemaSource, Strategy};
+pub use figures::{map_by_db_size, recall_curve, render_series};
+pub use harness::{
+    baseline_train_pairs, build_method, eval_routing, prepare, BuildReport, CorpusKind,
+    MethodKind, Prepared,
+};
+pub use metrics::{average_precision, db_recall_at_k, table_recall_at_k, RoutingMetrics};
+pub use resources::{measure_qps, render_table5, report, ResourceReport};
+pub use scale::Scale;

@@ -1,0 +1,166 @@
+//! Routing metrics (paper §4.1.4): Recall@k for databases and tables, and
+//! mAP over tables.
+
+use dbcopilot_graph::QuerySchema;
+use dbcopilot_retrieval::RoutingResult;
+
+/// Database hit within the top-k ranked databases.
+pub fn db_recall_at_k(result: &RoutingResult, gold: &QuerySchema, k: usize) -> f64 {
+    let hit = result
+        .databases
+        .iter()
+        .take(k)
+        .any(|(db, _)| db.eq_ignore_ascii_case(&gold.database));
+    if hit {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Fraction of gold tables found in the top-k ranked tables.
+pub fn table_recall_at_k(result: &RoutingResult, gold: &QuerySchema, k: usize) -> f64 {
+    if gold.tables.is_empty() {
+        return 0.0;
+    }
+    let top: Vec<(&str, &str)> = result.top_tables(k);
+    let hits = gold
+        .tables
+        .iter()
+        .filter(|t| {
+            top.iter().any(|(db, tt)| {
+                db.eq_ignore_ascii_case(&gold.database) && tt.eq_ignore_ascii_case(t)
+            })
+        })
+        .count();
+    hits as f64 / gold.tables.len() as f64
+}
+
+/// Average precision of the ranked table list against the gold tables.
+pub fn average_precision(result: &RoutingResult, gold: &QuerySchema) -> f64 {
+    if gold.tables.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (rank, (db, table, _)) in result.tables.iter().enumerate() {
+        let relevant = db.eq_ignore_ascii_case(&gold.database)
+            && gold.tables.iter().any(|t| t.eq_ignore_ascii_case(table));
+        if relevant {
+            hits += 1;
+            sum += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    sum / gold.tables.len() as f64
+}
+
+/// Aggregated routing metrics over a test set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoutingMetrics {
+    pub db_r1: f64,
+    pub db_r5: f64,
+    pub table_r5: f64,
+    pub table_r15: f64,
+    pub map: f64,
+    pub queries: usize,
+}
+
+impl RoutingMetrics {
+    /// Fold one query's result into the aggregate.
+    pub fn add(&mut self, result: &RoutingResult, gold: &QuerySchema) {
+        self.db_r1 += db_recall_at_k(result, gold, 1);
+        self.db_r5 += db_recall_at_k(result, gold, 5);
+        self.table_r5 += table_recall_at_k(result, gold, 5);
+        self.table_r15 += table_recall_at_k(result, gold, 15);
+        self.map += average_precision(result, gold);
+        self.queries += 1;
+    }
+
+    /// Merge partial aggregates (parallel evaluation).
+    pub fn merge(&mut self, other: &RoutingMetrics) {
+        self.db_r1 += other.db_r1;
+        self.db_r5 += other.db_r5;
+        self.table_r5 += other.table_r5;
+        self.table_r15 += other.table_r15;
+        self.map += other.map;
+        self.queries += other.queries;
+    }
+
+    /// Normalize sums into means (percentages in [0, 100]).
+    pub fn finalize(mut self) -> RoutingMetrics {
+        let n = self.queries.max(1) as f64;
+        self.db_r1 = self.db_r1 / n * 100.0;
+        self.db_r5 = self.db_r5 / n * 100.0;
+        self.table_r5 = self.table_r5 / n * 100.0;
+        self.table_r15 = self.table_r15 / n * 100.0;
+        self.map = self.map / n * 100.0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> RoutingResult {
+        RoutingResult {
+            tables: vec![
+                ("world".into(), "country".into(), 3.0),
+                ("car".into(), "countries".into(), 2.0),
+                ("world".into(), "countrylanguage".into(), 1.0),
+            ],
+            databases: vec![("world".into(), 2.0), ("car".into(), 2.0)],
+        }
+    }
+
+    fn gold() -> QuerySchema {
+        QuerySchema::new("world", vec!["country".into(), "countrylanguage".into()])
+    }
+
+    #[test]
+    fn db_recall() {
+        assert_eq!(db_recall_at_k(&result(), &gold(), 1), 1.0);
+        let miss = QuerySchema::new("library", vec!["book".into()]);
+        assert_eq!(db_recall_at_k(&result(), &miss, 5), 0.0);
+    }
+
+    #[test]
+    fn table_recall_partial() {
+        assert_eq!(table_recall_at_k(&result(), &gold(), 1), 0.5);
+        assert_eq!(table_recall_at_k(&result(), &gold(), 3), 1.0);
+    }
+
+    #[test]
+    fn table_recall_requires_same_db() {
+        // "countries" in db car must not count for gold db world
+        let g = QuerySchema::new("world", vec!["countries".into()]);
+        assert_eq!(table_recall_at_k(&result(), &g, 3), 0.0);
+    }
+
+    #[test]
+    fn ap_rewards_early_hits() {
+        // hits at ranks 1 and 3: AP = (1/1 + 2/3)/2
+        let ap = average_precision(&result(), &gold());
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_finalize_percentages() {
+        let mut m = RoutingMetrics::default();
+        m.add(&result(), &gold());
+        m.add(&result(), &QuerySchema::new("library", vec!["book".into()]));
+        let f = m.finalize();
+        assert_eq!(f.queries, 2);
+        assert!((f.db_r1 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = RoutingMetrics::default();
+        a.add(&result(), &gold());
+        let mut b = RoutingMetrics::default();
+        b.add(&result(), &gold());
+        a.merge(&b);
+        assert_eq!(a.queries, 2);
+    }
+}

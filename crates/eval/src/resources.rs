@@ -1,0 +1,102 @@
+//! Efficiency and resource measurement (Table 5).
+
+use std::time::Instant;
+
+use dbcopilot_retrieval::SchemaRouter;
+
+/// One row of Table 5.
+#[derive(Debug, Clone)]
+pub struct ResourceReport {
+    pub method: String,
+    /// Queries per second over the measurement batch.
+    pub qps: f64,
+    /// Training + index construction time.
+    pub build_secs: f64,
+    /// Serialized index/model size.
+    pub disk_mb: f64,
+    /// In-memory structure estimate (see EXPERIMENTS.md).
+    pub ram_mb: f64,
+}
+
+/// Measure query throughput (the paper uses a query batch of 64; queries
+/// cycle if fewer are provided).
+pub fn measure_qps(
+    router: &(dyn SchemaRouter + Send + Sync),
+    questions: &[String],
+    batch: usize,
+) -> f64 {
+    assert!(!questions.is_empty());
+    let start = Instant::now();
+    for i in 0..batch {
+        let q = &questions[i % questions.len()];
+        let _ = router.route(q, 100);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    batch as f64 / secs.max(1e-9)
+}
+
+/// Assemble a Table 5 row.
+pub fn report(
+    method: &str,
+    router: &(dyn SchemaRouter + Send + Sync),
+    questions: &[String],
+    build_secs: f64,
+    disk_bytes: usize,
+    batch: usize,
+) -> ResourceReport {
+    let qps = measure_qps(router, questions, batch);
+    let disk_mb = disk_bytes as f64 / 1e6;
+    ResourceReport { method: method.to_string(), qps, build_secs, disk_mb, ram_mb: disk_mb }
+}
+
+/// Render Table 5.
+pub fn render_table5(rows: &[ResourceReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>9} {:>10} {:>10} {:>9}\n",
+        "Method", "QPS", "Build (s)", "Disk (MB)", "RAM (MB)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>9.1} {:>10.1} {:>10.2} {:>9.2}\n",
+            r.method, r.qps, r.build_secs, r.disk_mb, r.ram_mb
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcopilot_retrieval::{Bm25Index, Bm25Params, Target, TargetSet};
+
+    fn tiny_router() -> Bm25Index {
+        Bm25Index::build(
+            TargetSet {
+                targets: vec![Target {
+                    database: "d".into(),
+                    table: "t".into(),
+                    text: "t a b".into(),
+                }],
+            },
+            Bm25Params::default(),
+        )
+    }
+
+    #[test]
+    fn qps_positive() {
+        let r = tiny_router();
+        let qs = vec!["a of t".to_string()];
+        let qps = measure_qps(&r, &qs, 16);
+        assert!(qps > 0.0);
+    }
+
+    #[test]
+    fn render_contains_method() {
+        let r = tiny_router();
+        let row = report("BM25", &r, &["a".to_string()], 0.5, 1000, 8);
+        let text = render_table5(&[row]);
+        assert!(text.contains("BM25"));
+        assert!(text.contains("QPS"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Experiment scale presets.
+//!
+//! `full` approximates the paper's setup (Table 2 shapes, 20k synthetic
+//! pairs) at laptop-runtime; `quick` is for CI and integration tests. The
+//! `DBC_SCALE` environment variable selects the preset in the experiment
+//! binaries (`full` is the default).
+
+use dbcopilot_core::RouterConfig;
+use dbcopilot_nl2sql::LlmConfig;
+use dbcopilot_retrieval::EncoderConfig;
+use dbcopilot_synth::CorpusSizes;
+
+/// All knobs for one experiment run.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    pub spider: CorpusSizes,
+    pub bird: CorpusSizes,
+    pub fiben_test: usize,
+    pub fiben_areas: usize,
+    /// Synthetic (question, schema) pairs for router / baseline training.
+    pub synth_pairs: usize,
+    pub router: RouterConfig,
+    pub encoder: EncoderConfig,
+    pub llm: LlmConfig,
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Paper-shaped sizes (scaled to run each experiment binary in minutes).
+    pub fn full() -> Self {
+        Scale {
+            spider: CorpusSizes { num_databases: 166, train_n: 2000, test_n: 600 },
+            bird: CorpusSizes { num_databases: 80, train_n: 2000, test_n: 500 },
+            fiben_test: 279,
+            fiben_areas: 30,
+            synth_pairs: 10000,
+            router: {
+                let mut r = RouterConfig::default();
+                r.epochs = 10;
+                r
+            },
+            encoder: EncoderConfig::default(),
+            llm: LlmConfig::default(),
+            seed: 0xdb
+        }
+    }
+
+    /// Small preset for integration tests and smoke runs. The router keeps
+    /// its full width (the tiny test config cannot learn a corpus) but
+    /// trains on less data for fewer epochs.
+    pub fn quick() -> Self {
+        let mut router = RouterConfig::default();
+        router.epochs = 5;
+        let encoder = EncoderConfig { dim: 32, buckets: 1 << 11, epochs: 4, ..Default::default() };
+        Scale {
+            spider: CorpusSizes { num_databases: 16, train_n: 400, test_n: 60 },
+            bird: CorpusSizes { num_databases: 10, train_n: 300, test_n: 50 },
+            fiben_test: 40,
+            fiben_areas: 8,
+            synth_pairs: 1500,
+            router,
+            encoder,
+            llm: LlmConfig::default(),
+            seed: 0xdb,
+        }
+    }
+
+    /// Read `DBC_SCALE` (`quick`/`full`); default full.
+    pub fn from_env() -> Self {
+        match std::env::var("DBC_SCALE").as_deref() {
+            Ok("quick") => Scale::quick(),
+            _ => Scale::full(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ() {
+        let f = Scale::full();
+        let q = Scale::quick();
+        assert!(f.spider.num_databases > q.spider.num_databases);
+        assert!(f.synth_pairs > q.synth_pairs);
+    }
+}

@@ -1,0 +1,23 @@
+//! `dbcopilot-graph` — the schema graph substrate (paper §3.2–§3.4).
+//!
+//! * [`graph::SchemaGraph`] — Algorithm 1: three-tier graph over `ν_s`,
+//!   databases and tables with inclusion, primary–foreign, foreign–foreign
+//!   and joinable edges;
+//! * [`serialize`] — Algorithm 2: DFS serialization of query schemata (plus
+//!   the "basic serialization" ablation);
+//! * [`walks`] — random-walk sampling of valid schemata for training-data
+//!   synthesis;
+//! * [`joinable`] — content-based joinability via Jaccard overlap (§4.1.5);
+//! * [`trie`] — the prefix tree that powers graph-constrained decoding.
+
+pub mod graph;
+pub mod joinable;
+pub mod serialize;
+pub mod trie;
+pub mod walks;
+
+pub use graph::{EdgeKind, NodeId, NodeKind, QuerySchema, SchemaGraph, ROOT};
+pub use joinable::{augment_graph_with_joinable, detect_joinable, jaccard, JoinablePair};
+pub use serialize::{basic_serialize, deserialize_schema, dfs_serialize, dfs_serialize_names, IterOrder};
+pub use trie::{Trie, TrieCursor};
+pub use walks::{sample_covering, sample_schema, WalkConfig};

@@ -1,0 +1,227 @@
+//! Depth-first search serialization of a query schema (paper §3.3,
+//! Algorithm 2).
+//!
+//! A SQL query schema is a partially ordered set; the DFS over the schema
+//! graph linearizes it while preserving inclusion and table relations: the
+//! database always precedes its tables, and each table (after the first)
+//! follows a relation-neighbor when one exists on the stack. The iteration
+//! order `π` randomizes successor order so training sees multiple
+//! linearizations of the same schema.
+
+use rand::seq::SliceRandom;
+use rand::rngs::SmallRng;
+
+use crate::graph::{NodeId, QuerySchema, SchemaGraph, ROOT};
+
+/// Successor iteration order `π`.
+pub enum IterOrder<'a> {
+    /// Graph insertion order (deterministic).
+    Fixed,
+    /// Shuffled per node visit (training-time augmentation).
+    Random(&'a mut SmallRng),
+}
+
+/// DFS-serialize `schema` over `graph`: returns node ids in visit order with
+/// `ν_s` dropped (database first, then tables).
+///
+/// Returns `None` if the schema references unknown nodes.
+pub fn dfs_serialize(
+    graph: &SchemaGraph,
+    schema: &QuerySchema,
+    mut order: IterOrder<'_>,
+) -> Option<Vec<NodeId>> {
+    let (db, tables) = graph.schema_nodes(schema)?;
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(tables.len() + 2);
+    nodes.push(ROOT);
+    nodes.push(db);
+    nodes.extend(tables.iter().copied());
+
+    let in_schema = |n: NodeId| nodes.contains(&n);
+    let mut visited: Vec<NodeId> = Vec::with_capacity(nodes.len());
+    let mut stack = vec![ROOT];
+    while let Some(node) = stack.pop() {
+        if visited.contains(&node) {
+            continue;
+        }
+        visited.push(node);
+        if visited.len() == nodes.len() {
+            break;
+        }
+        let mut successors: Vec<NodeId> = graph
+            .successors(node)
+            .filter(|s| in_schema(*s) && !visited.contains(s))
+            .collect();
+        if let IterOrder::Random(rng) = &mut order {
+            successors.shuffle(rng);
+        }
+        stack.extend(successors);
+    }
+    if visited.len() != nodes.len() {
+        // Disconnected schema: fall back to appending the unreached tables in
+        // deterministic order so every schema serializes (the paper samples
+        // only valid schemata, but routing targets from adapted datasets can
+        // be technically disconnected when a join uses an unregistered key).
+        for n in &nodes {
+            if !visited.contains(n) {
+                visited.push(*n);
+            }
+        }
+    }
+    Some(visited[1..].to_vec()) // skip ν_s
+}
+
+/// Serialize to node names.
+pub fn dfs_serialize_names(
+    graph: &SchemaGraph,
+    schema: &QuerySchema,
+    order: IterOrder<'_>,
+) -> Option<Vec<String>> {
+    dfs_serialize(graph, schema, order)
+        .map(|ids| ids.into_iter().map(|id| graph.name(id).to_string()).collect())
+}
+
+/// "Basic serialization" ablation (Table 7 "BS"): database followed by the
+/// tables in arbitrary (shuffled) order with no relation awareness.
+pub fn basic_serialize(
+    graph: &SchemaGraph,
+    schema: &QuerySchema,
+    rng: &mut SmallRng,
+) -> Option<Vec<NodeId>> {
+    let (db, mut tables) = graph.schema_nodes(schema)?;
+    tables.shuffle(rng);
+    let mut out = vec![db];
+    out.extend(tables);
+    Some(out)
+}
+
+/// Reconstruct a [`QuerySchema`] from a serialized node sequence
+/// (database-first). Returns `None` on malformed sequences.
+pub fn deserialize_schema(graph: &SchemaGraph, ids: &[NodeId]) -> Option<QuerySchema> {
+    let (first, rest) = ids.split_first()?;
+    if !matches!(graph.kind(*first), crate::graph::NodeKind::Database) {
+        return None;
+    }
+    let db_name = graph.name(*first).to_string();
+    let mut tables = Vec::with_capacity(rest.len());
+    for t in rest {
+        if graph.database_of(*t) != Some(*first) {
+            return None;
+        }
+        tables.push(graph.name(*t).to_string());
+    }
+    Some(QuerySchema::new(db_name, tables))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::fixtures::collection;
+    use rand::SeedableRng;
+
+    fn graph() -> SchemaGraph {
+        SchemaGraph::build(&collection())
+    }
+
+    #[test]
+    fn database_always_first() {
+        let g = graph();
+        let schema = QuerySchema::new(
+            "concert_singer",
+            vec!["singer".into(), "singer_in_concert".into(), "concert".into()],
+        );
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let ids = dfs_serialize(&g, &schema, IterOrder::Random(&mut rng)).unwrap();
+            assert_eq!(g.name(ids[0]), "concert_singer");
+            assert_eq!(ids.len(), 4);
+        }
+    }
+
+    #[test]
+    fn join_table_relations_respected() {
+        // In DFS order, after the junction table appears, its neighbors can
+        // follow; crucially every serialization contains exactly the schema
+        // nodes, each once.
+        let g = graph();
+        let schema = QuerySchema::new(
+            "world",
+            vec!["country".into(), "countrylanguage".into(), "city".into()],
+        );
+        let ids = dfs_serialize(&g, &schema, IterOrder::Fixed).unwrap();
+        let names: Vec<&str> = ids.iter().map(|i| g.name(*i)).collect();
+        assert_eq!(names[0], "world");
+        let mut sorted = names[1..].to_vec();
+        sorted.sort();
+        assert_eq!(sorted, vec!["city", "country", "countrylanguage"]);
+    }
+
+    #[test]
+    fn random_orders_differ_but_cover_same_nodes() {
+        let g = graph();
+        let schema = QuerySchema::new(
+            "world",
+            vec!["country".into(), "countrylanguage".into(), "city".into()],
+        );
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..30 {
+            let ids = dfs_serialize(&g, &schema, IterOrder::Random(&mut rng)).unwrap();
+            seen.insert(ids.clone());
+            let schema_back = deserialize_schema(&g, &ids).unwrap();
+            assert!(schema_back.same_as(&schema));
+        }
+        assert!(seen.len() > 1, "expected multiple DFS linearizations");
+    }
+
+    #[test]
+    fn roundtrip_deserialize() {
+        let g = graph();
+        let schema = QuerySchema::new("geo", vec!["city".into(), "river".into()]);
+        let ids = dfs_serialize(&g, &schema, IterOrder::Fixed).unwrap();
+        let back = deserialize_schema(&g, &ids).unwrap();
+        assert!(back.same_as(&schema));
+    }
+
+    #[test]
+    fn single_table_schema() {
+        let g = graph();
+        let schema = QuerySchema::new("world", vec!["city".into()]);
+        let names = dfs_serialize_names(&g, &schema, IterOrder::Fixed).unwrap();
+        assert_eq!(names, vec!["world", "city"]);
+    }
+
+    #[test]
+    fn disconnected_schema_still_serializes() {
+        let g = graph();
+        // singer & concert are not related without the junction table
+        let schema =
+            QuerySchema::new("concert_singer", vec!["singer".into(), "concert".into()]);
+        let ids = dfs_serialize(&g, &schema, IterOrder::Fixed).unwrap();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn basic_serialization_shuffles_tables() {
+        let g = graph();
+        let schema = QuerySchema::new(
+            "world",
+            vec!["country".into(), "countrylanguage".into(), "city".into()],
+        );
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut orders = std::collections::HashSet::new();
+        for _ in 0..30 {
+            let ids = basic_serialize(&g, &schema, &mut rng).unwrap();
+            assert_eq!(g.name(ids[0]), "world");
+            orders.insert(ids);
+        }
+        assert!(orders.len() > 1);
+    }
+
+    #[test]
+    fn deserialize_rejects_cross_database_tables() {
+        let g = graph();
+        let world = g.database_node("world").unwrap();
+        let geo_city = g.table_node("geo", "city").unwrap();
+        assert!(deserialize_schema(&g, &[world, geo_city]).is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Prefix trie over symbol sequences.
+//!
+//! Constrained decoding (paper §3.5, Figure 4) maintains "a dynamic prefix
+//! tree containing the names of accessible nodes from decoded schema
+//! elements": each schema-element name is a sequence of word-piece symbols,
+//! and at every decoding step only symbols that continue some accessible
+//! name are allowed. This trie is that structure, generic over the payload
+//! attached to complete names.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Symbol type used by the router's piece vocabulary.
+pub type Sym = u32;
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct TrieNode<P> {
+    children: HashMap<Sym, usize>,
+    /// Payload when a complete name ends here.
+    terminal: Option<P>,
+}
+
+/// A prefix trie mapping symbol sequences to payloads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trie<P> {
+    nodes: Vec<TrieNode<P>>,
+}
+
+impl<P> Default for Trie<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> Trie<P> {
+    pub fn new() -> Self {
+        Trie { nodes: vec![TrieNode { children: HashMap::new(), terminal: None }] }
+    }
+
+    /// Insert a sequence with its payload. Overwrites an existing payload for
+    /// the identical sequence.
+    pub fn insert(&mut self, seq: &[Sym], payload: P) {
+        let mut cur = 0usize;
+        for &s in seq {
+            cur = match self.nodes[cur].children.get(&s) {
+                Some(&next) => next,
+                None => {
+                    let next = self.nodes.len();
+                    self.nodes.push(TrieNode { children: HashMap::new(), terminal: None });
+                    self.nodes[cur].children.insert(s, next);
+                    next
+                }
+            };
+        }
+        self.nodes[cur].terminal = Some(payload);
+    }
+
+    /// Walk from the root along `seq`; `None` if the path does not exist.
+    pub fn walk(&self, seq: &[Sym]) -> Option<TrieCursor> {
+        let mut cur = TrieCursor { node: 0 };
+        for &s in seq {
+            cur = self.step(cur, s)?;
+        }
+        Some(cur)
+    }
+
+    /// Root cursor.
+    pub fn root(&self) -> TrieCursor {
+        TrieCursor { node: 0 }
+    }
+
+    /// Advance a cursor by one symbol.
+    pub fn step(&self, cur: TrieCursor, sym: Sym) -> Option<TrieCursor> {
+        self.nodes[cur.node].children.get(&sym).map(|&n| TrieCursor { node: n })
+    }
+
+    /// Symbols allowed from a cursor.
+    pub fn continuations(&self, cur: TrieCursor) -> impl Iterator<Item = Sym> + '_ {
+        self.nodes[cur.node].children.keys().copied()
+    }
+
+    /// Payload if a complete name ends at this cursor.
+    pub fn terminal(&self, cur: TrieCursor) -> Option<&P> {
+        self.nodes[cur.node].terminal.as_ref()
+    }
+
+    /// Number of trie nodes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+}
+
+/// Opaque position in a [`Trie`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrieCursor {
+    node: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build() -> Trie<&'static str> {
+        let mut t = Trie::new();
+        t.insert(&[1, 2, 3], "abc");
+        t.insert(&[1, 2], "ab");
+        t.insert(&[1, 4], "ad");
+        t.insert(&[5], "e");
+        t
+    }
+
+    #[test]
+    fn continuations_at_root() {
+        let t = build();
+        let mut c: Vec<Sym> = t.continuations(t.root()).collect();
+        c.sort();
+        assert_eq!(c, vec![1, 5]);
+    }
+
+    #[test]
+    fn walk_and_terminal() {
+        let t = build();
+        let cur = t.walk(&[1, 2]).unwrap();
+        assert_eq!(t.terminal(cur), Some(&"ab"));
+        let cur = t.walk(&[1]).unwrap();
+        assert_eq!(t.terminal(cur), None);
+        assert!(t.walk(&[9]).is_none());
+    }
+
+    #[test]
+    fn prefix_sharing() {
+        let t = build();
+        // nodes: root + 1 + 2 + 3 + 4 + 5 = 6
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn step_by_step_matches_walk() {
+        let t = build();
+        let mut cur = t.root();
+        cur = t.step(cur, 1).unwrap();
+        cur = t.step(cur, 2).unwrap();
+        cur = t.step(cur, 3).unwrap();
+        assert_eq!(t.terminal(cur), Some(&"abc"));
+        assert!(t.step(cur, 1).is_none());
+    }
+
+    #[test]
+    fn overwrite_payload() {
+        let mut t = build();
+        t.insert(&[5], "E2");
+        assert_eq!(t.terminal(t.walk(&[5]).unwrap()), Some(&"E2"));
+    }
+}

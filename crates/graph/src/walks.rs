@@ -1,0 +1,197 @@
+//! Random-walk schema sampling (paper §3.4).
+//!
+//! Training schemata are sampled by finite-length random walks from `ν_s`:
+//! a walk first steps to a database, then wanders over that database's
+//! table-relation edges; the traversed database and (unique) tables form a
+//! sampled schema, always valid by construction.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{NodeId, QuerySchema, SchemaGraph};
+
+/// Configuration for schema sampling.
+#[derive(Debug, Clone)]
+pub struct WalkConfig {
+    /// Maximum number of distinct tables per sampled schema.
+    pub max_tables: usize,
+    /// Probability of stopping after each table (geometric length).
+    pub stop_prob: f64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        // Mirrors the Spider/Bird SQL-schema size distribution: mostly 1–2
+        // tables, a tail up to 4.
+        WalkConfig { max_tables: 4, stop_prob: 0.45 }
+    }
+}
+
+/// Sample one valid query schema by a random walk.
+pub fn sample_schema(graph: &SchemaGraph, cfg: &WalkConfig, rng: &mut SmallRng) -> QuerySchema {
+    let dbs = graph.database_nodes();
+    assert!(!dbs.is_empty(), "cannot sample from an empty collection");
+    let db = *dbs.choose(rng).expect("non-empty databases");
+    let tables = graph.tables_of(db);
+    assert!(!tables.is_empty(), "database {} has no tables", graph.name(db));
+    let mut current = *tables.choose(rng).expect("non-empty tables");
+    let mut picked: Vec<NodeId> = vec![current];
+
+    while picked.len() < cfg.max_tables && !rng.gen_bool(cfg.stop_prob) {
+        let neighbors: Vec<NodeId> = graph
+            .related_tables(current)
+            .into_iter()
+            .filter(|t| !picked.contains(t))
+            .collect();
+        // Also allow continuing from any already-picked table (trail
+        // branching), which matches DFS-serializable shapes.
+        let mut frontier = neighbors;
+        if frontier.is_empty() {
+            let mut alt = Vec::new();
+            for p in &picked {
+                for n in graph.related_tables(*p) {
+                    if !picked.contains(&n) && !alt.contains(&n) {
+                        alt.push(n);
+                    }
+                }
+            }
+            frontier = alt;
+        }
+        match frontier.choose(rng) {
+            Some(&next) => {
+                picked.push(next);
+                current = next;
+            }
+            None => break, // no unvisited related tables: stop the walk
+        }
+    }
+
+    QuerySchema::new(
+        graph.name(db).to_string(),
+        picked.iter().map(|t| graph.name(*t).to_string()).collect(),
+    )
+}
+
+/// Sample `n` schemata, guaranteeing that every database and every table in
+/// the collection appears in at least one sample when `n` is large enough
+/// (the paper's synthesis covers 100% of databases and tables).
+pub fn sample_covering(
+    graph: &SchemaGraph,
+    cfg: &WalkConfig,
+    n: usize,
+    rng: &mut SmallRng,
+) -> Vec<QuerySchema> {
+    let mut out = Vec::with_capacity(n);
+    // First pass: one single-table schema per table (coverage floor).
+    'outer: for db in graph.database_nodes() {
+        for t in graph.tables_of(db) {
+            if out.len() >= n {
+                break 'outer;
+            }
+            out.push(QuerySchema::new(
+                graph.name(db).to_string(),
+                vec![graph.name(t).to_string()],
+            ));
+        }
+    }
+    while out.len() < n {
+        out.push(sample_schema(graph, cfg, rng));
+    }
+    out.shuffle(rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::fixtures::collection;
+    use rand::SeedableRng;
+
+    fn graph() -> SchemaGraph {
+        SchemaGraph::build(&collection())
+    }
+
+    #[test]
+    fn sampled_schemata_are_valid() {
+        let g = graph();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let cfg = WalkConfig::default();
+        for _ in 0..200 {
+            let s = sample_schema(&g, &cfg, &mut rng);
+            assert!(g.is_valid_schema(&s), "invalid sampled schema {s}");
+            assert!(!s.tables.is_empty());
+            assert!(s.tables.len() <= cfg.max_tables);
+        }
+    }
+
+    #[test]
+    fn sampled_tables_are_unique() {
+        let g = graph();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let cfg = WalkConfig { max_tables: 4, stop_prob: 0.1 };
+        for _ in 0..100 {
+            let s = sample_schema(&g, &cfg, &mut rng);
+            let mut t = s.tables.clone();
+            t.sort();
+            t.dedup();
+            assert_eq!(t.len(), s.tables.len());
+        }
+    }
+
+    #[test]
+    fn covering_sample_covers_all_tables() {
+        let g = graph();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let samples = sample_covering(&g, &WalkConfig::default(), 50, &mut rng);
+        assert_eq!(samples.len(), 50);
+        let mut seen_tables = std::collections::HashSet::new();
+        let mut seen_dbs = std::collections::HashSet::new();
+        for s in &samples {
+            seen_dbs.insert(s.database.clone());
+            for t in &s.tables {
+                seen_tables.insert((s.database.clone(), t.clone()));
+            }
+        }
+        assert_eq!(seen_dbs.len(), 3);
+        assert_eq!(seen_tables.len(), 9);
+    }
+
+    #[test]
+    fn multi_table_schemata_occur() {
+        let g = graph();
+        let mut rng = SmallRng::seed_from_u64(19);
+        let cfg = WalkConfig { max_tables: 3, stop_prob: 0.2 };
+        let any_multi =
+            (0..100).any(|_| sample_schema(&g, &cfg, &mut rng).tables.len() > 1);
+        assert!(any_multi);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = graph();
+        let a: Vec<QuerySchema> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..10).map(|_| sample_schema(&g, &WalkConfig::default(), &mut rng)).collect()
+        };
+        let b: Vec<QuerySchema> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..10).map(|_| sample_schema(&g, &WalkConfig::default(), &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn walk_never_leaves_database() {
+        let g = graph();
+        let mut rng = SmallRng::seed_from_u64(23);
+        for _ in 0..100 {
+            let s = sample_schema(&g, &WalkConfig { max_tables: 4, stop_prob: 0.1 }, &mut rng);
+            let db = g.database_node(&s.database).unwrap();
+            for t in &s.tables {
+                let tn = g.table_node(&s.database, t).unwrap();
+                assert_eq!(g.database_of(tn), Some(db));
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! LLM cost accounting (the "$" column of Table 6).
+//!
+//! Uses `gpt-3.5-turbo-0125` pricing — the model the paper calls — with the
+//! standard ~4-characters-per-token approximation.
+
+/// Approximate token count of a text.
+pub fn estimate_tokens(text: &str) -> usize {
+    text.len() / 4 + 1
+}
+
+/// Per-token pricing in dollars.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// $ per input token.
+    pub input: f64,
+    /// $ per output token.
+    pub output: f64,
+}
+
+impl CostModel {
+    /// gpt-3.5-turbo-0125: $0.50 / 1M input, $1.50 / 1M output.
+    pub fn gpt35_turbo() -> Self {
+        CostModel { input: 0.5e-6, output: 1.5e-6 }
+    }
+
+    pub fn query_cost(&self, input_tokens: usize, output_tokens: usize) -> f64 {
+        input_tokens as f64 * self.input + output_tokens as f64 * self.output
+    }
+}
+
+/// Accumulates cost over a test set.
+#[derive(Debug, Clone, Default)]
+pub struct CostLedger {
+    pub input_tokens: usize,
+    pub output_tokens: usize,
+    pub calls: usize,
+}
+
+impl CostLedger {
+    pub fn record(&mut self, input_tokens: usize, output_tokens: usize) {
+        self.input_tokens += input_tokens;
+        self.output_tokens += output_tokens;
+        self.calls += 1;
+    }
+
+    pub fn total_cost(&self, model: &CostModel) -> f64 {
+        model.query_cost(self.input_tokens, self.output_tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_scale_with_length() {
+        assert!(estimate_tokens("SELECT * FROM t") < estimate_tokens("SELECT a, b, c FROM t JOIN u ON t.x = u.x"));
+        assert_eq!(estimate_tokens(""), 1);
+    }
+
+    #[test]
+    fn cost_arithmetic() {
+        let m = CostModel::gpt35_turbo();
+        let c = m.query_cost(1_000_000, 0);
+        assert!((c - 0.5).abs() < 1e-9);
+        let c = m.query_cost(0, 1_000_000);
+        assert!((c - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut l = CostLedger::default();
+        l.record(100, 10);
+        l.record(200, 20);
+        assert_eq!(l.calls, 2);
+        assert_eq!(l.input_tokens, 300);
+        assert!(l.total_cost(&CostModel::gpt35_turbo()) > 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! `dbcopilot-nl2sql` — SQL generation from routed schemata (paper §3.6).
+//!
+//! * [`prompts`] — the Best / Multiple / Multiple-COT prompt strategies
+//!   (Figures 5–6) plus the oracle prompt variants of Table 6;
+//! * [`llm`] — CopilotLM, the offline `gpt-3.5-turbo` substitute: an
+//!   intent parser + prompt-schema grounder with a seeded capability model
+//!   (synonym-resolution failures, distraction growing with extraneous
+//!   schema, base SQL error rate);
+//! * [`cost`] — token estimation and gpt-3.5-turbo-0125 pricing for the "$"
+//!   columns.
+
+pub mod cost;
+pub mod llm;
+pub mod prompts;
+
+pub use cost::{estimate_tokens, CostLedger, CostModel};
+pub use llm::{parse_intent, CopilotLM, Intent, LlmConfig, LlmOutput};
+pub use prompts::{
+    basic_prompt, cot_selection_prompt, multiple_prompt, Prompt, PromptSchema, PromptStrategy,
+};

@@ -1,0 +1,908 @@
+//! CopilotLM — the offline stand-in for `gpt-3.5-turbo` SQL generation.
+//!
+//! The paper's EX numbers are driven by two mechanisms: (a) whether the
+//! needed tables/columns are present in the prompt, and (b) LLM confusion
+//! that grows with extraneous schema (the oracle test, Table 6, shows EX
+//! falling monotonically as prompts widen from gold columns to five
+//! databases). CopilotLM reproduces both with an explicit capability model:
+//!
+//! * a question-intent parser that inverts the workload's question grammar
+//!   (what a competent LLM does with in-distribution questions);
+//! * grounding of mentions onto the *prompt* schema only, using lexicon
+//!   synonym knowledge (the LLM's world knowledge);
+//! * a seeded noise model: synonym-resolution failures, distraction that
+//!   grows with the number of irrelevant prompt tables, and a base SQL
+//!   error rate.
+//!
+//! All randomness is a pure function of `(seed, question)` so experiments
+//! are bit-reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dbcopilot_sqlengine::Value;
+use dbcopilot_synth::lexicon::{display_form, singularize, Lexicon};
+use dbcopilot_synth::templates::{render_sql, AggKind, CmpOp, QuestionSpec, TemplateKind};
+
+use crate::prompts::{Prompt, PromptSchema};
+
+/// Noise/capability knobs.
+#[derive(Debug, Clone)]
+pub struct LlmConfig {
+    pub seed: u64,
+    /// Per-irrelevant-table probability of a table mix-up.
+    pub distraction_per_table: f64,
+    /// Probability a synonym mention resolves correctly.
+    pub synonym_resolution: f64,
+    /// Base probability of a generic SQL slip (wrong direction, wrong
+    /// aggregate) even with a perfect schema.
+    pub base_error: f64,
+}
+
+impl Default for LlmConfig {
+    fn default() -> Self {
+        LlmConfig {
+            seed: 0x6057,
+            distraction_per_table: 0.01,
+            synonym_resolution: 0.93,
+            base_error: 0.08,
+        }
+    }
+}
+
+/// One LLM call result.
+#[derive(Debug, Clone)]
+pub struct LlmOutput {
+    /// Generated SQL; `None` when the model could not ground the question.
+    pub sql: Option<String>,
+    /// Approximate completion tokens (for the cost model).
+    pub output_tokens: usize,
+}
+
+/// The mock LLM.
+pub struct CopilotLM {
+    lex: Lexicon,
+    pub cfg: LlmConfig,
+}
+
+impl Default for CopilotLM {
+    fn default() -> Self {
+        Self::new(LlmConfig::default())
+    }
+}
+
+impl CopilotLM {
+    pub fn new(cfg: LlmConfig) -> Self {
+        CopilotLM { lex: Lexicon::new(), cfg }
+    }
+
+    fn rng_for(&self, question: &str) -> SmallRng {
+        SmallRng::seed_from_u64(dbcopilot_retrieval::text::fnv1a(question) ^ self.cfg.seed)
+    }
+
+    /// Generate SQL for a question given a rendered prompt.
+    pub fn generate_sql(&self, prompt: &Prompt, question: &str) -> LlmOutput {
+        let mut rng = self.rng_for(question);
+        let Some(intent) = parse_intent(question) else {
+            return LlmOutput { sql: None, output_tokens: 2 };
+        };
+        let Some(mut spec) = self.ground(&intent, &prompt.schemas, &mut rng) else {
+            return LlmOutput { sql: None, output_tokens: 2 };
+        };
+
+        // Distraction: each irrelevant prompt table independently risks a
+        // mix-up; on failure one role is replaced with a random table.
+        let total_tables: usize = prompt.schemas.iter().map(PromptSchema::num_tables).sum();
+        let extra = total_tables.saturating_sub(spec.tables.len());
+        let p_distract = 1.0 - (1.0 - self.cfg.distraction_per_table).powi(extra as i32);
+        if extra > 0 && rng.gen_bool(p_distract.clamp(0.0, 1.0)) {
+            let pool: Vec<&str> = prompt
+                .schemas
+                .iter()
+                .flat_map(|s| s.tables.iter().map(|(t, _)| t.as_str()))
+                .filter(|t| !spec.tables.iter().any(|x| x == t))
+                .collect();
+            if !pool.is_empty() {
+                let victim = rng.gen_range(0..spec.tables.len());
+                spec.tables[victim] = pool[rng.gen_range(0..pool.len())].to_string();
+            }
+        }
+
+        // Base SQL slips.
+        if rng.gen_bool(self.cfg.base_error) {
+            corrupt_spec(&mut spec, &mut rng);
+        }
+
+        let sql = render_sql(&spec);
+        let tokens = sql.len() / 4 + 1;
+        LlmOutput { sql: Some(sql), output_tokens: tokens }
+    }
+
+    /// Chain-of-thought turn 1: pick the best candidate schema index.
+    pub fn select_schema(&self, schemas: &[PromptSchema], question: &str) -> (usize, usize) {
+        if schemas.is_empty() {
+            return (0, 2);
+        }
+        let mut rng = self.rng_for(question);
+        let q_tokens = dbcopilot_retrieval::text::tokenize(question);
+        let mut canon_tokens: Vec<String> = Vec::new();
+        for t in &q_tokens {
+            if let Some(c) = self
+                .lex
+                .canonical_of(t)
+                .or_else(|| self.lex.canonical_of(&singularize(t)))
+            {
+                canon_tokens.extend(c.split('_').map(str::to_string));
+            }
+            canon_tokens.push(t.clone());
+        }
+        let mut best = (0usize, -1.0f64);
+        for (i, s) in schemas.iter().enumerate() {
+            let mut text = String::new();
+            for (t, cols) in &s.tables {
+                text.push_str(t);
+                text.push(' ');
+                text.push_str(&cols.join(" "));
+                text.push(' ');
+            }
+            let schema_tokens = dbcopilot_retrieval::text::tokenize(&text);
+            let hits = canon_tokens
+                .iter()
+                .filter(|qt| schema_tokens.iter().any(|st| st == *qt))
+                .count();
+            let score = hits as f64 / (schema_tokens.len() as f64).sqrt().max(1.0);
+            if score > best.1 {
+                best = (i, score);
+            }
+        }
+        // Selection noise grows with the candidate count.
+        let p_flip = 1.0 - (1.0 - self.cfg.distraction_per_table).powi(schemas.len() as i32);
+        let pick = if schemas.len() > 1 && rng.gen_bool(p_flip.clamp(0.0, 1.0)) {
+            (best.0 + 1 + rng.gen_range(0..schemas.len() - 1)) % schemas.len()
+        } else {
+            best.0
+        };
+        (pick, 4)
+    }
+
+    // ------------------------------------------------------------------
+    // grounding
+    // ------------------------------------------------------------------
+
+    /// Ground a parsed intent on the prompt schemata: pick the first
+    /// database (in candidate order) where every role resolves.
+    fn ground(
+        &self,
+        intent: &Intent,
+        schemas: &[PromptSchema],
+        rng: &mut SmallRng,
+    ) -> Option<QuestionSpec> {
+        // Group prompt tables by database, preserving candidate order.
+        let mut dbs: Vec<(&str, Vec<(&str, &[String])>)> = Vec::new();
+        for s in schemas {
+            let entry = match dbs.iter_mut().find(|(d, _)| *d == s.database.as_str()) {
+                Some(e) => e,
+                None => {
+                    dbs.push((s.database.as_str(), Vec::new()));
+                    dbs.last_mut().unwrap()
+                }
+            };
+            for (t, cols) in &s.tables {
+                if !entry.1.iter().any(|(name, _)| *name == t.as_str()) {
+                    entry.1.push((t.as_str(), cols.as_slice()));
+                }
+            }
+        }
+        for (db, tables) in &dbs {
+            if let Some(spec) = self.ground_in_db(intent, db, tables, rng) {
+                return Some(spec);
+            }
+        }
+        None
+    }
+
+    fn resolve_table(
+        &self,
+        phrase: &str,
+        tables: &[(&str, &[String])],
+        rng: &mut SmallRng,
+    ) -> Option<usize> {
+        let p = phrase.trim().to_lowercase();
+        let candidates = [p.clone(), singularize(&p)];
+        // Exact table-name matches always win; the `_name` suffix rule (for
+        // prefixed mart tables like `banking_account`) is a fallback so that
+        // junction names such as `city_in_state` never shadow `state`.
+        let exact_then_suffix = |name: &str| {
+            tables
+                .iter()
+                .position(|(t, _)| *t == name)
+                .or_else(|| tables.iter().position(|(t, _)| t.ends_with(&format!("_{name}"))))
+        };
+        // pass 1 — aligned mention: the phrase literally names the table
+        // (no world knowledge needed, hence no synonym-resolution noise)
+        for cand in &candidates {
+            let underscored = cand.replace(' ', "_");
+            if let Some(i) = exact_then_suffix(&underscored) {
+                return Some(i);
+            }
+        }
+        // pass 2 — synonym mention: canonicalize both the phrase and the
+        // table names through world knowledge, with resolution noise
+        for cand in &candidates {
+            if let Some(canon) = self.lex.canonical_of(cand) {
+                let synonym_used = *cand != display_form(canon);
+                if synonym_used && !rng.gen_bool(self.cfg.synonym_resolution) {
+                    break; // resolution failure → fuzzy fallback below
+                }
+                if let Some(i) = exact_then_suffix(canon) {
+                    return Some(i);
+                }
+                // tables may themselves be named with synonyms
+                // ("vocalist" for singer): canonicalize table names too
+                if let Some(i) = tables.iter().position(|(t, _)| {
+                    self.lex.canonical_of(&display_form(t)).is_some_and(|tc| tc == canon)
+                        || t.rsplit_once('_').is_some_and(|(_, tail)| {
+                            self.lex
+                                .canonical_of(&display_form(tail))
+                                .is_some_and(|tc| tc == canon)
+                        })
+                }) {
+                    return Some(i);
+                }
+            }
+        }
+        // fuzzy: max word overlap
+        let words: Vec<String> =
+            dbcopilot_retrieval::text::tokenize(&singularize(&p)).into_iter().collect();
+        let mut best = (None, 0usize);
+        for (i, (t, _)) in tables.iter().enumerate() {
+            let pieces = dbcopilot_retrieval::text::tokenize(t);
+            let overlap = words.iter().filter(|w| pieces.contains(w)).count();
+            if overlap > best.1 {
+                best = (Some(i), overlap);
+            }
+        }
+        best.0
+    }
+
+    fn resolve_attr(
+        &self,
+        phrase: &str,
+        cols: &[String],
+        rng: &mut SmallRng,
+    ) -> Option<String> {
+        let p = phrase.trim().to_lowercase();
+        if let Some(canon) = self.lex.canonical_of(&p) {
+            let synonym_used = p != display_form(canon);
+            if !synonym_used || rng.gen_bool(self.cfg.synonym_resolution) {
+                if let Some(c) = cols.iter().find(|c| c.eq_ignore_ascii_case(canon)) {
+                    return Some(c.clone());
+                }
+            }
+        }
+        let underscored = p.replace(' ', "_");
+        if let Some(c) = cols.iter().find(|c| c.eq_ignore_ascii_case(&underscored)) {
+            return Some(c.clone());
+        }
+        // fuzzy: column contained in the phrase
+        cols.iter()
+            .find(|c| !c.ends_with("_id") && p.contains(&display_form(c)))
+            .cloned()
+    }
+
+    /// Guess the filtered column when the question leaves it implicit
+    /// (Spider-real analog): numeric comparisons pick a numeric-looking
+    /// column, equality filters a categorical-looking one.
+    fn guess_attr(&self, cols: &[String], numeric: bool) -> Option<String> {
+        let is_num = |c: &String| self.lex.is_numeric(c);
+        let is_cat = |c: &String| self.lex.is_categorical(c);
+        let pick = cols
+            .iter()
+            .filter(|c| !c.ends_with("_id") && *c != "name")
+            .find(|c| if numeric { is_num(c) } else { is_cat(c) });
+        pick.cloned().or_else(|| {
+            cols.iter().find(|c| !c.ends_with("_id") && *c != "name").cloned()
+        })
+    }
+
+    fn ground_in_db(
+        &self,
+        intent: &Intent,
+        db: &str,
+        tables: &[(&str, &[String])],
+        rng: &mut SmallRng,
+    ) -> Option<QuestionSpec> {
+        use TemplateKind::*;
+        let mut spec = QuestionSpec {
+            kind: intent.kind,
+            database: db.to_string(),
+            tables: Vec::new(),
+            entities: Vec::new(),
+            aligned: Vec::new(),
+            attr: None,
+            cmp: intent.cmp,
+            agg: intent.agg,
+            value: intent.value.clone(),
+            k: intent.k,
+            join_on: None,
+            junction_on: None,
+            highest: intent.highest,
+        };
+        let main = self.resolve_table(intent.entities.first()?, tables, rng)?;
+        let (main_name, main_cols) = tables[main];
+        match intent.kind {
+            ListAttr | FilterCmp | FilterEq | CountAll | CountFilter | AggAttr | GroupCount
+            | GroupHaving | TopK | MaxSubquery => {
+                spec.tables = vec![main_name.to_string()];
+                match &intent.attr {
+                    Some(a) => {
+                        spec.attr = Some(self.resolve_attr(a, main_cols, rng)?);
+                    }
+                    None => {
+                        // implicit column (Spider-real)
+                        if matches!(intent.kind, FilterCmp | CountFilter) {
+                            spec.attr = Some(self.guess_attr(main_cols, true)?);
+                        } else if intent.kind == FilterEq {
+                            spec.attr = Some(self.guess_attr(main_cols, false)?);
+                        } else if intent.kind != CountAll {
+                            return None;
+                        }
+                    }
+                }
+                // sanity: filters need a `name` projection column
+                if matches!(intent.kind, FilterCmp | FilterEq | TopK | MaxSubquery)
+                    && !main_cols.iter().any(|c| c == "name")
+                {
+                    return None;
+                }
+            }
+            JoinList | JoinFilter | CountJoin | InSubquery => {
+                let other = self.resolve_table(intent.entities.get(1)?, tables, rng)?;
+                if other == main {
+                    return None;
+                }
+                let (other_name, other_cols) = tables[other];
+                // the join column is the shared *_id column
+                let shared = main_cols
+                    .iter()
+                    .find(|c| c.ends_with("_id") && other_cols.contains(c))?
+                    .clone();
+                spec.join_on = Some((shared.clone(), shared));
+                spec.tables = vec![main_name.to_string(), other_name.to_string()];
+                if intent.kind == JoinFilter {
+                    match &intent.attr {
+                        Some(a) => spec.attr = Some(self.resolve_attr(a, other_cols, rng)?),
+                        None => {
+                            spec.attr = Some(self.guess_attr(
+                                other_cols,
+                                !matches!(intent.value, Some(Value::Text(_))),
+                            )?)
+                        }
+                    }
+                }
+                if matches!(intent.kind, CountJoin) && !other_cols.iter().any(|c| c == "name") {
+                    return None;
+                }
+                if intent.kind == InSubquery && !main_cols.iter().any(|c| c == "name") {
+                    return None;
+                }
+            }
+            JunctionList => {
+                // roles: entities = [Ea, Eb]; find the junction table
+                let a = main;
+                let b = self.resolve_table(intent.entities.get(1)?, tables, rng)?;
+                if a == b {
+                    return None;
+                }
+                let (a_name, a_cols) = tables[a];
+                let (b_name, b_cols) = tables[b];
+                let mut junction = None;
+                for (j, (jt, jcols)) in tables.iter().enumerate() {
+                    if j == a || j == b {
+                        continue;
+                    }
+                    let a_link = jcols
+                        .iter()
+                        .find(|c| c.ends_with("_id") && a_cols.contains(c));
+                    let b_link = jcols
+                        .iter()
+                        .find(|c| c.ends_with("_id") && b_cols.contains(c));
+                    if let (Some(al), Some(bl)) = (a_link, b_link) {
+                        if al != bl {
+                            junction = Some((jt.to_string(), al.clone(), bl.clone()));
+                            break;
+                        }
+                    }
+                }
+                let (j_name, a_col, b_col) = junction?;
+                spec.tables = vec![j_name, a_name.to_string(), b_name.to_string()];
+                spec.junction_on = Some(((a_col.clone(), a_col), (b_col.clone(), b_col)));
+                if !a_cols.iter().any(|c| c == "name") || !b_cols.iter().any(|c| c == "name") {
+                    return None;
+                }
+            }
+        }
+        spec.entities = spec.tables.clone();
+        spec.aligned = spec.tables.clone();
+        Some(spec)
+    }
+}
+
+/// A generic SQL slip: flip a direction or swap the aggregate.
+fn corrupt_spec(spec: &mut QuestionSpec, rng: &mut SmallRng) {
+    match spec.kind {
+        TemplateKind::FilterCmp | TemplateKind::CountFilter => {
+            spec.cmp = Some(match spec.cmp {
+                Some(CmpOp::Gt) => CmpOp::Lt,
+                _ => CmpOp::Gt,
+            });
+        }
+        TemplateKind::AggAttr => {
+            spec.agg = Some(match spec.agg {
+                Some(AggKind::Avg) => AggKind::Sum,
+                Some(AggKind::Sum) => AggKind::Avg,
+                Some(AggKind::Min) => AggKind::Max,
+                _ => AggKind::Min,
+            });
+        }
+        TemplateKind::TopK => spec.highest = !spec.highest,
+        TemplateKind::GroupHaving => spec.k = spec.k.map(|k| k + rng.gen_range(1..3)),
+        _ => {
+            // drop a join/extra table or flip nothing harmful; emulate a
+            // wrong-literal slip for filters with values
+            if let Some(Value::Int(v)) = spec.value {
+                spec.value = Some(Value::Int(v + 1));
+            } else if spec.tables.len() > 1 {
+                spec.tables.swap(0, 1);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// intent parsing
+// ---------------------------------------------------------------------
+
+/// Parsed question intent (surface phrases, pre-grounding).
+#[derive(Debug, Clone)]
+pub struct Intent {
+    pub kind: TemplateKind,
+    pub entities: Vec<String>,
+    pub attr: Option<String>,
+    pub cmp: Option<CmpOp>,
+    pub agg: Option<AggKind>,
+    pub value: Option<Value>,
+    pub k: Option<i64>,
+    pub highest: bool,
+}
+
+fn blank_intent(kind: TemplateKind) -> Intent {
+    Intent {
+        kind,
+        entities: Vec::new(),
+        attr: None,
+        cmp: None,
+        agg: None,
+        value: None,
+        k: None,
+        highest: false,
+    }
+}
+
+/// Parse a literal from question text: quoted → Text, digits → Int/Float.
+fn parse_value(raw: &str) -> Option<Value> {
+    let s = raw.trim().trim_end_matches(['?', '.', '!']);
+    if let Some(stripped) = s.strip_prefix('\'') {
+        let inner = stripped.split('\'').next()?;
+        return Some(Value::Text(inner.to_string()));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Some(Value::Int(i));
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Some(Value::Float(f));
+    }
+    None
+}
+
+fn find_ci(haystack: &str, needle: &str) -> Option<usize> {
+    haystack.to_lowercase().find(&needle.to_lowercase())
+}
+
+/// Split `s` at the first case-insensitive occurrence of `sep`.
+fn split_ci<'a>(s: &'a str, sep: &str) -> Option<(&'a str, &'a str)> {
+    let at = find_ci(s, sep)?;
+    Some((&s[..at], &s[at + sep.len()..]))
+}
+
+fn strip_prefix_ci<'a>(s: &'a str, prefix: &str) -> Option<&'a str> {
+    if s.len() >= prefix.len() && s[..prefix.len()].eq_ignore_ascii_case(prefix) {
+        Some(&s[prefix.len()..])
+    } else {
+        None
+    }
+}
+
+fn trim_tail(s: &str) -> String {
+    s.trim().trim_end_matches(['?', '.', '!']).trim().to_string()
+}
+
+/// Invert the question grammar of `dbcopilot_synth::templates`.
+pub fn parse_intent(question: &str) -> Option<Intent> {
+    let q = question.trim();
+
+    // --- How many … ---
+    if let Some(rest) = strip_prefix_ci(q, "How many ") {
+        if let Some((child, tail)) = split_ci(rest, " does the ") {
+            // CountJoin: "How many {Ec} does the {Ep} named {V} have?"
+            let (parent, vtail) = split_ci(tail, " named ")?;
+            let value = parse_value(vtail.trim_end_matches("have?").trim_end_matches("have"))?;
+            let mut i = blank_intent(TemplateKind::CountJoin);
+            i.entities = vec![child.trim().into(), parent.trim().into()];
+            i.value = Some(value);
+            return Some(i);
+        }
+        if find_ci(rest, " are there").is_some() {
+            let (ent, _) = split_ci(rest, " are there")?;
+            let mut i = blank_intent(TemplateKind::CountAll);
+            i.entities = vec![ent.trim().into()];
+            return Some(i);
+        }
+        for (sep, cmp, attr_known) in [
+            (" have ", None, true),
+            (" are above ", Some(CmpOp::Gt), false),
+            (" are below ", Some(CmpOp::Lt), false),
+        ] {
+            if let Some((ent, tail)) = split_ci(rest, sep) {
+                let mut i = blank_intent(TemplateKind::CountFilter);
+                i.entities = vec![ent.trim().into()];
+                if attr_known {
+                    let (attr, vtail, c) =
+                        if let Some((a, v)) = split_ci(tail, " greater than ") {
+                            (a, v, CmpOp::Gt)
+                        } else if let Some((a, v)) = split_ci(tail, " less than ") {
+                            (a, v, CmpOp::Lt)
+                        } else {
+                            continue;
+                        };
+                    i.attr = Some(attr.trim().into());
+                    i.cmp = Some(c);
+                    i.value = Some(parse_value(vtail)?);
+                } else {
+                    i.cmp = cmp;
+                    i.value = Some(parse_value(tail)?);
+                }
+                return Some(i);
+            }
+        }
+        return None;
+    }
+
+    // --- List the names of … ---
+    if let Some(rest) = strip_prefix_ci(q, "List the names of ") {
+        if let Some((ea, tail)) = split_ci(rest, " that are associated with the ") {
+            let (eb, vtail) = split_ci(tail, " named ")?;
+            let mut i = blank_intent(TemplateKind::JunctionList);
+            i.entities = vec![ea.trim().into(), eb.trim().into()];
+            i.value = Some(parse_value(vtail)?);
+            return Some(i);
+        }
+        if let Some((ep, ec)) = split_ci(rest, " that have at least one ") {
+            let mut i = blank_intent(TemplateKind::InSubquery);
+            i.entities = vec![ep.trim().into(), trim_tail(ec)];
+            return Some(i);
+        }
+        if let Some((ent, tail)) = split_ci(rest, " whose ") {
+            let (attr, _) = split_ci(tail, " equals the maximum ")?;
+            let mut i = blank_intent(TemplateKind::MaxSubquery);
+            i.entities = vec![ent.trim().into()];
+            i.attr = Some(attr.trim().into());
+            return Some(i);
+        }
+        return None;
+    }
+
+    // --- List the {A} of all {E}. ---
+    if let Some(rest) = strip_prefix_ci(q, "List the ") {
+        let (attr, ent) = split_ci(rest, " of all ")?;
+        let mut i = blank_intent(TemplateKind::ListAttr);
+        i.attr = Some(attr.trim().into());
+        i.entities = vec![trim_tail(ent)];
+        return Some(i);
+    }
+
+    // --- What are the names of … ---
+    if let Some(rest) = strip_prefix_ci(q, "What are the names of ") {
+        if let Some((ec, tail)) = split_ci(rest, " whose ") {
+            if let Some((ep, vtail)) = split_ci(tail, " has ") {
+                // JoinFilter: "...whose {Ep} has {A} equal to {V}?"
+                let (attr, v) = split_ci(vtail, " equal to ")?;
+                let mut i = blank_intent(TemplateKind::JoinFilter);
+                i.entities = vec![ec.trim().into(), ep.trim().into()];
+                i.attr = Some(attr.trim().into());
+                i.value = Some(parse_value(v)?);
+                return Some(i);
+            }
+            if let Some((ep, vtail)) = split_ci(tail, " is associated with ") {
+                let mut i = blank_intent(TemplateKind::JoinFilter);
+                i.entities = vec![ec.trim().into(), ep.trim().into()];
+                i.value = Some(parse_value(vtail)?);
+                return Some(i);
+            }
+            // FilterCmp: "...whose {A} is greater|less than {V}?"
+            let (attr, vtail, cmp) = if let Some((a, v)) = split_ci(tail, " is greater than ") {
+                (a, v, CmpOp::Gt)
+            } else if let Some((a, v)) = split_ci(tail, " is less than ") {
+                (a, v, CmpOp::Lt)
+            } else {
+                return None;
+            };
+            let mut i = blank_intent(TemplateKind::FilterCmp);
+            i.entities = vec![ec.trim().into()];
+            i.attr = Some(attr.trim().into());
+            i.cmp = Some(cmp);
+            i.value = Some(parse_value(vtail)?);
+            return Some(i);
+        }
+        for (sep, cmp) in [(" above ", CmpOp::Gt), (" below ", CmpOp::Lt)] {
+            if let Some((ent, vtail)) = split_ci(rest, sep) {
+                let mut i = blank_intent(TemplateKind::FilterCmp);
+                i.entities = vec![ent.trim().into()];
+                i.cmp = Some(cmp);
+                i.value = Some(parse_value(vtail)?);
+                return Some(i);
+            }
+        }
+        return None;
+    }
+
+    // --- Which … ---
+    if let Some(rest) = strip_prefix_ci(q, "Which ") {
+        if let Some((attr, tail)) = split_ci(rest, " values have more than ") {
+            let mut parts = tail.trim().splitn(2, ' ');
+            let k: i64 = parts.next()?.parse().ok()?;
+            let ent = trim_tail(parts.next()?);
+            let mut i = blank_intent(TemplateKind::GroupHaving);
+            i.attr = Some(attr.trim().into());
+            i.k = Some(k);
+            i.entities = vec![ent];
+            return Some(i);
+        }
+        for (sep, highest) in [(" has the highest ", true), (" has the lowest ", false)] {
+            if let Some((ent, tail)) = split_ci(rest, sep) {
+                let (attr, _) = split_ci(tail, "?").unwrap_or((tail, ""));
+                let mut i = blank_intent(TemplateKind::TopK);
+                i.entities = vec![ent.trim().into()];
+                i.attr = Some(attr.trim().into());
+                i.highest = highest;
+                return Some(i);
+            }
+        }
+        if let Some((ent, tail)) = split_ci(rest, " have ") {
+            let (attr, vtail) = split_ci(tail, " equal to ")?;
+            let mut i = blank_intent(TemplateKind::FilterEq);
+            i.entities = vec![ent.trim().into()];
+            i.attr = Some(attr.trim().into());
+            i.value = Some(parse_value(vtail)?);
+            return Some(i);
+        }
+        if let Some((ent, vtail)) = split_ci(rest, " are associated with ") {
+            let mut i = blank_intent(TemplateKind::FilterEq);
+            i.entities = vec![ent.trim().into()];
+            i.value = Some(parse_value(vtail)?);
+            return Some(i);
+        }
+        return None;
+    }
+
+    // --- What is the {agg} {A} of all {E}? ---
+    if let Some(rest) = strip_prefix_ci(q, "What is the ") {
+        let mut parts = rest.splitn(2, ' ');
+        let agg = AggKind::from_phrase(parts.next()?)?;
+        let tail = parts.next()?;
+        let (attr, ent) = split_ci(tail, " of all ")?;
+        let mut i = blank_intent(TemplateKind::AggAttr);
+        i.agg = Some(agg);
+        i.attr = Some(attr.trim().into());
+        i.entities = vec![trim_tail(ent)];
+        return Some(i);
+    }
+
+    // --- For each {A}, how many {E} are there? ---
+    if let Some(rest) = strip_prefix_ci(q, "For each ") {
+        let (attr, tail) = split_ci(rest, ", how many ")?;
+        let (ent, _) = split_ci(tail, " are there")?;
+        let mut i = blank_intent(TemplateKind::GroupCount);
+        i.attr = Some(attr.trim().into());
+        i.entities = vec![ent.trim().into()];
+        return Some(i);
+    }
+
+    // --- Show the name of each {Ec} together with the name of its {Ep}. ---
+    if let Some(rest) = strip_prefix_ci(q, "Show the name of each ") {
+        let (ec, ep) = split_ci(rest, " together with the name of its ")?;
+        let mut i = blank_intent(TemplateKind::JoinList);
+        i.entities = vec![ec.trim().into(), trim_tail(ep)];
+        return Some(i);
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompts::{basic_prompt, PromptSchema};
+
+    fn singer_schema() -> PromptSchema {
+        PromptSchema {
+            database: "concert_singer".into(),
+            tables: vec![(
+                "singer".into(),
+                vec!["singer_id".into(), "name".into(), "age".into(), "country".into()],
+            )],
+        }
+    }
+
+    fn perfect_llm() -> CopilotLM {
+        CopilotLM::new(LlmConfig {
+            seed: 1,
+            distraction_per_table: 0.0,
+            synonym_resolution: 1.0,
+            base_error: 0.0,
+        })
+    }
+
+    #[test]
+    fn parse_count_all() {
+        let i = parse_intent("How many singers are there?").unwrap();
+        assert_eq!(i.kind, TemplateKind::CountAll);
+        assert_eq!(i.entities, vec!["singers"]);
+    }
+
+    #[test]
+    fn parse_filter_cmp() {
+        let i = parse_intent("What are the names of singers whose age is greater than 30?")
+            .unwrap();
+        assert_eq!(i.kind, TemplateKind::FilterCmp);
+        assert_eq!(i.attr.as_deref(), Some("age"));
+        assert!(matches!(i.value, Some(Value::Int(30))));
+    }
+
+    #[test]
+    fn parse_junction() {
+        let i = parse_intent(
+            "List the names of singers that are associated with the concert named 'Sol Reed'.",
+        )
+        .unwrap();
+        assert_eq!(i.kind, TemplateKind::JunctionList);
+        assert_eq!(i.entities, vec!["singers", "concert"]);
+        assert!(matches!(i.value, Some(Value::Text(ref s)) if s == "Sol Reed"));
+    }
+
+    #[test]
+    fn parse_agg() {
+        let i = parse_intent("What is the average age of all singers?").unwrap();
+        assert_eq!(i.kind, TemplateKind::AggAttr);
+        assert_eq!(i.agg, Some(AggKind::Avg));
+    }
+
+    #[test]
+    fn parse_group_having() {
+        let i = parse_intent("Which country values have more than 3 singers?").unwrap();
+        assert_eq!(i.kind, TemplateKind::GroupHaving);
+        assert_eq!(i.k, Some(3));
+    }
+
+    #[test]
+    fn generate_simple_count() {
+        let llm = perfect_llm();
+        let p = basic_prompt(&singer_schema(), "How many singers are there?");
+        let out = llm.generate_sql(&p, "How many singers are there?");
+        assert_eq!(out.sql.as_deref(), Some("SELECT COUNT(*) FROM singer"));
+    }
+
+    #[test]
+    fn generate_resolves_synonyms() {
+        let llm = perfect_llm();
+        let q = "How many vocalists are there?";
+        let p = basic_prompt(&singer_schema(), q);
+        let out = llm.generate_sql(&p, q);
+        assert_eq!(out.sql.as_deref(), Some("SELECT COUNT(*) FROM singer"));
+    }
+
+    #[test]
+    fn generate_fails_without_needed_table() {
+        let llm = perfect_llm();
+        let wrong = PromptSchema {
+            database: "world".into(),
+            tables: vec![("country".into(), vec!["code".into(), "name".into()])],
+        };
+        let q = "How many vocalists are there?";
+        let p = basic_prompt(&wrong, q);
+        let out = llm.generate_sql(&p, q);
+        // grounding falls back to fuzzy matching and misses → country or None
+        if let Some(sql) = &out.sql {
+            assert!(!sql.contains("singer"));
+        }
+    }
+
+    #[test]
+    fn filter_renders_where_clause() {
+        let llm = perfect_llm();
+        let q = "What are the names of singers whose age is greater than 30?";
+        let p = basic_prompt(&singer_schema(), q);
+        let out = llm.generate_sql(&p, q);
+        assert_eq!(out.sql.as_deref(), Some("SELECT name FROM singer WHERE age > 30"));
+    }
+
+    #[test]
+    fn distraction_grows_with_prompt_width() {
+        let mut cfg = LlmConfig::default();
+        cfg.distraction_per_table = 0.05;
+        cfg.base_error = 0.0;
+        cfg.synonym_resolution = 1.0;
+        let llm = CopilotLM::new(cfg);
+        // wide prompt: singer + 30 irrelevant tables
+        let mut wide = singer_schema();
+        for i in 0..30 {
+            wide.tables.push((format!("junk_{i}"), vec!["id".into(), "name".into()]));
+        }
+        let mut narrow_ok = 0;
+        let mut wide_ok = 0;
+        for i in 0..60 {
+            let q = format!("What are the names of singers whose age is greater than {i}?");
+            let pn = basic_prompt(&singer_schema(), &q);
+            let pw = basic_prompt(&wide, &q);
+            if llm.generate_sql(&pn, &q).sql.map(|s| s.contains("FROM singer")).unwrap_or(false) {
+                narrow_ok += 1;
+            }
+            if llm.generate_sql(&pw, &q).sql.map(|s| s.contains("FROM singer")).unwrap_or(false) {
+                wide_ok += 1;
+            }
+        }
+        assert!(wide_ok < narrow_ok, "narrow {narrow_ok} vs wide {wide_ok}");
+        assert_eq!(narrow_ok, 60);
+    }
+
+    #[test]
+    fn determinism_per_question() {
+        let llm = CopilotLM::default();
+        let q = "How many singers are there?";
+        let p = basic_prompt(&singer_schema(), q);
+        let a = llm.generate_sql(&p, q).sql;
+        let b = llm.generate_sql(&p, q).sql;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cot_selects_matching_schema() {
+        let llm = perfect_llm();
+        let other = PromptSchema {
+            database: "world".into(),
+            tables: vec![("country".into(), vec!["code".into(), "name".into()])],
+        };
+        let (pick, _) =
+            llm.select_schema(&[other, singer_schema()], "How many vocalists are there?");
+        assert_eq!(pick, 1);
+    }
+
+    #[test]
+    fn join_grounding_uses_shared_id_column() {
+        let llm = perfect_llm();
+        let schema = PromptSchema {
+            database: "school".into(),
+            tables: vec![
+                (
+                    "student".into(),
+                    vec!["student_id".into(), "name".into(), "school_id".into()],
+                ),
+                ("school".into(), vec!["school_id".into(), "name".into(), "region".into()]),
+            ],
+        };
+        let q = "Show the name of each student together with the name of its school.";
+        let p = basic_prompt(&schema, q);
+        let out = llm.generate_sql(&p, q).sql.unwrap();
+        assert!(out.contains("JOIN school ON student.school_id = school.school_id"), "{out}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Prompt construction for LLM-based SQL generation (paper §3.6,
+//! Figures 5–6).
+
+use dbcopilot_graph::QuerySchema;
+use dbcopilot_sqlengine::Collection;
+use serde::{Deserialize, Serialize};
+
+/// The three candidate-schema strategies of §3.6 (plus the oracle variants
+/// of Table 6's upper-bound rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PromptStrategy {
+    /// Highest-probability schema only (Figure 5).
+    BestSchema,
+    /// Concatenate the top-k candidate schemata in one prompt.
+    MultipleSchema,
+    /// Two-turn chain of thought: select a schema, then generate (Figure 6).
+    MultipleSchemaCot,
+}
+
+/// A schema as it appears in a prompt: table names with their columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PromptSchema {
+    pub database: String,
+    /// `(table, columns)` in prompt order.
+    pub tables: Vec<(String, Vec<String>)>,
+}
+
+impl PromptSchema {
+    /// Resolve a query schema against the collection; unknown tables are
+    /// skipped (they simply do not appear in the prompt).
+    pub fn resolve(collection: &Collection, schema: &QuerySchema) -> Self {
+        let mut tables = Vec::new();
+        if let Some(db) = collection.database(&schema.database) {
+            for t in &schema.tables {
+                if let Some(ts) = db.table(t) {
+                    tables.push((
+                        ts.name.clone(),
+                        ts.columns.iter().map(|c| c.name.clone()).collect(),
+                    ));
+                }
+            }
+        }
+        PromptSchema { database: schema.database.clone(), tables }
+    }
+
+    /// Restrict every table to the given columns (oracle "Gold T. & C.").
+    pub fn with_columns_filtered(mut self, keep: &[String]) -> Self {
+        for (_, cols) in &mut self.tables {
+            cols.retain(|c| keep.iter().any(|k| k.eq_ignore_ascii_case(c)));
+        }
+        self
+    }
+
+    /// Total number of tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    fn render_tables(&self, out: &mut String) {
+        for (t, cols) in &self.tables {
+            out.push_str(&format!("# {}({})\n", t, cols.join(", ")));
+        }
+    }
+}
+
+/// A rendered prompt plus the schemata it contains (the mock LLM consumes
+/// the structured form; the text is used for token-cost accounting and
+/// display).
+#[derive(Debug, Clone)]
+pub struct Prompt {
+    pub text: String,
+    pub schemas: Vec<PromptSchema>,
+    pub strategy: PromptStrategy,
+}
+
+/// Figure 5: the basic single-schema prompt.
+pub fn basic_prompt(schema: &PromptSchema, question: &str) -> Prompt {
+    let mut text = String::from(
+        "### Complete sqlite SQL query only and with no explanation\n\
+         ### Sqlite SQL tables, with their properties:\n#\n",
+    );
+    schema.render_tables(&mut text);
+    text.push_str(&format!("#\n### {question}\nSELECT"));
+    Prompt { text, schemas: vec![schema.clone()], strategy: PromptStrategy::BestSchema }
+}
+
+/// Multiple-schema prompting: same format, schemata concatenated.
+pub fn multiple_prompt(schemas: &[PromptSchema], question: &str) -> Prompt {
+    let mut text = String::from(
+        "### Complete sqlite SQL query only and with no explanation\n\
+         ### Sqlite SQL tables, with their properties:\n#\n",
+    );
+    for s in schemas {
+        s.render_tables(&mut text);
+    }
+    text.push_str(&format!("#\n### {question}\nSELECT"));
+    Prompt { text, schemas: schemas.to_vec(), strategy: PromptStrategy::MultipleSchema }
+}
+
+/// Figure 6 turn 1: the chain-of-thought schema-selection prompt.
+pub fn cot_selection_prompt(schemas: &[PromptSchema], question: &str) -> Prompt {
+    let mut text = String::from(
+        "Based on the provided natural language question, find the database that can \
+         best answer this question from the list schemata below. Only output the \
+         corresponding database schema identifier in the [id] format, without any \
+         additional information.\n\n",
+    );
+    text.push_str(&format!("Question: {question}\n"));
+    text.push_str("Sqlite SQL databases, with their tables and properties:\n");
+    for (i, s) in schemas.iter().enumerate() {
+        text.push_str(&format!("[{}] {}\n", i + 1, s.database));
+        for (t, cols) in &s.tables {
+            text.push_str(&format!("    {}({})\n", t, cols.join(", ")));
+        }
+    }
+    Prompt { text, schemas: schemas.to_vec(), strategy: PromptStrategy::MultipleSchemaCot }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcopilot_sqlengine::{DataType, DatabaseSchema, TableSchema};
+
+    fn collection() -> Collection {
+        let mut c = Collection::new();
+        let mut db = DatabaseSchema::new("world");
+        db.add_table(
+            TableSchema::new("country")
+                .column("code", DataType::Text)
+                .column("name", DataType::Text)
+                .column("continent", DataType::Text),
+        );
+        db.add_table(
+            TableSchema::new("countrylanguage")
+                .column("countrycode", DataType::Text)
+                .column("language", DataType::Text),
+        );
+        c.add_database(db);
+        c
+    }
+
+    #[test]
+    fn resolve_skips_unknown_tables() {
+        let c = collection();
+        let s = PromptSchema::resolve(
+            &c,
+            &QuerySchema::new("world", vec!["country".into(), "ghost".into()]),
+        );
+        assert_eq!(s.num_tables(), 1);
+    }
+
+    #[test]
+    fn basic_prompt_matches_figure5_format() {
+        let c = collection();
+        let s = PromptSchema::resolve(&c, &QuerySchema::new("world", vec!["country".into()]));
+        let p = basic_prompt(&s, "Which language is the most popular on the Asian continent?");
+        assert!(p.text.starts_with("### Complete sqlite SQL query"));
+        assert!(p.text.contains("# country(code, name, continent)"));
+        assert!(p.text.ends_with("SELECT"));
+    }
+
+    #[test]
+    fn multiple_prompt_concatenates() {
+        let c = collection();
+        let s1 = PromptSchema::resolve(&c, &QuerySchema::new("world", vec!["country".into()]));
+        let s2 =
+            PromptSchema::resolve(&c, &QuerySchema::new("world", vec!["countrylanguage".into()]));
+        let p = multiple_prompt(&[s1, s2], "q");
+        assert!(p.text.contains("country("));
+        assert!(p.text.contains("countrylanguage("));
+    }
+
+    #[test]
+    fn cot_prompt_numbers_schemas() {
+        let c = collection();
+        let s1 = PromptSchema::resolve(&c, &QuerySchema::new("world", vec!["country".into()]));
+        let p = cot_selection_prompt(&[s1.clone(), s1], "q");
+        assert!(p.text.contains("[1] world"));
+        assert!(p.text.contains("[2] world"));
+    }
+
+    #[test]
+    fn column_filter_keeps_gold_columns() {
+        let c = collection();
+        let s = PromptSchema::resolve(&c, &QuerySchema::new("world", vec!["country".into()]))
+            .with_columns_filtered(&["name".to_string(), "code".to_string()]);
+        assert_eq!(s.tables[0].1, vec!["code".to_string(), "name".to_string()]);
+    }
+}

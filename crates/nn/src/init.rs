@@ -1,0 +1,51 @@
+//! Seeded weight initialization.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut SmallRng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, -a, a, rng)
+}
+
+/// Uniform initialization in `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut SmallRng) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Deterministic RNG from a seed.
+pub fn seeded_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = seeded_rng(7);
+        let t = xavier_uniform(10, 10, &mut rng);
+        let a = (6.0 / 20.0f32).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= a));
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = xavier_uniform(4, 4, &mut seeded_rng(42));
+        let b = xavier_uniform(4, 4, &mut seeded_rng(42));
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = xavier_uniform(4, 4, &mut seeded_rng(1));
+        let b = xavier_uniform(4, 4, &mut seeded_rng(2));
+        assert!(!a.approx_eq(&b, 1e-9));
+    }
+}

@@ -1,0 +1,261 @@
+//! Reusable model layers.
+//!
+//! Each layer owns [`ParamId`]s into a shared [`ParamStore`] and exposes two
+//! paths:
+//! * `forward` — records onto a [`Tape`] for training;
+//! * `infer` — plain tensor math with no tape overhead, used by beam search
+//!   and the retrieval baselines at query time.
+
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+use crate::init::xavier_uniform;
+use crate::optim::{ParamId, ParamStore};
+use crate::tape::{Tape, ValId};
+use crate::tensor::Tensor;
+
+/// Fully connected layer `y = x·W + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    pub w: ParamId,
+    pub b: ParamId,
+    pub in_dim: usize,
+    pub out_dim: usize,
+}
+
+impl Linear {
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let w = store.add(format!("{prefix}.w"), xavier_uniform(in_dim, out_dim, rng));
+        let b = store.add(format!("{prefix}.b"), Tensor::zeros(1, out_dim));
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: ValId) -> ValId {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let xw = tape.matmul(x, w);
+        tape.add(xw, b)
+    }
+
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        x.matmul(store.value(self.w)).add(store.value(self.b))
+    }
+}
+
+/// Embedding table `[vocab, dim]` with mean-pooled bag lookup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    pub weight: ParamId,
+    pub vocab: usize,
+    pub dim: usize,
+}
+
+impl Embedding {
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let weight = store.add(format!("{prefix}.weight"), xavier_uniform(vocab, dim, rng));
+        Embedding { weight, vocab, dim }
+    }
+
+    /// Gather rows for `indices` → `[indices.len(), dim]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, indices: &[usize]) -> ValId {
+        let w = tape.param(store, self.weight);
+        tape.lookup(w, indices)
+    }
+
+    /// Mean of the embeddings of `indices` → `[1, dim]` (a bag-of-words
+    /// encoder). An empty bag yields the zero vector.
+    pub fn forward_bag(&self, tape: &mut Tape, store: &ParamStore, indices: &[usize]) -> ValId {
+        if indices.is_empty() {
+            return tape.constant(Tensor::zeros(1, self.dim));
+        }
+        let rows = self.forward(tape, store, indices);
+        tape.mean_rows(rows)
+    }
+
+    pub fn infer(&self, store: &ParamStore, indices: &[usize]) -> Tensor {
+        store.value(self.weight).lookup_rows(indices)
+    }
+
+    pub fn infer_bag(&self, store: &ParamStore, indices: &[usize]) -> Tensor {
+        if indices.is_empty() {
+            return Tensor::zeros(1, self.dim);
+        }
+        self.infer(store, indices).mean_rows()
+    }
+}
+
+/// Gated recurrent unit cell (Cho et al., 2014).
+///
+/// `z = σ(x·Wz + h·Uz + bz)`, `r = σ(x·Wr + h·Ur + br)`,
+/// `h̃ = tanh(x·Wh + (r⊙h)·Uh + bh)`, `h' = (1−z)⊙h + z⊙h̃`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GruCell {
+    pub wz: ParamId,
+    pub uz: ParamId,
+    pub bz: ParamId,
+    pub wr: ParamId,
+    pub ur: ParamId,
+    pub br: ParamId,
+    pub wh: ParamId,
+    pub uh: ParamId,
+    pub bh: ParamId,
+    pub in_dim: usize,
+    pub hidden: usize,
+}
+
+impl GruCell {
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let mut mat = |suffix: &str, r: usize, c: usize, rng: &mut SmallRng| {
+            store.add(format!("{prefix}.{suffix}"), xavier_uniform(r, c, rng))
+        };
+        let wz = mat("wz", in_dim, hidden, rng);
+        let uz = mat("uz", hidden, hidden, rng);
+        let wr = mat("wr", in_dim, hidden, rng);
+        let ur = mat("ur", hidden, hidden, rng);
+        let wh = mat("wh", in_dim, hidden, rng);
+        let uh = mat("uh", hidden, hidden, rng);
+        let bz = store.add(format!("{prefix}.bz"), Tensor::zeros(1, hidden));
+        let br = store.add(format!("{prefix}.br"), Tensor::zeros(1, hidden));
+        let bh = store.add(format!("{prefix}.bh"), Tensor::zeros(1, hidden));
+        GruCell { wz, uz, bz, wr, ur, br, wh, uh, bh, in_dim, hidden }
+    }
+
+    /// One recurrent step on the tape: `(x[1,in], h[1,hidden]) → h'[1,hidden]`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: ValId, h: ValId) -> ValId {
+        let gate = |tape: &mut Tape, w: ParamId, u: ParamId, b: ParamId| {
+            let wv = tape.param(store, w);
+            let uv = tape.param(store, u);
+            let bv = tape.param(store, b);
+            let xw = tape.matmul(x, wv);
+            let hu = tape.matmul(h, uv);
+            let s = tape.add(xw, hu);
+            tape.add(s, bv)
+        };
+        let z_pre = gate(tape, self.wz, self.uz, self.bz);
+        let z = tape.sigmoid(z_pre);
+        let r_pre = gate(tape, self.wr, self.ur, self.br);
+        let r = tape.sigmoid(r_pre);
+
+        let wh = tape.param(store, self.wh);
+        let uh = tape.param(store, self.uh);
+        let bh = tape.param(store, self.bh);
+        let xwh = tape.matmul(x, wh);
+        let rh = tape.mul_elem(r, h);
+        let rhu = tape.matmul(rh, uh);
+        let s = tape.add(xwh, rhu);
+        let cand_pre = tape.add(s, bh);
+        let cand = tape.tanh(cand_pre);
+
+        let one_minus_z = tape.one_minus(z);
+        let keep = tape.mul_elem(one_minus_z, h);
+        let take = tape.mul_elem(z, cand);
+        tape.add(keep, take)
+    }
+
+    /// One recurrent step without a tape.
+    pub fn infer(&self, store: &ParamStore, x: &Tensor, h: &Tensor) -> Tensor {
+        let gate = |w: ParamId, u: ParamId, b: ParamId| {
+            x.matmul(store.value(w)).add(&h.matmul(store.value(u))).add(store.value(b))
+        };
+        let z = gate(self.wz, self.uz, self.bz).sigmoid();
+        let r = gate(self.wr, self.ur, self.br).sigmoid();
+        let cand = x
+            .matmul(store.value(self.wh))
+            .add(&r.mul_elem(h).matmul(store.value(self.uh)))
+            .add(store.value(self.bh))
+            .tanh();
+        z.map(|v| 1.0 - v).mul_elem(h).add(&z.mul_elem(&cand))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn linear_forward_matches_infer() {
+        let mut rng = seeded_rng(3);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 3, 2, &mut rng);
+        let x = Tensor::from_row(vec![1.0, -2.0, 0.5]);
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let y = lin.forward(&mut tape, &store, xv);
+        assert!(tape.value(y).approx_eq(&lin.infer(&store, &x), 1e-6));
+    }
+
+    #[test]
+    fn embedding_bag_empty_is_zero() {
+        let mut rng = seeded_rng(3);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 10, 4, &mut rng);
+        let bag = emb.infer_bag(&store, &[]);
+        assert_eq!(bag.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn gru_forward_matches_infer() {
+        let mut rng = seeded_rng(11);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "g", 4, 5, &mut rng);
+        let x = Tensor::from_row(vec![0.1, 0.2, -0.3, 0.4]);
+        let h = Tensor::from_row(vec![0.0, 0.5, -0.5, 0.25, 1.0]);
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let hv = tape.constant(h.clone());
+        let out = gru.forward(&mut tape, &store, xv, hv);
+        assert!(tape.value(out).approx_eq(&gru.infer(&store, &x, &h), 1e-5));
+    }
+
+    #[test]
+    fn gru_output_is_bounded() {
+        // h' is a convex combination of h and tanh(·), so it stays in [-1, 1]
+        // whenever h does.
+        let mut rng = seeded_rng(5);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "g", 2, 3, &mut rng);
+        let mut h = Tensor::zeros(1, 3);
+        for i in 0..20 {
+            let x = Tensor::from_row(vec![(i as f32).sin(), (i as f32).cos()]);
+            h = gru.infer(&store, &x, &h);
+            assert!(h.as_slice().iter().all(|v| v.abs() <= 1.0 + 1e-5));
+        }
+    }
+
+    #[test]
+    fn gru_gradients_flow_to_all_parameters() {
+        let mut rng = seeded_rng(17);
+        let mut store = ParamStore::new();
+        let gru = GruCell::new(&mut store, "g", 2, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_row(vec![1.0, -1.0]));
+        let h = tape.constant(Tensor::zeros(1, 2));
+        let out = gru.forward(&mut tape, &store, x, h);
+        let ones = tape.constant(Tensor::from_vec(2, 1, vec![1.0, 1.0]));
+        let s = tape.matmul(out, ones);
+        tape.backward(s);
+        tape.collect_grads(&mut store);
+        for pid in [gru.wz, gru.uz, gru.bz, gru.wr, gru.wh, gru.uh, gru.bh] {
+            assert!(store.dense_grad(pid).is_some(), "missing grad for {pid:?}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! `dbcopilot-nn` — the neural substrate for the DBCopilot reproduction.
+//!
+//! The paper's schema router is a T5-base differentiable search index; this
+//! crate provides the minimal machinery to train an equivalent (much smaller)
+//! seq2seq model from scratch, offline, in pure Rust:
+//!
+//! * [`tensor::Tensor`] — dense row-major `f32` matrices with cheap clones;
+//! * [`tape::Tape`] — reverse-mode autodiff with sparse embedding gradients;
+//! * [`layers`] — `Linear`, `Embedding`, `GruCell`, each with a tape-free
+//!   inference path for beam search;
+//! * [`optim`] — `ParamStore`, `AdamW` (lazy sparse updates), `Sgd`;
+//! * [`init`] — seeded Xavier initialization;
+//! * [`gradcheck`] — finite-difference validation used across the workspace;
+//! * [`serialize`] — JSON persistence (also used to measure index size).
+
+pub mod gradcheck;
+pub mod init;
+pub mod layers;
+pub mod optim;
+pub mod serialize;
+pub mod tape;
+pub mod tensor;
+
+pub use layers::{Embedding, GruCell, Linear};
+pub use optim::{AdamW, ParamId, ParamStore, Sgd};
+pub use tape::{Grad, Tape, ValId};
+pub use tensor::Tensor;

@@ -1,0 +1,417 @@
+//! Parameter storage and optimizers.
+//!
+//! [`ParamStore`] owns all trainable tensors of a model plus their accumulated
+//! gradients and optimizer state. [`AdamW`] implements decoupled weight decay
+//! (Loshchilov & Hutter, 2019) — the optimizer used for the paper's schema
+//! router — with a *lazy* path for sparse (embedding) gradients: rows that
+//! received no gradient in a step are not touched, which keeps training cost
+//! proportional to the tokens actually used rather than the vocabulary size.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tape::Grad;
+use crate::tensor::Tensor;
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+#[derive(Serialize, Deserialize)]
+struct Param {
+    name: String,
+    value: Tensor,
+    #[serde(skip)]
+    grad: GradAccum,
+    /// First Adam moment.
+    #[serde(skip)]
+    m: Option<Tensor>,
+    /// Second Adam moment.
+    #[serde(skip)]
+    v: Option<Tensor>,
+}
+
+/// Accumulated gradient for one parameter: dense, sparse rows, or absent.
+#[derive(Default)]
+enum GradAccum {
+    #[default]
+    None,
+    Dense(Tensor),
+    Sparse(HashMap<usize, Vec<f32>>),
+}
+
+/// Owns model parameters, gradients and optimizer state.
+#[derive(Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+    by_name: HashMap<String, usize>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter. Names must be unique.
+    ///
+    /// # Panics
+    /// Panics on duplicate names.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(!self.by_name.contains_key(&name), "duplicate parameter name {name:?}");
+        let id = self.params.len();
+        self.by_name.insert(name.clone(), id);
+        self.params.push(Param { name, value, grad: GradAccum::None, m: None, v: None });
+        ParamId(id)
+    }
+
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// Look up a parameter id by name.
+    pub fn id_of(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied().map(ParamId)
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Approximate in-memory footprint of the parameter values, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.num_scalars() * std::mem::size_of::<f32>()
+    }
+
+    /// Fold a gradient contribution into the accumulator for `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, grad: Grad) {
+        let slot = &mut self.params[id.0].grad;
+        match grad {
+            Grad::Dense(t) => match slot {
+                GradAccum::None => *slot = GradAccum::Dense(t),
+                GradAccum::Dense(d) => d.add_scaled_assign(&t, 1.0),
+                GradAccum::Sparse(map) => {
+                    // Mixing dense into sparse: densify.
+                    let mut dense = t;
+                    let cols = dense.cols();
+                    let buf = dense.as_mut_slice();
+                    for (r, row) in map.drain() {
+                        for (c, v) in row.into_iter().enumerate() {
+                            buf[r * cols + c] += v;
+                        }
+                    }
+                    *slot = GradAccum::Dense(dense);
+                }
+            },
+            Grad::SparseRows { entries, cols, .. } => match slot {
+                GradAccum::Dense(d) => {
+                    let buf = d.as_mut_slice();
+                    for (r, row) in entries {
+                        for (c, v) in row.into_iter().enumerate() {
+                            buf[r * cols + c] += v;
+                        }
+                    }
+                }
+                GradAccum::Sparse(map) => {
+                    for (r, row) in entries {
+                        match map.get_mut(&r) {
+                            Some(acc) => {
+                                for (a, v) in acc.iter_mut().zip(row) {
+                                    *a += v;
+                                }
+                            }
+                            None => {
+                                map.insert(r, row);
+                            }
+                        }
+                    }
+                }
+                GradAccum::None => {
+                    let mut map: HashMap<usize, Vec<f32>> = HashMap::new();
+                    for (r, row) in entries {
+                        match map.get_mut(&r) {
+                            Some(acc) => {
+                                for (a, v) in acc.iter_mut().zip(row) {
+                                    *a += v;
+                                }
+                            }
+                            None => {
+                                map.insert(r, row);
+                            }
+                        }
+                    }
+                    *slot = GradAccum::Sparse(map);
+                }
+            },
+        }
+    }
+
+    /// Clear all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad = GradAccum::None;
+        }
+    }
+
+    /// Global L2 norm of all accumulated gradients.
+    pub fn grad_norm(&self) -> f32 {
+        let mut sq = 0.0f32;
+        for p in &self.params {
+            match &p.grad {
+                GradAccum::None => {}
+                GradAccum::Dense(t) => sq += t.as_slice().iter().map(|v| v * v).sum::<f32>(),
+                GradAccum::Sparse(map) => {
+                    for row in map.values() {
+                        sq += row.iter().map(|v| v * v).sum::<f32>();
+                    }
+                }
+            }
+        }
+        sq.sqrt()
+    }
+
+    /// Scale all gradients so the global norm does not exceed `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm <= max_norm || norm == 0.0 {
+            return;
+        }
+        let s = max_norm / norm;
+        for p in &mut self.params {
+            match &mut p.grad {
+                GradAccum::None => {}
+                GradAccum::Dense(t) => {
+                    for v in t.as_mut_slice() {
+                        *v *= s;
+                    }
+                }
+                GradAccum::Sparse(map) => {
+                    for row in map.values_mut() {
+                        for v in row {
+                            *v *= s;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Densified gradient of a parameter (for tests / gradient checking).
+    pub fn dense_grad(&self, id: ParamId) -> Option<Tensor> {
+        let p = &self.params[id.0];
+        match &p.grad {
+            GradAccum::None => None,
+            GradAccum::Dense(t) => Some(t.clone()),
+            GradAccum::Sparse(map) => {
+                let (rows, cols) = p.value.shape();
+                let mut out = Tensor::zeros(rows, cols);
+                let buf = out.as_mut_slice();
+                for (&r, row) in map {
+                    for (c, &v) in row.iter().enumerate() {
+                        buf[r * cols + c] += v;
+                    }
+                }
+                Some(out)
+            }
+        }
+    }
+
+    /// Iterate over `(name, shape)` pairs (diagnostics).
+    pub fn describe(&self) -> Vec<(String, (usize, usize))> {
+        self.params.iter().map(|p| (p.name.clone(), p.value.shape())).collect()
+    }
+}
+
+/// AdamW with decoupled weight decay and lazy sparse updates.
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub weight_decay: f32,
+    /// Step counter for bias correction.
+    t: u64,
+}
+
+impl AdamW {
+    pub fn new(lr: f32) -> Self {
+        AdamW { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.01, t: 0 }
+    }
+
+    /// Current step count.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one optimization step using the gradients accumulated in
+    /// `store`, then clear them.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for p in &mut store.params {
+            let grad = std::mem::take(&mut p.grad);
+            let (rows, cols) = p.value.shape();
+            if p.m.is_none() {
+                p.m = Some(Tensor::zeros(rows, cols));
+                p.v = Some(Tensor::zeros(rows, cols));
+            }
+            let m = p.m.as_mut().unwrap().as_mut_slice();
+            let v = p.v.as_mut().unwrap().as_mut_slice();
+            let w = p.value.as_mut_slice();
+            let mut update = |i: usize, g: f32, lr: f32, b1: f32, b2: f32, eps: f32, wd: f32| {
+                m[i] = b1 * m[i] + (1.0 - b1) * g;
+                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                let mh = m[i] / bc1;
+                let vh = v[i] / bc2;
+                w[i] -= lr * (mh / (vh.sqrt() + eps) + wd * w[i]);
+            };
+            match grad {
+                GradAccum::None => {}
+                GradAccum::Dense(g) => {
+                    for (i, &gv) in g.as_slice().iter().enumerate() {
+                        update(i, gv, self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+                    }
+                }
+                GradAccum::Sparse(map) => {
+                    // Lazy AdamW: untouched rows keep stale moments. This is
+                    // the standard sparse-Adam approximation.
+                    for (r, row) in map {
+                        for (c, &gv) in row.iter().enumerate() {
+                            update(
+                                r * cols + c,
+                                gv,
+                                self.lr,
+                                self.beta1,
+                                self.beta2,
+                                self.eps,
+                                self.weight_decay,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent (used by baseline encoders and tests).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    pub lr: f32,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// Apply one step and clear gradients.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        for p in &mut store.params {
+            let grad = std::mem::take(&mut p.grad);
+            let cols = p.value.cols();
+            let w = p.value.as_mut_slice();
+            match grad {
+                GradAccum::None => {}
+                GradAccum::Dense(g) => {
+                    for (wi, &gv) in w.iter_mut().zip(g.as_slice()) {
+                        *wi -= self.lr * gv;
+                    }
+                }
+                GradAccum::Sparse(map) => {
+                    for (r, row) in map {
+                        for (c, &gv) in row.iter().enumerate() {
+                            w[r * cols + c] -= self.lr * gv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adamw_minimizes_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(1, 1, vec![5.0]));
+        let mut opt = AdamW::new(0.1);
+        for _ in 0..300 {
+            // d/dw (w-2)^2 = 2(w-2)
+            let wv = store.value(w).get(0, 0);
+            store.accumulate_grad(w, Grad::Dense(Tensor::from_vec(1, 1, vec![2.0 * (wv - 2.0)])));
+            opt.step(&mut store);
+        }
+        let wv = store.value(w).get(0, 0);
+        assert!((wv - 2.0).abs() < 0.1, "w={wv}");
+    }
+
+    #[test]
+    fn sparse_grads_only_touch_their_rows() {
+        let mut store = ParamStore::new();
+        let e = store.add("emb", Tensor::zeros(4, 2));
+        store.accumulate_grad(
+            e,
+            Grad::SparseRows { rows: 4, cols: 2, entries: vec![(1, vec![1.0, 1.0])] },
+        );
+        let mut opt = Sgd::new(0.5);
+        opt.step(&mut store);
+        let v = store.value(e);
+        assert_eq!(v.row(0), &[0.0, 0.0]);
+        assert_eq!(v.row(1), &[-0.5, -0.5]);
+        assert_eq!(v.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_accumulation_merges_sparse_entries() {
+        let mut store = ParamStore::new();
+        let e = store.add("emb", Tensor::zeros(3, 1));
+        store.accumulate_grad(
+            e,
+            Grad::SparseRows { rows: 3, cols: 1, entries: vec![(0, vec![1.0]), (2, vec![3.0])] },
+        );
+        store.accumulate_grad(
+            e,
+            Grad::SparseRows { rows: 3, cols: 1, entries: vec![(0, vec![1.5])] },
+        );
+        let g = store.dense_grad(e).unwrap();
+        assert_eq!(g.as_slice(), &[2.5, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::zeros(1, 2));
+        store.accumulate_grad(w, Grad::Dense(Tensor::from_row(vec![3.0, 4.0]))); // norm 5
+        store.clip_grad_norm(1.0);
+        let g = store.dense_grad(w).unwrap();
+        assert!((g.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::zeros(1, 1));
+        store.add("w", Tensor::zeros(1, 1));
+    }
+}

@@ -1,0 +1,99 @@
+//! Parameter persistence.
+//!
+//! Models are saved as JSON: human-inspectable, dependency-light, and large
+//! enough models are out of scope for this reproduction. The serialized size
+//! is also what the Table 5 "Disk" column measures for learned indexes.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::optim::ParamStore;
+
+/// Errors from saving/loading parameter stores.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    Codec(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Codec(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Codec(e)
+    }
+}
+
+/// Serialize a store to a writer.
+pub fn save_store<W: Write>(store: &ParamStore, w: W) -> Result<(), PersistError> {
+    serde_json::to_writer(w, store)?;
+    Ok(())
+}
+
+/// Deserialize a store from a reader. Optimizer state and gradients are not
+/// persisted; training can resume but Adam moments restart from zero.
+pub fn load_store<R: Read>(r: R) -> Result<ParamStore, PersistError> {
+    Ok(serde_json::from_reader(r)?)
+}
+
+/// Save to a file path.
+pub fn save_store_file(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let f = std::fs::File::create(path)?;
+    save_store(store, std::io::BufWriter::new(f))
+}
+
+/// Load from a file path.
+pub fn load_store_file(path: impl AsRef<Path>) -> Result<ParamStore, PersistError> {
+    let f = std::fs::File::open(path)?;
+    load_store(std::io::BufReader::new(f))
+}
+
+/// Serialized size in bytes (what an on-disk index would occupy).
+pub fn serialized_size(store: &ParamStore) -> usize {
+    serde_json::to_vec(store).map(|v| v.len()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+    use crate::init::xavier_uniform;
+
+    #[test]
+    fn roundtrip_preserves_values_and_names() {
+        let mut rng = seeded_rng(9);
+        let mut store = ParamStore::new();
+        let a = store.add("alpha", xavier_uniform(3, 2, &mut rng));
+        let b = store.add("beta", xavier_uniform(1, 5, &mut rng));
+        let mut buf = Vec::new();
+        save_store(&store, &mut buf).unwrap();
+        let loaded = load_store(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let la = loaded.id_of("alpha").unwrap();
+        let lb = loaded.id_of("beta").unwrap();
+        assert!(loaded.value(la).approx_eq(store.value(a), 0.0));
+        assert!(loaded.value(lb).approx_eq(store.value(b), 0.0));
+    }
+
+    #[test]
+    fn serialized_size_is_positive() {
+        let mut store = ParamStore::new();
+        store.add("w", xavier_uniform(2, 2, &mut seeded_rng(1)));
+        assert!(serialized_size(&store) > 0);
+    }
+}

@@ -1,0 +1,683 @@
+//! Reverse-mode automatic differentiation over [`Tensor`]s.
+//!
+//! A [`Tape`] records a computation graph as operations execute; calling
+//! [`Tape::backward`] walks the graph in reverse, accumulating gradients.
+//! Gradients are dense except for embedding lookups, which produce
+//! [`Grad::SparseRows`] so that large embedding matrices never materialize a
+//! dense gradient (critical for the schema router's output vocabulary).
+//!
+//! Parameters live in a [`ParamStore`](crate::optim::ParamStore); the tape
+//! caches one leaf node per parameter and [`Tape::collect_grads`] moves the
+//! accumulated gradients back into the store after a backward pass.
+
+use std::collections::BTreeMap;
+
+use crate::optim::{ParamId, ParamStore};
+use crate::tensor::{log_softmax, Tensor};
+
+/// Identifier of a value recorded on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ValId(usize);
+
+/// A gradient contribution flowing backward through the graph.
+#[derive(Debug, Clone)]
+pub enum Grad {
+    /// Dense gradient with the same shape as the forward value.
+    Dense(Tensor),
+    /// Sparse row-wise gradient into a `[rows, cols]` matrix: only the listed
+    /// rows carry gradient. Produced by embedding lookups.
+    SparseRows { rows: usize, cols: usize, entries: Vec<(usize, Vec<f32>)> },
+}
+
+impl Grad {
+    /// Materialize as a dense tensor.
+    pub fn into_dense(self) -> Tensor {
+        match self {
+            Grad::Dense(t) => t,
+            Grad::SparseRows { rows, cols, entries } => {
+                let mut out = Tensor::zeros(rows, cols);
+                let buf = out.as_mut_slice();
+                for (r, row) in entries {
+                    for (c, v) in row.iter().enumerate() {
+                        buf[r * cols + c] += v;
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Merge another contribution into this one.
+    pub fn accumulate(&mut self, other: Grad) {
+        match (&mut *self, other) {
+            (Grad::Dense(a), Grad::Dense(b)) => a.add_scaled_assign(&b, 1.0),
+            (Grad::SparseRows { entries, .. }, Grad::SparseRows { entries: more, .. }) => {
+                entries.extend(more);
+            }
+            (dense @ Grad::Dense(_), sparse @ Grad::SparseRows { .. }) => {
+                let s = sparse.into_dense();
+                if let Grad::Dense(a) = dense {
+                    a.add_scaled_assign(&s, 1.0);
+                }
+            }
+            (sparse @ Grad::SparseRows { .. }, Grad::Dense(b)) => {
+                let mut d = std::mem::replace(sparse, Grad::Dense(Tensor::zeros(0, 0))).into_dense();
+                d.add_scaled_assign(&b, 1.0);
+                *sparse = Grad::Dense(d);
+            }
+        }
+    }
+}
+
+type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<(ValId, Grad)>>;
+
+struct Node {
+    value: Tensor,
+    grad: Option<Grad>,
+    backward: Option<BackwardFn>,
+    requires_grad: bool,
+}
+
+/// A recorded computation graph.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    /// Ordered so gradient collection is deterministic (float addition
+    /// order affects training bit-for-bit reproducibility).
+    param_leaves: BTreeMap<ParamId, ValId>,
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes (useful for tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, backward: Option<BackwardFn>, requires_grad: bool) -> ValId {
+        self.nodes.push(Node { value, grad: None, backward, requires_grad });
+        ValId(self.nodes.len() - 1)
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, id: ValId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// A constant leaf: gradients are not tracked through it.
+    pub fn constant(&mut self, t: Tensor) -> ValId {
+        self.push(t, None, false)
+    }
+
+    /// A leaf that requires gradient but is not bound to a parameter store
+    /// (used by tests and gradient checking).
+    pub fn leaf(&mut self, t: Tensor) -> ValId {
+        self.push(t, None, true)
+    }
+
+    /// Leaf bound to `store[param]`. Repeated calls with the same parameter on
+    /// the same tape return the same node so gradients accumulate correctly.
+    pub fn param(&mut self, store: &ParamStore, param: ParamId) -> ValId {
+        if let Some(&id) = self.param_leaves.get(&param) {
+            return id;
+        }
+        let id = self.push(store.value(param).clone(), None, true);
+        self.param_leaves.insert(param, id);
+        id
+    }
+
+    fn requires(&self, ids: &[ValId]) -> bool {
+        ids.iter().any(|id| self.nodes[id.0].requires_grad)
+    }
+
+    /// Matrix product `a × b`.
+    pub fn matmul(&mut self, a: ValId, b: ValId) -> ValId {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let out = av.matmul(&bv);
+        let req = self.requires(&[a, b]);
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                vec![
+                    (a, Grad::Dense(g.matmul(&bv.transpose()))),
+                    (b, Grad::Dense(av.transpose().matmul(g))),
+                ]
+            }) as BackwardFn
+        });
+        self.push(out, back, req)
+    }
+
+    /// `a × bᵀ` without materializing the transpose in the graph.
+    pub fn matmul_nt(&mut self, a: ValId, b: ValId) -> ValId {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let out = av.matmul(&bv.transpose());
+        let req = self.requires(&[a, b]);
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                vec![
+                    (a, Grad::Dense(g.matmul(&bv))),
+                    (b, Grad::Dense(g.transpose().matmul(&av))),
+                ]
+            }) as BackwardFn
+        });
+        self.push(out, back, req)
+    }
+
+    /// Element-wise sum; a single-row `b` broadcasts over the rows of `a`.
+    pub fn add(&mut self, a: ValId, b: ValId) -> ValId {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let out = av.add(&bv);
+        let req = self.requires(&[a, b]);
+        let broadcast = bv.rows() == 1 && av.rows() > 1;
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                let gb = if broadcast { sum_rows(g) } else { g.clone() };
+                vec![(a, Grad::Dense(g.clone())), (b, Grad::Dense(gb))]
+            }) as BackwardFn
+        });
+        self.push(out, back, req)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: ValId, b: ValId) -> ValId {
+        let out = self.value(a).sub(self.value(b));
+        let req = self.requires(&[a, b]);
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                vec![(a, Grad::Dense(g.clone())), (b, Grad::Dense(g.scale(-1.0)))]
+            }) as BackwardFn
+        });
+        self.push(out, back, req)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul_elem(&mut self, a: ValId, b: ValId) -> ValId {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let out = av.mul_elem(&bv);
+        let req = self.requires(&[a, b]);
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                vec![
+                    (a, Grad::Dense(g.mul_elem(&bv))),
+                    (b, Grad::Dense(g.mul_elem(&av))),
+                ]
+            }) as BackwardFn
+        });
+        self.push(out, back, req)
+    }
+
+    /// Multiply by a scalar constant.
+    pub fn scale(&mut self, a: ValId, s: f32) -> ValId {
+        let out = self.value(a).scale(s);
+        let req = self.requires(&[a]);
+        let back: Option<BackwardFn> =
+            req.then(|| Box::new(move |g: &Tensor| vec![(a, Grad::Dense(g.scale(s)))]) as BackwardFn);
+        self.push(out, back, req)
+    }
+
+    /// `1 - a`, element-wise (used by GRU gates).
+    pub fn one_minus(&mut self, a: ValId) -> ValId {
+        let out = self.value(a).map(|v| 1.0 - v);
+        let req = self.requires(&[a]);
+        let back: Option<BackwardFn> =
+            req.then(|| Box::new(move |g: &Tensor| vec![(a, Grad::Dense(g.scale(-1.0)))]) as BackwardFn);
+        self.push(out, back, req)
+    }
+
+    pub fn tanh(&mut self, a: ValId) -> ValId {
+        let out = self.value(a).tanh();
+        let req = self.requires(&[a]);
+        let y = out.clone();
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                let dy = y.map(|v| 1.0 - v * v);
+                vec![(a, Grad::Dense(g.mul_elem(&dy)))]
+            }) as BackwardFn
+        });
+        self.push(out, back, req)
+    }
+
+    pub fn sigmoid(&mut self, a: ValId) -> ValId {
+        let out = self.value(a).sigmoid();
+        let req = self.requires(&[a]);
+        let y = out.clone();
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                let dy = y.map(|v| v * (1.0 - v));
+                vec![(a, Grad::Dense(g.mul_elem(&dy)))]
+            }) as BackwardFn
+        });
+        self.push(out, back, req)
+    }
+
+    pub fn relu(&mut self, a: ValId) -> ValId {
+        let av = self.value(a).clone();
+        let out = av.relu();
+        let req = self.requires(&[a]);
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                let mask = av.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                vec![(a, Grad::Dense(g.mul_elem(&mask)))]
+            }) as BackwardFn
+        });
+        self.push(out, back, req)
+    }
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(&mut self, a: ValId, b: ValId) -> ValId {
+        let av = self.value(a).clone();
+        let bv = self.value(b).clone();
+        let out = av.concat_cols(&bv);
+        let req = self.requires(&[a, b]);
+        let (ac, bc) = (av.cols(), bv.cols());
+        let rows = av.rows();
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                let mut ga = Tensor::zeros(rows, ac);
+                let mut gb = Tensor::zeros(rows, bc);
+                for r in 0..rows {
+                    let grow = g.row(r);
+                    ga.as_mut_slice()[r * ac..(r + 1) * ac].copy_from_slice(&grow[..ac]);
+                    gb.as_mut_slice()[r * bc..(r + 1) * bc].copy_from_slice(&grow[ac..]);
+                }
+                vec![(a, Grad::Dense(ga)), (b, Grad::Dense(gb))]
+            }) as BackwardFn
+        });
+        self.push(out, back, req)
+    }
+
+    /// Embedding lookup: gather `indices` rows of `emb`. The gradient to the
+    /// embedding matrix is sparse.
+    pub fn lookup(&mut self, emb: ValId, indices: &[usize]) -> ValId {
+        let ev = self.value(emb).clone();
+        let out = ev.lookup_rows(indices);
+        let req = self.requires(&[emb]);
+        let idx: Vec<usize> = indices.to_vec();
+        let (rows, cols) = ev.shape();
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                let entries =
+                    idx.iter().enumerate().map(|(i, &r)| (r, g.row(i).to_vec())).collect();
+                vec![(emb, Grad::SparseRows { rows, cols, entries })]
+            }) as BackwardFn
+        });
+        self.push(out, back, req)
+    }
+
+    /// Mean over rows `[m,n] → [1,n]`.
+    pub fn mean_rows(&mut self, a: ValId) -> ValId {
+        let av = self.value(a).clone();
+        let out = av.mean_rows();
+        let req = self.requires(&[a]);
+        let (m, n) = av.shape();
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                let inv = if m == 0 { 0.0 } else { 1.0 / m as f32 };
+                let mut ga = Tensor::zeros(m, n);
+                let buf = ga.as_mut_slice();
+                for r in 0..m {
+                    for c in 0..n {
+                        buf[r * n + c] = g.get(0, c) * inv;
+                    }
+                }
+                vec![(a, Grad::Dense(ga))]
+            }) as BackwardFn
+        });
+        self.push(out, back, req)
+    }
+
+    /// L2-normalize each row: `y = x / max(‖x‖, ε)`.
+    pub fn l2_normalize(&mut self, a: ValId) -> ValId {
+        const EPS: f32 = 1e-8;
+        let av = self.value(a).clone();
+        let (rows, cols) = av.shape();
+        let mut out = av.clone();
+        let mut norms = Vec::with_capacity(rows);
+        {
+            let buf = out.as_mut_slice();
+            for r in 0..rows {
+                let row = &mut buf[r * cols..(r + 1) * cols];
+                let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(EPS);
+                for v in row.iter_mut() {
+                    *v /= n;
+                }
+                norms.push(n);
+            }
+        }
+        let req = self.requires(&[a]);
+        let y = out.clone();
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                let mut ga = Tensor::zeros(rows, cols);
+                let buf = ga.as_mut_slice();
+                for r in 0..rows {
+                    let yr = y.row(r);
+                    let gr = g.row(r);
+                    let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+                    for c in 0..cols {
+                        buf[r * cols + c] = (gr[c] - yr[c] * dot) / norms[r];
+                    }
+                }
+                vec![(a, Grad::Dense(ga))]
+            }) as BackwardFn
+        });
+        self.push(out, back, req)
+    }
+
+    /// Stack single-row tensors into a matrix `[n, cols]`.
+    pub fn stack_rows(&mut self, ids: &[ValId]) -> ValId {
+        assert!(!ids.is_empty(), "stack_rows needs at least one row");
+        let cols = self.value(ids[0]).cols();
+        let mut data = Vec::with_capacity(ids.len() * cols);
+        for &id in ids {
+            let v = self.value(id);
+            assert_eq!(v.rows(), 1, "stack_rows expects single-row inputs");
+            assert_eq!(v.cols(), cols, "stack_rows width mismatch");
+            data.extend_from_slice(v.as_slice());
+        }
+        let out = Tensor::from_vec(ids.len(), cols, data);
+        let req = self.requires(ids);
+        let ids_cloned: Vec<ValId> = ids.to_vec();
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                ids_cloned
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &id)| (id, Grad::Dense(Tensor::from_row(g.row(i).to_vec()))))
+                    .collect()
+            }) as BackwardFn
+        });
+        self.push(out, back, req)
+    }
+
+    /// Mean softmax cross-entropy over the rows of a logits matrix, one
+    /// target class per row. Returns the scalar loss node.
+    pub fn cross_entropy_rows(&mut self, logits: ValId, targets: &[usize]) -> ValId {
+        let lv = self.value(logits).clone();
+        assert_eq!(lv.rows(), targets.len(), "one target per logits row");
+        let mut loss = 0.0f32;
+        let mut probs = Vec::with_capacity(lv.rows() * lv.cols());
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < lv.cols(), "target class out of range");
+            let ls = log_softmax(lv.row(r));
+            loss -= ls[t];
+            probs.extend(ls.iter().map(|&v| v.exp()));
+        }
+        let n = targets.len() as f32;
+        loss /= n;
+        let req = self.requires(&[logits]);
+        let targets_cloned: Vec<usize> = targets.to_vec();
+        let (rows, cols) = lv.shape();
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| {
+                let scale = g.get(0, 0) / n;
+                let mut grad = probs.clone();
+                for (r, &t) in targets_cloned.iter().enumerate() {
+                    grad[r * cols + t] -= 1.0;
+                }
+                for v in &mut grad {
+                    *v *= scale;
+                }
+                vec![(logits, Grad::Dense(Tensor::from_vec(rows, cols, grad)))]
+            }) as BackwardFn
+        });
+        self.push(Tensor::from_vec(1, 1, vec![loss]), back, req)
+    }
+
+    /// Softmax cross-entropy of a single-row logits tensor against a target
+    /// class. Returns the scalar loss node (shape `[1,1]`).
+    pub fn cross_entropy_logits(&mut self, logits: ValId, target: usize) -> ValId {
+        let lv = self.value(logits).clone();
+        assert_eq!(lv.rows(), 1, "cross_entropy_logits expects a single-row logits tensor");
+        assert!(target < lv.cols(), "target class out of range");
+        let ls = log_softmax(lv.row(0));
+        let loss = -ls[target];
+        let req = self.requires(&[logits]);
+        let back: Option<BackwardFn> = req.then(|| {
+            let probs: Vec<f32> = ls.iter().map(|&v| v.exp()).collect();
+            Box::new(move |g: &Tensor| {
+                let scale = g.get(0, 0);
+                let mut grad = probs.clone();
+                grad[target] -= 1.0;
+                for v in &mut grad {
+                    *v *= scale;
+                }
+                vec![(logits, Grad::Dense(Tensor::from_row(grad)))]
+            }) as BackwardFn
+        });
+        self.push(Tensor::from_vec(1, 1, vec![loss]), back, req)
+    }
+
+    /// Sum a list of scalar nodes into one scalar (for batching losses).
+    pub fn sum_scalars(&mut self, ids: &[ValId]) -> ValId {
+        assert!(!ids.is_empty(), "sum_scalars needs at least one node");
+        let mut acc = ids[0];
+        for &id in &ids[1..] {
+            acc = self.add(acc, id);
+        }
+        acc
+    }
+
+    /// Run backpropagation from a scalar node, seeding its gradient with 1.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a `[1,1]` tensor.
+    pub fn backward(&mut self, loss: ValId) {
+        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "backward expects a scalar loss");
+        self.nodes[loss.0].grad = Some(Grad::Dense(Tensor::from_vec(1, 1, vec![1.0])));
+        for i in (0..self.nodes.len()).rev() {
+            if self.nodes[i].grad.is_none() || self.nodes[i].backward.is_none() {
+                continue;
+            }
+            let grad = match self.nodes[i].grad.as_ref().unwrap() {
+                Grad::Dense(t) => t.clone(),
+                Grad::SparseRows { .. } => {
+                    // Only leaves (embeddings) receive sparse gradients; they
+                    // have no backward function, so this cannot be reached.
+                    unreachable!("non-leaf node received a sparse gradient")
+                }
+            };
+            let contribs = (self.nodes[i].backward.as_ref().unwrap())(&grad);
+            for (pid, contrib) in contribs {
+                if !self.nodes[pid.0].requires_grad {
+                    continue;
+                }
+                match &mut self.nodes[pid.0].grad {
+                    Some(g) => g.accumulate(contrib),
+                    slot @ None => *slot = Some(contrib),
+                }
+            }
+        }
+    }
+
+    /// Gradient of a node after [`Tape::backward`], densified.
+    pub fn grad(&self, id: ValId) -> Option<Tensor> {
+        self.nodes[id.0].grad.clone().map(Grad::into_dense)
+    }
+
+    /// Move all parameter-leaf gradients into the store (accumulating), then
+    /// clear them from the tape.
+    pub fn collect_grads(&mut self, store: &mut ParamStore) {
+        for (&pid, &vid) in &self.param_leaves {
+            if let Some(g) = self.nodes[vid.0].grad.take() {
+                store.accumulate_grad(pid, g);
+            }
+        }
+    }
+}
+
+/// Column-wise sum of rows `[m,n] → [1,n]`.
+fn sum_rows(t: &Tensor) -> Tensor {
+    let mut out = vec![0.0f32; t.cols()];
+    for r in 0..t.rows() {
+        for (o, &v) in out.iter_mut().zip(t.row(r)) {
+            *o += v;
+        }
+    }
+    Tensor::from_row(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_through_matmul() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = tape.leaf(Tensor::from_vec(2, 1, vec![3.0, 4.0]));
+        let c = tape.matmul(a, b); // scalar 11
+        assert_eq!(tape.value(c).get(0, 0), 11.0);
+        tape.backward(c);
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[3.0, 4.0]);
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(1, 3, vec![1.0, -1.0, 2.0]));
+        let b = tape.leaf(Tensor::from_vec(2, 3, vec![0.5, 1.0, 0.0, 2.0, -1.0, 1.0]));
+        let c = tape.matmul_nt(a, b);
+        let expected = tape.value(a).matmul(&tape.value(b).transpose());
+        assert!(tape.value(c).approx_eq(&expected, 1e-6));
+    }
+
+    #[test]
+    fn broadcast_add_bias_grad_sums_rows() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(3, 2, vec![1.0; 6]));
+        let b = tape.leaf(Tensor::from_row(vec![0.5, -0.5]));
+        let y = tape.add(x, b);
+        // reduce to scalar: mean_rows then matmul with ones
+        let m = tape.mean_rows(y);
+        let ones = tape.constant(Tensor::from_vec(2, 1, vec![1.0, 1.0]));
+        let s = tape.matmul(m, ones);
+        tape.backward(s);
+        // d s / d b = sum over rows of (1/3) = 1 per column
+        let gb = tape.grad(b).unwrap();
+        assert!(gb.approx_eq(&Tensor::from_row(vec![1.0, 1.0]), 1e-5));
+    }
+
+    #[test]
+    fn lookup_produces_sparse_grad() {
+        let mut tape = Tape::new();
+        let emb = tape.leaf(Tensor::from_vec(4, 2, vec![0.0; 8]));
+        let g = tape.lookup(emb, &[1, 3, 1]);
+        let m = tape.mean_rows(g);
+        let ones = tape.constant(Tensor::from_vec(2, 1, vec![1.0, 1.0]));
+        let s = tape.matmul(m, ones);
+        tape.backward(s);
+        let ge = tape.grad(emb).unwrap();
+        // rows 1 (twice) and 3 get 1/3 each per column
+        assert!((ge.get(1, 0) - 2.0 / 3.0).abs() < 1e-5);
+        assert!((ge.get(3, 0) - 1.0 / 3.0).abs() < 1e-5);
+        assert_eq!(ge.get(0, 0), 0.0);
+        assert_eq!(ge.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_grad_is_softmax_minus_onehot() {
+        let mut tape = Tape::new();
+        let logits = tape.leaf(Tensor::from_row(vec![1.0, 2.0, 3.0]));
+        let loss = tape.cross_entropy_logits(logits, 2);
+        tape.backward(loss);
+        let g = tape.grad(logits).unwrap();
+        let sm = Tensor::from_row(vec![1.0, 2.0, 3.0]).softmax_rows();
+        assert!((g.get(0, 0) - sm.get(0, 0)).abs() < 1e-5);
+        assert!((g.get(0, 2) - (sm.get(0, 2) - 1.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn loss_decreases_under_gd_on_tiny_regression() {
+        // fit y = x * w with squared-error-like surrogate via two steps
+        let mut w = Tensor::from_vec(1, 1, vec![0.0]);
+        for _ in 0..50 {
+            let mut tape = Tape::new();
+            let wv = tape.leaf(w.clone());
+            let x = tape.constant(Tensor::from_vec(1, 1, vec![2.0]));
+            let y = tape.matmul(x, wv); // 2w
+            let t = tape.constant(Tensor::from_vec(1, 1, vec![6.0]));
+            let d = tape.sub(y, t);
+            let sq = tape.mul_elem(d, d);
+            tape.backward(sq);
+            let g = tape.grad(wv).unwrap();
+            w.add_scaled_assign(&g, -0.05);
+        }
+        assert!((w.get(0, 0) - 3.0).abs() < 0.05, "w={}", w.get(0, 0));
+    }
+
+    #[test]
+    fn grads_accumulate_across_two_uses() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(1, 1, vec![2.0]));
+        let y = tape.mul_elem(a, a); // a^2, da = 2a = 4
+        tape.backward(y);
+        assert!((tape.grad(a).unwrap().get(0, 0) - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn l2_normalize_unit_norm_and_grad() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_row(vec![3.0, 4.0]));
+        let n = tape.l2_normalize(a);
+        assert!((tape.value(n).norm() - 1.0).abs() < 1e-6);
+        assert!((tape.value(n).get(0, 0) - 0.6).abs() < 1e-6);
+        // numeric gradient check on f = first component of normalized vec
+        let pick = tape.constant(Tensor::from_vec(2, 1, vec![1.0, 0.0]));
+        let f = tape.matmul(n, pick);
+        tape.backward(f);
+        let g = tape.grad(a).unwrap();
+        // analytic: d(x/||x||)_0/dx = (e0 - y*y0)/||x|| = ([1,0]-0.6*[0.6,0.8])/5
+        assert!((g.get(0, 0) - (1.0 - 0.36) / 5.0).abs() < 1e-5);
+        assert!((g.get(0, 1) - (-0.48) / 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stack_rows_roundtrip_grads() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::from_row(vec![1.0, 2.0]));
+        let b = tape.leaf(Tensor::from_row(vec![3.0, 4.0]));
+        let m = tape.stack_rows(&[a, b]);
+        assert_eq!(tape.value(m).shape(), (2, 2));
+        let loss = tape.cross_entropy_rows(m, &[0, 1]);
+        tape.backward(loss);
+        let ga = tape.grad(a).unwrap();
+        let gb = tape.grad(b).unwrap();
+        // row softmax grads: (p - onehot)/2
+        let p0 = Tensor::from_row(vec![1.0, 2.0]).softmax_rows();
+        assert!((ga.get(0, 0) - (p0.get(0, 0) - 1.0) / 2.0).abs() < 1e-5);
+        assert!((gb.get(0, 1) - (Tensor::from_row(vec![3.0, 4.0]).softmax_rows().get(0, 1) - 1.0) / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_rows_matches_single_row_version() {
+        let mut tape = Tape::new();
+        let l = tape.leaf(Tensor::from_row(vec![0.2, -0.4, 1.0]));
+        let multi = tape.cross_entropy_rows(l, &[2]);
+        let mut tape2 = Tape::new();
+        let l2 = tape2.leaf(Tensor::from_row(vec![0.2, -0.4, 1.0]));
+        let single = tape2.cross_entropy_logits(l2, 2);
+        assert!((tape.value(multi).get(0, 0) - tape2.value(single).get(0, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_subgraphs_are_pruned() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::from_vec(1, 1, vec![2.0]));
+        let b = tape.constant(Tensor::from_vec(1, 1, vec![3.0]));
+        let c = tape.mul_elem(a, b);
+        tape.backward(c);
+        assert!(tape.grad(a).is_none());
+    }
+}

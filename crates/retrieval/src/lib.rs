@@ -1,0 +1,25 @@
+//! `dbcopilot-retrieval` — the schema-routing baselines of the paper's
+//! evaluation (§4.1.3):
+//!
+//! * [`bm25`] — zero-shot Okapi BM25 and its "fine-tuned" (grid-searched)
+//!   variant;
+//! * [`dense`] — contrastively trained dense retrieval: the SXFMR generic
+//!   encoder and the DTR fine-tuned table retriever;
+//! * [`crush`] — CRUSH: schema hallucination + collective retrieval +
+//!   relationship-aware reranking, over either base retriever;
+//! * [`targets`] — shared retrieval targets, database vote aggregation, and
+//!   the [`targets::SchemaRouter`] trait every method (including the
+//!   DBCopilot router adapter) implements.
+
+pub mod bm25;
+pub mod crush;
+pub mod dense;
+pub mod targets;
+pub mod text;
+
+pub use bm25::{tune_bm25, Bm25Index, Bm25Params};
+pub use crush::{singularize, Crush, Hallucinator, SegmentSearch};
+pub use dense::{
+    build_dtr, build_sxfmr, generic_paraphrase_pairs, DenseRetriever, EncoderConfig, TextEncoder,
+};
+pub use targets::{RoutingResult, SchemaRouter, Target, TargetId, TargetSet};

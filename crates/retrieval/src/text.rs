@@ -1,0 +1,111 @@
+//! Shared text processing: tokenization and feature hashing.
+
+/// Lowercase word tokens; identifiers are split on `_`, punctuation is
+/// dropped ("flat normalized names", paper §4.1.5), and plural suffixes are
+/// stripped (light stemming, standard IR preprocessing — "singers" and
+/// "singer" must match lexically for BM25 to behave like the paper's).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            cur.push(c.to_ascii_lowercase());
+        } else if !cur.is_empty() {
+            out.push(stem(std::mem::take(&mut cur)));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(stem(cur));
+    }
+    out
+}
+
+/// Strip plural suffixes from words longer than 3 characters.
+fn stem(w: String) -> String {
+    if w.len() <= 3 {
+        return w;
+    }
+    if let Some(t) = w.strip_suffix("ies") {
+        return format!("{t}y");
+    }
+    if let Some(t) = w.strip_suffix("ses") {
+        return format!("{t}s");
+    }
+    if let Some(t) = w.strip_suffix("ches") {
+        return format!("{t}ch");
+    }
+    if let Some(t) = w.strip_suffix("shes") {
+        return format!("{t}sh");
+    }
+    if let Some(t) = w.strip_suffix("xes") {
+        return format!("{t}x");
+    }
+    if w.ends_with("ss") || w.ends_with("us") || w.ends_with("is") {
+        return w;
+    }
+    if let Some(t) = w.strip_suffix('s') {
+        return t.to_string();
+    }
+    w
+}
+
+/// FNV-1a 64-bit hash (stable across runs/platforms).
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Hash tokens into `buckets` feature ids (the hashing trick): handles
+/// unseen words without a fixed vocabulary, like subword tokenizers do.
+pub fn hash_tokens(tokens: &[String], buckets: usize) -> Vec<usize> {
+    tokens.iter().map(|t| (fnv1a(t) % buckets as u64) as usize).collect()
+}
+
+/// Tokenize then hash.
+pub fn hashed_features(text: &str, buckets: usize) -> Vec<usize> {
+    hash_tokens(&tokenize(text), buckets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_identifiers() {
+        assert_eq!(tokenize("singer_in_concert"), vec!["singer", "in", "concert"]);
+        assert_eq!(tokenize("What's the name?"), vec!["what", "s", "the", "name"]);
+    }
+
+    #[test]
+    fn tokenize_stems_plurals() {
+        assert_eq!(tokenize("singers"), vec!["singer"]);
+        assert_eq!(tokenize("cities"), vec!["city"]);
+        assert_eq!(tokenize("matches"), vec!["match"]);
+        assert_eq!(tokenize("status"), vec!["status"]);
+        assert_eq!(tokenize("is"), vec!["is"]);
+    }
+
+    #[test]
+    fn tokenize_keeps_numbers() {
+        assert_eq!(tokenize("year > 2014"), vec!["year", "2014"]);
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_bounded() {
+        let a = hashed_features("singer vocalist", 1024);
+        let b = hashed_features("singer vocalist", 1024);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&i| i < 1024));
+    }
+
+    #[test]
+    fn different_words_usually_differ() {
+        let a = fnv1a("singer");
+        let b = fnv1a("concert");
+        assert_ne!(a, b);
+    }
+}

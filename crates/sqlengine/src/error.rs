@@ -1,0 +1,58 @@
+//! Engine error types.
+
+use crate::value::DataType;
+
+/// Errors from parsing or executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Lexing failed at a byte offset.
+    Lex { pos: usize, message: String },
+    /// Parsing failed.
+    Parse { message: String },
+    /// A referenced table does not exist in the target database.
+    UnknownTable { table: String },
+    /// A referenced column cannot be resolved.
+    UnknownColumn { column: String },
+    /// A column name resolves against more than one table in scope.
+    AmbiguousColumn { column: String },
+    /// A row had the wrong number of values.
+    Arity { table: String, expected: usize, got: usize },
+    /// A value did not fit the declared column type.
+    TypeMismatch { table: String, column: String, expected: DataType },
+    /// Runtime evaluation error (bad operand types, div by zero, …).
+    Eval { message: String },
+    /// A scalar subquery returned a non-1×1 result.
+    ScalarSubquery { rows: usize, cols: usize },
+    /// SQL feature outside the supported subset.
+    Unsupported { feature: String },
+    /// The query referenced a database other than the one it ran against.
+    WrongDatabase { expected: String, got: String },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            EngineError::Parse { message } => write!(f, "parse error: {message}"),
+            EngineError::UnknownTable { table } => write!(f, "unknown table {table:?}"),
+            EngineError::UnknownColumn { column } => write!(f, "unknown column {column:?}"),
+            EngineError::AmbiguousColumn { column } => write!(f, "ambiguous column {column:?}"),
+            EngineError::Arity { table, expected, got } => {
+                write!(f, "table {table:?} expects {expected} values, got {got}")
+            }
+            EngineError::TypeMismatch { table, column, expected } => {
+                write!(f, "column {table}.{column} expects {expected}")
+            }
+            EngineError::Eval { message } => write!(f, "evaluation error: {message}"),
+            EngineError::ScalarSubquery { rows, cols } => {
+                write!(f, "scalar subquery returned {rows}x{cols} result")
+            }
+            EngineError::Unsupported { feature } => write!(f, "unsupported SQL: {feature}"),
+            EngineError::WrongDatabase { expected, got } => {
+                write!(f, "query targets database {got:?} but ran against {expected:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,262 @@
+//! SQL tokenizer.
+
+use crate::error::EngineError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are detected by the parser).
+    Ident(String),
+    /// Quoted identifier (`"name"` or `` `name` ``) — never a keyword.
+    QuotedIdent(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Punctuation and operators.
+    Symbol(Sym),
+}
+
+/// Operator / punctuation symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+}
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>, EngineError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Symbol(Sym::Semicolon));
+                i += 1;
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    // line comment
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Symbol(Sym::Minus));
+                    i += 1;
+                }
+            }
+            '/' => {
+                tokens.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Symbol(Sym::NotEq));
+                    i += 2;
+                } else {
+                    return Err(EngineError::Lex { pos: i, message: "expected '=' after '!'".into() });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Symbol(Sym::LtEq));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::Symbol(Sym::NotEq));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Symbol(Sym::GtEq));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '\'' | '"' | '`' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                let mut out = String::new();
+                let mut closed = false;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj == quote {
+                        // doubled quote escapes itself
+                        if j + 1 < bytes.len() && bytes[j + 1] as char == quote {
+                            out.push(quote);
+                            j += 2;
+                            continue;
+                        }
+                        closed = true;
+                        break;
+                    }
+                    out.push(cj);
+                    j += 1;
+                }
+                if !closed {
+                    return Err(EngineError::Lex { pos: i, message: "unterminated string".into() });
+                }
+                if quote == '\'' {
+                    tokens.push(Token::Str(out));
+                } else {
+                    tokens.push(Token::QuotedIdent(out));
+                }
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || (bytes[i] == b'.'
+                            && i + 1 < bytes.len()
+                            && (bytes[i + 1] as char).is_ascii_digit()))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|_| EngineError::Lex {
+                        pos: start,
+                        message: format!("bad float literal {text:?}"),
+                    })?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|_| EngineError::Lex {
+                        pos: start,
+                        message: format!("bad int literal {text:?}"),
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(EngineError::Lex {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_simple_select() {
+        let toks = lex("SELECT name FROM singer WHERE age >= 30").unwrap();
+        assert_eq!(toks.len(), 8);
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks[5], Token::Ident("age".into()));
+        assert_eq!(toks[6], Token::Symbol(Sym::GtEq));
+        assert_eq!(toks[7], Token::Int(30));
+    }
+
+    #[test]
+    fn lex_strings_with_escapes() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn lex_quoted_identifiers() {
+        let toks = lex("\"weird name\" `another`").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::QuotedIdent("weird name".into()), Token::QuotedIdent("another".into())]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        let toks = lex("1 2.5 100").unwrap();
+        assert_eq!(toks, vec![Token::Int(1), Token::Float(2.5), Token::Int(100)]);
+    }
+
+    #[test]
+    fn lex_not_eq_variants() {
+        assert_eq!(lex("<>").unwrap(), vec![Token::Symbol(Sym::NotEq)]);
+        assert_eq!(lex("!=").unwrap(), vec![Token::Symbol(Sym::NotEq)]);
+    }
+
+    #[test]
+    fn lex_comments_skipped() {
+        let toks = lex("SELECT 1 -- trailing comment\n , 2").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn lex_unterminated_string_errors() {
+        assert!(matches!(lex("'oops"), Err(EngineError::Lex { .. })));
+    }
+
+    #[test]
+    fn lex_dotted_name() {
+        let toks = lex("db.table").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1], Token::Symbol(Sym::Dot));
+    }
+}

@@ -1,0 +1,38 @@
+//! `dbcopilot-sqlengine` — a minimal in-memory relational engine.
+//!
+//! The paper evaluates end-to-end NL2SQL with *execution accuracy* (EX):
+//! predicted SQL and gold SQL are executed against the target database and
+//! their results compared. The original work runs SQLite; this crate is the
+//! offline substitute, covering the SQL subset the synthetic workloads (and
+//! the paper's own example queries) use:
+//!
+//! * inner joins, WHERE, GROUP BY + aggregates, HAVING, ORDER BY, LIMIT,
+//!   DISTINCT;
+//! * uncorrelated scalar and `IN` subqueries;
+//! * `LIKE`, `BETWEEN`, `IS [NOT] NULL`, arithmetic.
+//!
+//! Out of scope (documented in DESIGN.md): outer joins, UNION, correlated
+//! subqueries, CASE — none are emitted by the workload generator, and a
+//! predicted query using them simply fails execution (EX = 0), exactly as an
+//! invalid query would against SQLite.
+
+pub mod ast;
+pub mod compare;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod render;
+pub mod schema;
+pub mod storage;
+pub mod value;
+
+pub use ast::{AggFunc, BinOp, Expr, Join, OrderKey, Projection, Select, SortDir, TableRef};
+pub use compare::{compare_to_gold, execution_match, results_equal, ExOutcome};
+pub use error::EngineError;
+pub use exec::{execute, execute_select, ResultSet};
+pub use parser::parse_select;
+pub use render::{render_expr, render_select};
+pub use schema::{Collection, ColumnDef, DatabaseSchema, ForeignKey, TableSchema};
+pub use storage::{Database, Store, Table};
+pub use value::{DataType, Value};

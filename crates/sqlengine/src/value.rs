@@ -1,0 +1,215 @@
+//! Runtime values and their SQL comparison semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Column data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    Int,
+    Float,
+    Text,
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "REAL"),
+            DataType::Text => write!(f, "TEXT"),
+            DataType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+/// A runtime SQL value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Bool(bool),
+}
+
+impl Value {
+    pub fn type_of(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to floats); `None` for non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// SQL equality: NULL equals nothing (including NULL); numeric types
+    /// compare by value across Int/Float.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => false,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+
+    /// SQL ordering; `None` when either side is NULL or types are
+    /// incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a.partial_cmp(&b),
+                _ => None,
+            },
+        }
+    }
+
+    /// Total ordering used for ORDER BY and result canonicalization:
+    /// NULL < Bool < numbers < Text.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Text(_) => 3,
+            }
+        }
+        let (ra, rb) = (rank(self), rank(other));
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            _ => {
+                let a = self.as_f64().unwrap_or(f64::NAN);
+                let b = other.as_f64().unwrap_or(f64::NAN);
+                a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+
+    /// Equality for execution-accuracy comparison: like [`Value::sql_eq`] but
+    /// NULL == NULL and floats compare with a small tolerance.
+    pub fn result_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Null, _) | (_, Value::Null) => false,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => {
+                    let tol = 1e-6 * a.abs().max(b.abs()).max(1.0);
+                    (a - b).abs() <= tol
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// Truthiness of a WHERE predicate result; NULL and non-bool are false.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_equals_nothing_in_sql() {
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Null.sql_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert!(Value::Int(3).sql_eq(&Value::Float(3.0)));
+        assert!(!Value::Int(3).sql_eq(&Value::Float(3.5)));
+    }
+
+    #[test]
+    fn null_equals_null_in_results() {
+        assert!(Value::Null.result_eq(&Value::Null));
+        assert!(!Value::Null.result_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn float_tolerance_in_results() {
+        assert!(Value::Float(1.0).result_eq(&Value::Float(1.0 + 1e-9)));
+        assert!(!Value::Float(1.0).result_eq(&Value::Float(1.1)));
+    }
+
+    #[test]
+    fn total_order_ranks_types() {
+        let mut vals = vec![
+            Value::Text("a".into()),
+            Value::Int(5),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(2.5),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert!(matches!(vals[1], Value::Bool(_)));
+        assert!(matches!(vals.last(), Some(Value::Text(_))));
+    }
+
+    #[test]
+    fn sql_cmp_null_is_none() {
+        assert!(Value::Null.sql_cmp(&Value::Int(1)).is_none());
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Float(2.0)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(!Value::Null.is_truthy());
+        assert!(Value::Int(2).is_truthy());
+    }
+}

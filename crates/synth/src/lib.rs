@@ -1,0 +1,266 @@
+//! `dbcopilot-synth` — synthetic benchmark corpora and the schema
+//! questioner.
+//!
+//! Substitutes the paper's adapted public datasets (Spider, Bird, Fiben and
+//! the Spider-syn / Spider-real robustness variants, Table 2) with fully
+//! offline, seeded generators that reproduce the properties schema routing
+//! is sensitive to:
+//!
+//! * many heterogeneous databases with overlapping table vocabulary;
+//! * FK topologies with junction tables (multi-table SQL);
+//! * a controlled semantic gap between questions and schema identifiers;
+//! * populated content for joinability detection and execution accuracy.
+//!
+//! See DESIGN.md §2 for the substitution rationale.
+
+pub mod corpusgen;
+pub mod instances;
+pub mod lexicon;
+pub mod questioner;
+pub mod stats;
+pub mod templates;
+
+use dbcopilot_graph::QuerySchema;
+use dbcopilot_sqlengine::{Collection, Store};
+
+pub use corpusgen::{
+    generate_collection, generate_mart, CorpusMeta, DbMeta, GenConfig, GeneratedCollection,
+    TableMeta,
+};
+pub use instances::{generate_instances, generate_instances_for, rerender_instances, schema_detail_text, Instance};
+pub use lexicon::Lexicon;
+pub use questioner::{Questioner, QuestionerConfig, TrainPair};
+pub use stats::{render_table2, DatasetStats};
+pub use templates::{
+    render_question, render_sql, AggKind, CmpOp, QuestionSpec, SurfaceStyle, TemplateKind,
+};
+
+/// A complete benchmark corpus: schemas + content + instance splits.
+pub struct Corpus {
+    pub name: String,
+    pub collection: Collection,
+    pub store: Store,
+    pub meta: CorpusMeta,
+    /// Databases the training questions target (disjoint from
+    /// `test_databases`, as in Spider).
+    pub train_databases: Vec<String>,
+    /// Databases the test questions target.
+    pub test_databases: Vec<String>,
+    pub train: Vec<Instance>,
+    pub test: Vec<Instance>,
+    /// Synonym-substitution robustness variant (Spider-syn analog).
+    pub test_syn: Option<Vec<Instance>>,
+    /// Implicit-mention robustness variant (Spider-real analog).
+    pub test_real: Option<Vec<Instance>>,
+}
+
+/// Size parameters for corpus construction.
+#[derive(Debug, Clone)]
+pub struct CorpusSizes {
+    pub num_databases: usize,
+    pub train_n: usize,
+    pub test_n: usize,
+}
+
+impl CorpusSizes {
+    /// Scale all counts by `f`, keeping at least one of each.
+    pub fn scaled(&self, f: f64) -> Self {
+        let s = |v: usize| ((v as f64 * f).round() as usize).max(1);
+        CorpusSizes {
+            num_databases: s(self.num_databases),
+            train_n: s(self.train_n),
+            test_n: s(self.test_n),
+        }
+    }
+}
+
+/// The regular-test question style: mentions use synonyms ~35% of the time.
+pub const TEST_STYLE: SurfaceStyle = SurfaceStyle::Mixed(0.35);
+
+/// Build the Spider-like corpus (166 DBs at full scale) with robustness
+/// variants.
+pub fn build_spider_like(sizes: &CorpusSizes, seed: u64) -> Corpus {
+    let mut gen_cfg = GenConfig::spider_like(seed);
+    gen_cfg.num_databases = sizes.num_databases;
+    let gc = generate_collection(&gen_cfg);
+    build_corpus("spider", gc, sizes, seed, true)
+}
+
+/// Build the Bird-like corpus (80 DBs at full scale).
+pub fn build_bird_like(sizes: &CorpusSizes, seed: u64) -> Corpus {
+    let mut gen_cfg = GenConfig::bird_like(seed.wrapping_add(1000));
+    gen_cfg.num_databases = sizes.num_databases;
+    let gc = generate_collection(&gen_cfg);
+    build_corpus("bird", gc, sizes, seed.wrapping_add(1000), false)
+}
+
+/// Build the Fiben-like corpus: one mart database with many tables and a
+/// test-only split (279 questions at full scale).
+pub fn build_fiben_like(test_n: usize, areas: usize, seed: u64) -> Corpus {
+    let gc = generate_mart("fiben_mart", areas, (4, 7), (16, 40), seed.wrapping_add(2000));
+    let sizes = CorpusSizes { num_databases: 1, train_n: 0, test_n };
+    build_corpus("fiben", gc, &sizes, seed.wrapping_add(2000), false)
+}
+
+fn build_corpus(
+    name: &str,
+    gc: GeneratedCollection,
+    sizes: &CorpusSizes,
+    seed: u64,
+    robustness: bool,
+) -> Corpus {
+    let lex = Lexicon::new();
+    // Spider-style protocol: train and test questions target disjoint
+    // database subsets (~75% / 25%); the routing space is the full
+    // collection either way.
+    let all_dbs: Vec<String> = gc.meta.per_db.keys().cloned().collect();
+    let (train_databases, test_databases) = if all_dbs.len() >= 4 {
+        let cut = (all_dbs.len() * 3) / 4;
+        (all_dbs[..cut].to_vec(), all_dbs[cut..].to_vec())
+    } else {
+        (all_dbs.clone(), all_dbs.clone())
+    };
+    let train = if sizes.train_n > 0 {
+        instances::generate_instances_for(
+            &gc, &lex, sizes.train_n, TEST_STYLE, seed.wrapping_add(11), &train_databases,
+        )
+    } else {
+        Vec::new()
+    };
+    let test = instances::generate_instances_for(
+        &gc, &lex, sizes.test_n, TEST_STYLE, seed.wrapping_add(13), &test_databases,
+    );
+    let (test_syn, test_real) = if robustness {
+        (
+            Some(rerender_instances(&test, &lex, SurfaceStyle::SynonymOnly, seed.wrapping_add(17))),
+            Some(rerender_instances(&test, &lex, SurfaceStyle::Implicit, seed.wrapping_add(19))),
+        )
+    } else {
+        (None, None)
+    };
+    Corpus {
+        name: name.to_string(),
+        collection: gc.collection,
+        store: gc.store,
+        meta: gc.meta,
+        train_databases,
+        test_databases,
+        train,
+        test,
+        test_syn,
+        test_real,
+    }
+}
+
+/// Schema tokens of a query schema: the *aligned* table verbalizations
+/// (how the schema names its concepts, mart prefixes stripped) plus the
+/// canonical attribute names. These key the questioner's phrase table so
+/// that the synthesized questions verbalize this schema's own vocabulary —
+/// questions about a table named `vocalist` say "vocalists", exactly as a
+/// data consumer reading that schema would.
+pub fn schema_tokens(meta: &CorpusMeta, schema: &QuerySchema) -> (Vec<String>, Vec<String>) {
+    let lex = Lexicon::new();
+    let mut entities = Vec::with_capacity(schema.tables.len());
+    let mut attrs = Vec::new();
+    if let Some(dbm) = meta.per_db.get(&schema.database) {
+        for t in &schema.tables {
+            if let Some(tm) = dbm.tables.get(t) {
+                entities.push(tm.aligned_name(&lex));
+                attrs.extend(tm.attrs.iter().cloned());
+            } else {
+                entities.push(t.clone());
+            }
+        }
+    } else {
+        entities.extend(schema.tables.iter().cloned());
+    }
+    attrs.sort();
+    attrs.dedup();
+    (entities, attrs)
+}
+
+/// Extract questioner training pairs from corpus training instances.
+pub fn questioner_pairs(corpus: &Corpus) -> Vec<TrainPair> {
+    corpus
+        .train
+        .iter()
+        .map(|inst| {
+            let (entities, attrs) = schema_tokens(&corpus.meta, &inst.schema);
+            TrainPair { entities, attrs, question: inst.question.clone() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sizes() -> CorpusSizes {
+        CorpusSizes { num_databases: 10, train_n: 120, test_n: 40 }
+    }
+
+    #[test]
+    fn spider_like_has_robustness_variants() {
+        let c = build_spider_like(&tiny_sizes(), 42);
+        assert_eq!(c.test.len(), 40);
+        assert!(c.test_syn.is_some());
+        assert!(c.test_real.is_some());
+        assert_eq!(c.test_syn.as_ref().unwrap().len(), 40);
+    }
+
+    #[test]
+    fn bird_like_no_variants() {
+        let c = build_bird_like(&tiny_sizes(), 42);
+        assert!(c.test_syn.is_none());
+        assert_eq!(c.collection.num_databases(), 10);
+    }
+
+    #[test]
+    fn fiben_like_single_db() {
+        let c = build_fiben_like(30, 8, 42);
+        assert_eq!(c.collection.num_databases(), 1);
+        assert!(c.train.is_empty());
+        assert_eq!(c.test.len(), 30);
+        assert!(c.collection.num_tables() > 20);
+    }
+
+    #[test]
+    fn corpora_differ_across_kinds() {
+        let s = build_spider_like(&tiny_sizes(), 42);
+        let b = build_bird_like(&tiny_sizes(), 42);
+        let sn: Vec<String> =
+            s.collection.tables().map(|(d, t)| format!("{}.{}", d.name, t.name)).collect();
+        let bn: Vec<String> =
+            b.collection.tables().map(|(d, t)| format!("{}.{}", d.name, t.name)).collect();
+        assert_ne!(sn, bn);
+    }
+
+    #[test]
+    fn schema_tokens_resolve_entities() {
+        let c = build_spider_like(&tiny_sizes(), 42);
+        let inst = &c.test[0];
+        let (entities, attrs) = schema_tokens(&c.meta, &inst.schema);
+        assert_eq!(entities.len(), inst.schema.tables.len());
+        let _ = attrs;
+    }
+
+    #[test]
+    fn questioner_end_to_end_on_corpus() {
+        use rand::SeedableRng;
+        let c = build_spider_like(&CorpusSizes { num_databases: 10, train_n: 400, test_n: 20 }, 7);
+        let pairs = questioner_pairs(&c);
+        let q = Questioner::train(&pairs, &QuestionerConfig::default());
+        assert!(q.num_patterns() > 5);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let (entities, attrs) = schema_tokens(&c.meta, &c.test[0].schema);
+        let text = q.generate(&entities, &attrs, &mut rng);
+        assert!(!text.is_empty());
+    }
+
+    #[test]
+    fn sizes_scaling() {
+        let s = CorpusSizes { num_databases: 166, train_n: 2000, test_n: 800 }.scaled(0.1);
+        assert_eq!(s.num_databases, 17);
+        assert_eq!(s.train_n, 200);
+    }
+}

@@ -1,0 +1,507 @@
+//! The schema questioning model `M_q` (paper §3.4, Figure 3).
+//!
+//! The paper trains a T5 model *in reverse* on NL2SQL training pairs: input
+//! a detailed schema, output a plausible user question. This module is the
+//! statistical analog, learned from the same supervision with no access to
+//! the generator's lexicon:
+//!
+//! 1. a **phrase table** aligning schema tokens to question n-grams by
+//!    pointwise mutual information (learns that `singer` is verbalized as
+//!    "singers", "vocalists", …);
+//! 2. **question patterns**: training questions delexicalized by replacing
+//!    aligned phrases with typed slots (`{e0}`, `{a}`, `{num}`, `{val}`),
+//!    kept with frequencies per schema size.
+//!
+//! Generation samples a pattern for the sampled schema's table count and
+//! fills slots from the phrase table. Two noise knobs reproduce the paper's
+//! observed failure modes (§4.2.2): `hallucination_prob` fills a slot from
+//! the wrong schema element, and pattern sampling by raw frequency gives the
+//! "generation bias" of a simple pipeline.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for training/generation.
+#[derive(Debug, Clone)]
+pub struct QuestionerConfig {
+    /// Maximum n-gram length considered for alignment.
+    pub max_ngram: usize,
+    /// Minimum joint count for a phrase-token alignment.
+    pub min_count: u32,
+    /// Phrases kept per schema token.
+    pub top_phrases: usize,
+    /// Probability of filling a slot from the wrong schema element.
+    pub hallucination_prob: f64,
+}
+
+impl Default for QuestionerConfig {
+    fn default() -> Self {
+        QuestionerConfig { max_ngram: 3, min_count: 3, top_phrases: 6, hallucination_prob: 0.06 }
+    }
+}
+
+/// One training pair: canonical schema tokens plus the question.
+#[derive(Debug, Clone)]
+pub struct TrainPair {
+    /// Entity tokens (one per table, canonical form).
+    pub entities: Vec<String>,
+    /// Attribute tokens of the involved tables (canonical form).
+    pub attrs: Vec<String>,
+    pub question: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Pattern {
+    /// Delexicalized text with `{e0}`, `{e1}`, `{e2}`, `{a}`, `{num}`,
+    /// `{val}` slots.
+    text: String,
+    n_tables: usize,
+    weight: f32,
+}
+
+/// The trained questioner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Questioner {
+    /// token → (phrase, score), best first.
+    phrase_table: HashMap<String, Vec<(String, f32)>>,
+    patterns: Vec<Pattern>,
+    /// All known tokens (for hallucination sampling).
+    tokens: Vec<String>,
+    hallucination_prob: f64,
+}
+
+const STOPWORDS: &[&str] = &[
+    "the", "of", "all", "a", "an", "is", "are", "was", "how", "many", "what", "which", "whose",
+    "list", "show", "give", "its", "their", "each", "for", "with", "than", "to", "that", "have",
+    "has", "does", "in", "and", "or", "there", "at", "least", "one", "more", "name", "names",
+    "together", "associated", "named", "equal", "equals", "greater", "less", "above", "below",
+    "values", "maximum", "minimum", "average", "total", "highest", "lowest",
+];
+
+fn is_stop(word: &str) -> bool {
+    STOPWORDS.contains(&word)
+}
+
+/// Lowercase word tokens with numbers and quoted spans replaced by slot
+/// markers.
+fn question_words(q: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_quote = false;
+    for raw in q.split_whitespace() {
+        let w: String = raw.chars().filter(|c| c.is_alphanumeric() || *c == '\'').collect();
+        if w.is_empty() {
+            continue;
+        }
+        if w.starts_with('\'') {
+            in_quote = true;
+        }
+        if in_quote {
+            if w.len() > 1 && w.ends_with('\'') {
+                in_quote = false;
+            }
+            if out.last().map(String::as_str) != Some("{val}") {
+                out.push("{val}".to_string());
+            }
+            continue;
+        }
+        let w = w.trim_matches('\'').to_lowercase();
+        if w.is_empty() {
+            continue;
+        }
+        if w.chars().all(|c| c.is_ascii_digit() || c == '.') {
+            out.push("{num}".to_string());
+        } else {
+            out.push(w);
+        }
+    }
+    out
+}
+
+impl Questioner {
+    /// Train from pairs.
+    pub fn train(pairs: &[TrainPair], cfg: &QuestionerConfig) -> Self {
+        // --- phase 1: alignment counts
+        let mut token_count: HashMap<String, u32> = HashMap::new();
+        let mut phrase_count: HashMap<String, u32> = HashMap::new();
+        let mut joint: HashMap<(String, String), u32> = HashMap::new();
+        let mut n_pairs = 0u32;
+
+        for pair in pairs {
+            n_pairs += 1;
+            let words = question_words(&pair.question);
+            let grams = ngrams(&words, cfg.max_ngram);
+            let mut tokens: Vec<&String> = pair.entities.iter().collect();
+            tokens.extend(pair.attrs.iter());
+            for t in &tokens {
+                *token_count.entry((*t).clone()).or_insert(0) += 1;
+            }
+            for g in &grams {
+                *phrase_count.entry(g.clone()).or_insert(0) += 1;
+                for t in &tokens {
+                    *joint.entry((g.clone(), (*t).clone())).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // --- phase 2: phrase table by PMI-style score
+        // A phrase that aligns with many different tokens is template filler
+        // or cross-table noise; discount it by its token document frequency.
+        let mut token_df: HashMap<&String, u32> = HashMap::new();
+        for ((g, _), &c) in &joint {
+            if c >= cfg.min_count {
+                *token_df.entry(g).or_insert(0) += 1;
+            }
+        }
+        let mut phrase_table: HashMap<String, Vec<(String, f32)>> = HashMap::new();
+        for ((g, t), &c) in &joint {
+            if c < cfg.min_count {
+                continue;
+            }
+            let pc = phrase_count[g] as f32;
+            let tc = token_count[t] as f32;
+            let df = token_df.get(g).copied().unwrap_or(1) as f32;
+            // PMI with a frequency prior: favors phrases specific to the token.
+            let score =
+                (c as f32 * n_pairs as f32) / (pc * tc) * (c as f32).ln_1p() / df.powf(1.5);
+            phrase_table.entry(t.clone()).or_default().push((g.clone(), score));
+        }
+        for phrases in phrase_table.values_mut() {
+            phrases.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            // Prefer longer, more specific phrases among near-equal scores.
+            phrases.truncate(cfg.top_phrases * 3);
+            phrases.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| b.0.len().cmp(&a.0.len()))
+            });
+            phrases.truncate(cfg.top_phrases);
+        }
+        // Subword prior: a seq2seq questioner can always verbalize an
+        // identifier by splitting it; seed every token with its split form
+        // (and the plural) so rare tokens still generate.
+        for t in token_count.keys() {
+            let split = t.replace('_', " ");
+            let plural = crate::lexicon::pluralize(&split);
+            let entry = phrase_table.entry(t.clone()).or_default();
+            let prior = entry.first().map(|(_, s)| *s * 0.8).unwrap_or(1.0);
+            for form in [split, plural] {
+                if !entry.iter().any(|(p, _)| *p == form) {
+                    entry.push((form, prior));
+                }
+            }
+        }
+        // Vocabulary of entity words: used to reject patterns with leftover
+        // (misaligned) entity mentions.
+        let mut entity_words: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for pair in pairs {
+            for ent in &pair.entities {
+                if let Some(phrases) = phrase_table.get(ent) {
+                    for (p, _) in phrases {
+                        for w in p.split_whitespace() {
+                            if !is_stop(w) {
+                                entity_words.insert(w.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- phase 3: pattern extraction by delexicalization
+        let mut pattern_counts: HashMap<(String, usize), f32> = HashMap::new();
+        for pair in pairs {
+            let words = question_words(&pair.question);
+            let mut text = words.join(" ");
+            for (i, ent) in pair.entities.iter().enumerate() {
+                if let Some(phrases) = phrase_table.get(ent) {
+                    if let Some(best) = best_occurring(&text, phrases) {
+                        text = text.replacen(&best, &format!("{{e{i}}}"), 1);
+                    }
+                }
+            }
+            for attr in &pair.attrs {
+                if let Some(phrases) = phrase_table.get(attr) {
+                    if let Some(best) = best_occurring(&text, phrases) {
+                        text = text.replacen(&best, "{a}", 1);
+                        break; // one attribute slot per pattern
+                    }
+                }
+            }
+            // Quality gates: at least one entity slot extracted, and no
+            // stray entity words left behind by misalignment.
+            if !text.contains("{e") {
+                continue;
+            }
+            let leftover = text
+                .split_whitespace()
+                .any(|w| !w.starts_with('{') && entity_words.contains(w));
+            if leftover {
+                continue;
+            }
+            *pattern_counts.entry((text, pair.entities.len())).or_insert(0.0) += 1.0;
+        }
+        let mut patterns: Vec<Pattern> = pattern_counts
+            .into_iter()
+            .map(|((text, n_tables), weight)| Pattern { text, n_tables, weight })
+            .collect();
+        patterns.sort_by(|a, b| {
+            b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        patterns.truncate(400);
+
+        let tokens: Vec<String> = token_count.keys().cloned().collect();
+        Questioner { phrase_table, patterns, tokens, hallucination_prob: cfg.hallucination_prob }
+    }
+
+    /// Phrases learned for a token (diagnostics / tests).
+    pub fn phrases_of(&self, token: &str) -> Vec<&str> {
+        self.phrase_table
+            .get(token)
+            .map(|v| v.iter().map(|(p, _)| p.as_str()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of learned patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Generate a pseudo-question for a sampled schema described by its
+    /// entity tokens (one per table) and attribute tokens.
+    pub fn generate(
+        &self,
+        entities: &[String],
+        attrs: &[String],
+        rng: &mut SmallRng,
+    ) -> String {
+        let n = entities.len().max(1);
+        let candidates: Vec<&Pattern> =
+            self.patterns.iter().filter(|p| p.n_tables == n).collect();
+        let pattern_text = if candidates.is_empty() {
+            fallback_pattern(n)
+        } else {
+            weighted_choice(&candidates, rng).text.clone()
+        };
+
+        let mut out = pattern_text;
+        for i in 0..n {
+            let slot = format!("{{e{i}}}");
+            if !out.contains(&slot) {
+                continue;
+            }
+            let token = if rng.gen_bool(self.hallucination_prob) && !self.tokens.is_empty() {
+                // hallucination: verbalize the wrong element
+                self.tokens[rng.gen_range(0..self.tokens.len())].clone()
+            } else {
+                entities.get(i).cloned().unwrap_or_default()
+            };
+            let phrase = self.sample_phrase(&token, rng);
+            out = out.replacen(&slot, &phrase, 1);
+        }
+        if out.contains("{a}") {
+            let token = if attrs.is_empty() {
+                entities.first().cloned().unwrap_or_default()
+            } else if rng.gen_bool(self.hallucination_prob) && !self.tokens.is_empty() {
+                self.tokens[rng.gen_range(0..self.tokens.len())].clone()
+            } else {
+                attrs[rng.gen_range(0..attrs.len())].clone()
+            };
+            let phrase = self.sample_phrase(&token, rng);
+            out = out.replace("{a}", &phrase);
+        }
+        while out.contains("{num}") {
+            out = out.replacen("{num}", &format!("{}", rng.gen_range(1..100)), 1);
+        }
+        while out.contains("{val}") {
+            out = out.replacen("{val}", &format!("'{}'", crate::corpusgen::gen_name(rng)), 1);
+        }
+        out
+    }
+
+    fn sample_phrase(&self, token: &str, rng: &mut SmallRng) -> String {
+        match self.phrase_table.get(token) {
+            Some(phrases) if !phrases.is_empty() => {
+                // Sample ∝ score.
+                let total: f32 = phrases.iter().map(|(_, s)| s).sum();
+                let mut pick = rng.gen_range(0.0..total.max(f32::MIN_POSITIVE));
+                for (p, s) in phrases {
+                    if pick < *s {
+                        return p.clone();
+                    }
+                    pick -= s;
+                }
+                phrases[0].0.clone()
+            }
+            // Unseen token: fall back to splitting the identifier — exactly
+            // what a seq2seq questioner does with subwords.
+            _ => token.replace('_', " "),
+        }
+    }
+}
+
+fn ngrams(words: &[String], max_n: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for n in 1..=max_n {
+        for w in words.windows(n) {
+            // skip slot markers and grams with stopword edges: they are
+            // template filler ("names of X"), not content phrases
+            if w.iter().any(|x| x.starts_with('{')) {
+                continue;
+            }
+            if is_stop(w.first().unwrap()) || is_stop(w.last().unwrap()) {
+                continue;
+            }
+            out.push(w.join(" "));
+        }
+    }
+    out
+}
+
+/// The best-scored phrase of `phrases` occurring in `text` (whole-word).
+fn best_occurring(text: &str, phrases: &[(String, f32)]) -> Option<String> {
+    let padded = format!(" {text} ");
+    // Prefer the longest occurring phrase, then score order.
+    let mut hit: Option<&String> = None;
+    for (p, _) in phrases {
+        if padded.contains(&format!(" {p} ")) {
+            match hit {
+                Some(h) if h.len() >= p.len() => {}
+                _ => hit = Some(p),
+            }
+        }
+    }
+    hit.cloned()
+}
+
+fn weighted_choice<'a>(candidates: &[&'a Pattern], rng: &mut SmallRng) -> &'a Pattern {
+    let total: f32 = candidates.iter().map(|p| p.weight).sum();
+    let mut pick = rng.gen_range(0.0..total.max(f32::MIN_POSITIVE));
+    for p in candidates {
+        if pick < p.weight {
+            return p;
+        }
+        pick -= p.weight;
+    }
+    candidates[candidates.len() - 1]
+}
+
+fn fallback_pattern(n: usize) -> String {
+    match n {
+        1 => "list the {a} of all {e0}".to_string(),
+        2 => "show each {e0} together with its {e1}".to_string(),
+        _ => "list the {e1} that are associated with the {e2} named {val}".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy_pairs() -> Vec<TrainPair> {
+        let mut pairs = Vec::new();
+        for _ in 0..5 {
+            pairs.push(TrainPair {
+                entities: vec!["singer".into()],
+                attrs: vec!["age".into()],
+                question: "What are the names of vocalists whose age is greater than 30?".into(),
+            });
+            pairs.push(TrainPair {
+                entities: vec!["singer".into()],
+                attrs: vec![],
+                question: "How many singers are there?".into(),
+            });
+            pairs.push(TrainPair {
+                entities: vec!["concert".into()],
+                attrs: vec!["capacity".into()],
+                question: "What is the average capacity of all live shows?".into(),
+            });
+            pairs.push(TrainPair {
+                entities: vec!["singer".into(), "concert".into()],
+                attrs: vec![],
+                question: "Show the name of each vocalist together with the name of its live show."
+                    .into(),
+            });
+        }
+        pairs
+    }
+
+    #[test]
+    fn learns_synonym_alignments() {
+        let q = Questioner::train(&toy_pairs(), &QuestionerConfig::default());
+        let phrases = q.phrases_of("singer");
+        assert!(
+            phrases.iter().any(|p| p.contains("vocalist") || p.contains("singers")),
+            "learned phrases: {phrases:?}"
+        );
+    }
+
+    #[test]
+    fn extracts_patterns() {
+        let q = Questioner::train(&toy_pairs(), &QuestionerConfig::default());
+        assert!(q.num_patterns() > 0);
+    }
+
+    #[test]
+    fn generates_non_empty_questions() {
+        let q = Questioner::train(&toy_pairs(), &QuestionerConfig::default());
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let out = q.generate(&["singer".into()], &["age".into()], &mut rng);
+            assert!(!out.is_empty());
+            assert!(!out.contains("{e0}"), "unfilled slot in {out:?}");
+            assert!(!out.contains("{a}"), "unfilled slot in {out:?}");
+            assert!(!out.contains("{num}"), "unfilled slot in {out:?}");
+            assert!(!out.contains("{val}"), "unfilled slot in {out:?}");
+        }
+    }
+
+    #[test]
+    fn unseen_tokens_fall_back_to_identifier_split() {
+        let q = Questioner::train(&toy_pairs(), &QuestionerConfig::default());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let out = q.generate(&["exotic_gadget".into()], &[], &mut rng);
+        assert!(out.contains("exotic gadget") || !out.is_empty());
+    }
+
+    #[test]
+    fn question_words_slots() {
+        let w = question_words("Which singers have country equal to 'France'? List 30 names.");
+        assert!(w.contains(&"{val}".to_string()));
+        assert!(w.contains(&"{num}".to_string()));
+        assert!(w.contains(&"singers".to_string()));
+    }
+
+    #[test]
+    fn hallucination_injects_wrong_phrases() {
+        let cfg = QuestionerConfig { hallucination_prob: 1.0, ..Default::default() };
+        let q = Questioner::train(&toy_pairs(), &cfg);
+        let mut rng = SmallRng::seed_from_u64(7);
+        // with prob 1 every entity slot is hallucinated; over many samples we
+        // should see concert phrases for a singer schema
+        let outs: Vec<String> =
+            (0..30).map(|_| q.generate(&["singer".into()], &[], &mut rng)).collect();
+        let off_topic = outs
+            .iter()
+            .filter(|o| o.contains("live show") || o.contains("concert") || o.contains("capacity"))
+            .count();
+        assert!(off_topic > 0, "expected hallucinated phrases: {outs:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let q = Questioner::train(&toy_pairs(), &QuestionerConfig::default());
+        let a: Vec<String> = {
+            let mut rng = SmallRng::seed_from_u64(11);
+            (0..5).map(|_| q.generate(&["singer".into()], &["age".into()], &mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = SmallRng::seed_from_u64(11);
+            (0..5).map(|_| q.generate(&["singer".into()], &["age".into()], &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,602 @@
+//! Question/SQL templates.
+//!
+//! Every workload instance is produced from a [`QuestionSpec`]: a template
+//! kind plus slot bindings. The spec renders deterministically to (a) a gold
+//! SQL query and (b) a natural-language question in one of several *surface
+//! styles*. The styles implement the robustness datasets:
+//!
+//! * `Canonical` — schema words verbatim (easy for lexical retrieval);
+//! * `Mixed(p)` — each mention independently uses a synonym with probability
+//!   `p` (the regular test distribution);
+//! * `SynonymOnly` — every mention paraphrased (Spider-syn analog);
+//! * `Implicit` — column mentions dropped or vague (Spider-real analog).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use dbcopilot_sqlengine::Value;
+
+use crate::lexicon::{pluralize, Lexicon};
+
+/// Comparison direction in range filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    Gt,
+    Lt,
+}
+
+/// Aggregate requested by a question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggKind {
+    Avg,
+    Sum,
+    Min,
+    Max,
+}
+
+impl AggKind {
+    pub fn sql(&self) -> &'static str {
+        match self {
+            AggKind::Avg => "AVG",
+            AggKind::Sum => "SUM",
+            AggKind::Min => "MIN",
+            AggKind::Max => "MAX",
+        }
+    }
+
+    pub fn phrase(&self) -> &'static str {
+        match self {
+            AggKind::Avg => "average",
+            AggKind::Sum => "total",
+            AggKind::Min => "minimum",
+            AggKind::Max => "maximum",
+        }
+    }
+
+    pub fn from_phrase(p: &str) -> Option<Self> {
+        match p {
+            "average" => Some(AggKind::Avg),
+            "total" => Some(AggKind::Sum),
+            "minimum" => Some(AggKind::Min),
+            "maximum" => Some(AggKind::Max),
+            _ => None,
+        }
+    }
+}
+
+/// Template families. Tables listed in role order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemplateKind {
+    /// `[t]` — SELECT attr FROM t
+    ListAttr,
+    /// `[t]` — SELECT name FROM t WHERE attr >/< v
+    FilterCmp,
+    /// `[t]` — SELECT name FROM t WHERE attr = 'v'
+    FilterEq,
+    /// `[t]` — SELECT COUNT(*) FROM t
+    CountAll,
+    /// `[t]` — SELECT COUNT(*) FROM t WHERE attr >/< v
+    CountFilter,
+    /// `[t]` — SELECT AGG(attr) FROM t
+    AggAttr,
+    /// `[t]` — SELECT attr, COUNT(*) FROM t GROUP BY attr
+    GroupCount,
+    /// `[t]` — SELECT attr FROM t GROUP BY attr HAVING COUNT(*) > k
+    GroupHaving,
+    /// `[t]` — SELECT name FROM t ORDER BY attr DESC/ASC LIMIT 1
+    TopK,
+    /// `[t]` — SELECT name FROM t WHERE attr = (SELECT MAX(attr) FROM t)
+    MaxSubquery,
+    /// `[child, parent]` — join listing both names
+    JoinList,
+    /// `[child, parent]` — join filtered on parent attr = 'v'
+    JoinFilter,
+    /// `[child, parent]` — COUNT children of the parent named 'v'
+    CountJoin,
+    /// `[parent, child]` — parents with at least one child (IN subquery)
+    InSubquery,
+    /// `[junction, a, b]` — names of a's associated with b named 'v'
+    JunctionList,
+}
+
+impl TemplateKind {
+    pub const ALL: &'static [TemplateKind] = &[
+        TemplateKind::ListAttr,
+        TemplateKind::FilterCmp,
+        TemplateKind::FilterEq,
+        TemplateKind::CountAll,
+        TemplateKind::CountFilter,
+        TemplateKind::AggAttr,
+        TemplateKind::GroupCount,
+        TemplateKind::GroupHaving,
+        TemplateKind::TopK,
+        TemplateKind::MaxSubquery,
+        TemplateKind::JoinList,
+        TemplateKind::JoinFilter,
+        TemplateKind::CountJoin,
+        TemplateKind::InSubquery,
+        TemplateKind::JunctionList,
+    ];
+
+    /// Number of tables in the query schema.
+    pub fn num_tables(&self) -> usize {
+        match self {
+            TemplateKind::JoinList
+            | TemplateKind::JoinFilter
+            | TemplateKind::CountJoin
+            | TemplateKind::InSubquery => 2,
+            TemplateKind::JunctionList => 3,
+            _ => 1,
+        }
+    }
+}
+
+/// Surface realization style for question rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SurfaceStyle {
+    Canonical,
+    Mixed(f64),
+    SynonymOnly,
+    /// Spider-real analog: drop/vague column mentions; entity mentions use
+    /// synonyms half the time.
+    Implicit,
+}
+
+/// A fully bound question specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuestionSpec {
+    pub kind: TemplateKind,
+    pub database: String,
+    /// Tables in role order (see [`TemplateKind`] docs).
+    pub tables: Vec<String>,
+    /// Canonical lexicon entity keys aligned with `tables`.
+    pub entities: Vec<String>,
+    /// Schema-aligned surface form per table: how a user reading this
+    /// schema would verbalize the table ("vocalist" for a table named
+    /// `vocalist`, even though the concept is `singer`). Empty means "use
+    /// the entity's canonical display".
+    #[serde(default)]
+    pub aligned: Vec<String>,
+    /// Main attribute (canonical name), when the template uses one.
+    pub attr: Option<String>,
+    pub cmp: Option<CmpOp>,
+    pub agg: Option<AggKind>,
+    /// Literal used in WHERE clauses.
+    pub value: Option<Value>,
+    /// HAVING threshold.
+    pub k: Option<i64>,
+    /// `(fk_column, parent_pk)` for the child→parent join.
+    pub join_on: Option<(String, String)>,
+    /// Junction joins: `(a_fk, a_pk)` and `(b_fk, b_pk)`.
+    pub junction_on: Option<((String, String), (String, String))>,
+    /// TopK: highest (`true`) or lowest.
+    pub highest: bool,
+}
+
+impl QuestionSpec {
+    /// The query schema `⟨D, T⟩` this question routes to.
+    pub fn schema(&self) -> dbcopilot_graph::QuerySchema {
+        dbcopilot_graph::QuerySchema::new(self.database.clone(), self.tables.clone())
+    }
+}
+
+/// Format a literal for SQL.
+fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        other => other.to_string(),
+    }
+}
+
+/// Format a literal for question text (text values quoted).
+fn question_literal(v: &Value) -> String {
+    match v {
+        Value::Text(s) => format!("'{s}'"),
+        Value::Float(f) => format!("{f}"),
+        Value::Int(i) => format!("{i}"),
+        other => other.to_string(),
+    }
+}
+
+/// Render the gold SQL for a spec.
+pub fn render_sql(spec: &QuestionSpec) -> String {
+    let t = |i: usize| -> &str { &spec.tables[i] };
+    match spec.kind {
+        TemplateKind::ListAttr => {
+            format!("SELECT {} FROM {}", spec.attr.as_ref().unwrap(), t(0))
+        }
+        TemplateKind::FilterCmp => format!(
+            "SELECT name FROM {} WHERE {} {} {}",
+            t(0),
+            spec.attr.as_ref().unwrap(),
+            if spec.cmp == Some(CmpOp::Gt) { ">" } else { "<" },
+            sql_literal(spec.value.as_ref().unwrap()),
+        ),
+        TemplateKind::FilterEq => format!(
+            "SELECT name FROM {} WHERE {} = {}",
+            t(0),
+            spec.attr.as_ref().unwrap(),
+            sql_literal(spec.value.as_ref().unwrap()),
+        ),
+        TemplateKind::CountAll => format!("SELECT COUNT(*) FROM {}", t(0)),
+        TemplateKind::CountFilter => format!(
+            "SELECT COUNT(*) FROM {} WHERE {} {} {}",
+            t(0),
+            spec.attr.as_ref().unwrap(),
+            if spec.cmp == Some(CmpOp::Gt) { ">" } else { "<" },
+            sql_literal(spec.value.as_ref().unwrap()),
+        ),
+        TemplateKind::AggAttr => format!(
+            "SELECT {}({}) FROM {}",
+            spec.agg.unwrap().sql(),
+            spec.attr.as_ref().unwrap(),
+            t(0),
+        ),
+        TemplateKind::GroupCount => format!(
+            "SELECT {a}, COUNT(*) FROM {t} GROUP BY {a}",
+            a = spec.attr.as_ref().unwrap(),
+            t = t(0),
+        ),
+        TemplateKind::GroupHaving => format!(
+            "SELECT {a} FROM {t} GROUP BY {a} HAVING COUNT(*) > {k}",
+            a = spec.attr.as_ref().unwrap(),
+            t = t(0),
+            k = spec.k.unwrap(),
+        ),
+        TemplateKind::TopK => format!(
+            "SELECT name FROM {} ORDER BY {} {} LIMIT 1",
+            t(0),
+            spec.attr.as_ref().unwrap(),
+            if spec.highest { "DESC" } else { "ASC" },
+        ),
+        TemplateKind::MaxSubquery => format!(
+            "SELECT name FROM {t} WHERE {a} = (SELECT MAX({a}) FROM {t})",
+            t = t(0),
+            a = spec.attr.as_ref().unwrap(),
+        ),
+        TemplateKind::JoinList => {
+            let (fk, ppk) = spec.join_on.as_ref().unwrap();
+            format!(
+                "SELECT {c}.name, {p}.name FROM {c} JOIN {p} ON {c}.{fk} = {p}.{ppk}",
+                c = t(0),
+                p = t(1),
+            )
+        }
+        TemplateKind::JoinFilter => {
+            let (fk, ppk) = spec.join_on.as_ref().unwrap();
+            format!(
+                "SELECT {c}.name FROM {c} JOIN {p} ON {c}.{fk} = {p}.{ppk} WHERE {p}.{a} = {v}",
+                c = t(0),
+                p = t(1),
+                a = spec.attr.as_ref().unwrap(),
+                v = sql_literal(spec.value.as_ref().unwrap()),
+            )
+        }
+        TemplateKind::CountJoin => {
+            let (fk, ppk) = spec.join_on.as_ref().unwrap();
+            format!(
+                "SELECT COUNT(*) FROM {c} JOIN {p} ON {c}.{fk} = {p}.{ppk} WHERE {p}.name = {v}",
+                c = t(0),
+                p = t(1),
+                v = sql_literal(spec.value.as_ref().unwrap()),
+            )
+        }
+        TemplateKind::InSubquery => {
+            let (fk, ppk) = spec.join_on.as_ref().unwrap();
+            format!(
+                "SELECT name FROM {p} WHERE {ppk} IN (SELECT {fk} FROM {c})",
+                p = t(0),
+                c = t(1),
+            )
+        }
+        TemplateKind::JunctionList => {
+            let ((afk, apk), (bfk, bpk)) = spec.junction_on.as_ref().unwrap();
+            format!(
+                "SELECT {a}.name FROM {j} JOIN {a} ON {j}.{afk} = {a}.{apk} \
+                 JOIN {b} ON {j}.{bfk} = {b}.{bpk} WHERE {b}.name = {v}",
+                j = t(0),
+                a = t(1),
+                b = t(2),
+                v = sql_literal(spec.value.as_ref().unwrap()),
+            )
+        }
+    }
+}
+
+/// Pick a surface form for an entity mention.
+///
+/// The *aligned* form is how the schema itself names the concept — the
+/// form a question author looking at the schema would use (the reason
+/// lexical retrieval works at all on Spider). `SynonymOnly` (Spider-syn)
+/// explicitly avoids it.
+fn entity_surface(
+    lex: &Lexicon,
+    spec: &QuestionSpec,
+    i: usize,
+    style: SurfaceStyle,
+    rng: &mut SmallRng,
+) -> String {
+    let canonical = spec.entities.get(i).map(String::as_str).unwrap_or("");
+    let aligned = spec
+        .aligned
+        .get(i)
+        .filter(|a| !a.is_empty())
+        .map(|a| crate::lexicon::display_form(a))
+        .unwrap_or_else(|| crate::lexicon::display_form(canonical));
+    let surfaces = lex.entity_surfaces(canonical);
+    pick_surface(&aligned, &surfaces, style, rng)
+}
+
+fn attr_surface(lex: &Lexicon, canonical: &str, style: SurfaceStyle, rng: &mut SmallRng) -> String {
+    let surfaces = lex.attr_surfaces(canonical);
+    // column names are canonical, so the canonical display is the aligned form
+    let aligned = surfaces[0].clone();
+    pick_surface(&aligned, &surfaces, style, rng)
+}
+
+fn pick_surface(
+    aligned: &str,
+    surfaces: &[String],
+    style: SurfaceStyle,
+    rng: &mut SmallRng,
+) -> String {
+    let alternatives: Vec<&String> =
+        surfaces.iter().filter(|s| s.as_str() != aligned).collect();
+    let use_alt = match style {
+        SurfaceStyle::Canonical => false,
+        SurfaceStyle::Mixed(p) => rng.gen_bool(p),
+        SurfaceStyle::SynonymOnly => true,
+        SurfaceStyle::Implicit => rng.gen_bool(0.5),
+    };
+    if use_alt && !alternatives.is_empty() {
+        alternatives.choose(rng).map(|s| s.to_string()).unwrap_or_else(|| aligned.to_string())
+    } else {
+        aligned.to_string()
+    }
+}
+
+/// Render the natural-language question for a spec under a surface style.
+pub fn render_question(
+    spec: &QuestionSpec,
+    lex: &Lexicon,
+    style: SurfaceStyle,
+    rng: &mut SmallRng,
+) -> String {
+    let e = |i: usize, rng: &mut SmallRng| entity_surface(lex, spec, i, style, rng);
+    let e_pl = |i: usize, rng: &mut SmallRng| pluralize(&e(i, rng));
+    let a = |rng: &mut SmallRng| attr_surface(lex, spec.attr.as_deref().unwrap_or(""), style, rng);
+    let v = || question_literal(spec.value.as_ref().unwrap_or(&Value::Null));
+    let implicit = style == SurfaceStyle::Implicit;
+
+    match spec.kind {
+        TemplateKind::ListAttr => {
+            format!("List the {} of all {}.", a(rng), e_pl(0, rng))
+        }
+        TemplateKind::FilterCmp => {
+            let dir = if spec.cmp == Some(CmpOp::Gt) { "greater than" } else { "less than" };
+            if implicit {
+                let dir = if spec.cmp == Some(CmpOp::Gt) { "above" } else { "below" };
+                format!("What are the names of {} {} {}?", e_pl(0, rng), dir, v())
+            } else {
+                format!(
+                    "What are the names of {} whose {} is {} {}?",
+                    e_pl(0, rng),
+                    a(rng),
+                    dir,
+                    v()
+                )
+            }
+        }
+        TemplateKind::FilterEq => {
+            if implicit {
+                format!("Which {} are associated with {}? List their names.", e_pl(0, rng), v())
+            } else {
+                format!("Which {} have {} equal to {}? List their names.", e_pl(0, rng), a(rng), v())
+            }
+        }
+        TemplateKind::CountAll => format!("How many {} are there?", e_pl(0, rng)),
+        TemplateKind::CountFilter => {
+            let dir = if spec.cmp == Some(CmpOp::Gt) { "greater than" } else { "less than" };
+            if implicit {
+                let dir = if spec.cmp == Some(CmpOp::Gt) { "above" } else { "below" };
+                format!("How many {} are {} {}?", e_pl(0, rng), dir, v())
+            } else {
+                format!("How many {} have {} {} {}?", e_pl(0, rng), a(rng), dir, v())
+            }
+        }
+        TemplateKind::AggAttr => {
+            format!("What is the {} {} of all {}?", spec.agg.unwrap().phrase(), a(rng), e_pl(0, rng))
+        }
+        TemplateKind::GroupCount => {
+            format!("For each {}, how many {} are there?", a(rng), e_pl(0, rng))
+        }
+        TemplateKind::GroupHaving => {
+            format!(
+                "Which {} values have more than {} {}?",
+                a(rng),
+                spec.k.unwrap_or(1),
+                e_pl(0, rng)
+            )
+        }
+        TemplateKind::TopK => {
+            let sup = if spec.highest { "highest" } else { "lowest" };
+            format!("Which {} has the {} {}? Give its name.", e(0, rng), sup, a(rng))
+        }
+        TemplateKind::MaxSubquery => {
+            let at = a(rng);
+            format!("List the names of {} whose {} equals the maximum {}.", e_pl(0, rng), at, at)
+        }
+        TemplateKind::JoinList => {
+            format!(
+                "Show the name of each {} together with the name of its {}.",
+                e(0, rng),
+                e(1, rng)
+            )
+        }
+        TemplateKind::JoinFilter => {
+            if implicit {
+                format!(
+                    "What are the names of {} whose {} is associated with {}?",
+                    e_pl(0, rng),
+                    e(1, rng),
+                    v()
+                )
+            } else {
+                format!(
+                    "What are the names of {} whose {} has {} equal to {}?",
+                    e_pl(0, rng),
+                    e(1, rng),
+                    a(rng),
+                    v()
+                )
+            }
+        }
+        TemplateKind::CountJoin => {
+            format!("How many {} does the {} named {} have?", e_pl(0, rng), e(1, rng), v())
+        }
+        TemplateKind::InSubquery => {
+            format!("List the names of {} that have at least one {}.", e_pl(0, rng), e(1, rng))
+        }
+        TemplateKind::JunctionList => {
+            format!(
+                "List the names of {} that are associated with the {} named {}.",
+                e_pl(1, rng),
+                e(2, rng),
+                v()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn spec_filter_cmp() -> QuestionSpec {
+        QuestionSpec {
+            kind: TemplateKind::FilterCmp,
+            database: "concert_singer".into(),
+            tables: vec!["singer".into()],
+            entities: vec!["singer".into()],
+            aligned: vec!["singer".into()],
+            attr: Some("age".into()),
+            cmp: Some(CmpOp::Gt),
+            agg: None,
+            value: Some(Value::Int(30)),
+            k: None,
+            join_on: None,
+            junction_on: None,
+            highest: false,
+        }
+    }
+
+    #[test]
+    fn sql_rendering_filter() {
+        assert_eq!(
+            render_sql(&spec_filter_cmp()),
+            "SELECT name FROM singer WHERE age > 30"
+        );
+    }
+
+    #[test]
+    fn sql_rendering_junction() {
+        let spec = QuestionSpec {
+            kind: TemplateKind::JunctionList,
+            database: "concert_singer".into(),
+            tables: vec!["singer_in_concert".into(), "singer".into(), "concert".into()],
+            entities: vec!["singer_in_concert".into(), "singer".into(), "concert".into()],
+            aligned: vec!["singer_in_concert".into(), "singer".into(), "concert".into()],
+            attr: None,
+            cmp: None,
+            agg: None,
+            value: Some(Value::Text("Arena".into())),
+            k: None,
+            join_on: None,
+            junction_on: Some((
+                ("singer_id".into(), "singer_id".into()),
+                ("concert_id".into(), "concert_id".into()),
+            )),
+            highest: false,
+        };
+        let sql = render_sql(&spec);
+        assert!(sql.contains("JOIN singer ON singer_in_concert.singer_id = singer.singer_id"));
+        assert!(sql.contains("WHERE concert.name = 'Arena'"));
+    }
+
+    #[test]
+    fn canonical_question_uses_schema_words() {
+        let lex = Lexicon::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let q = render_question(&spec_filter_cmp(), &lex, SurfaceStyle::Canonical, &mut rng);
+        assert_eq!(q, "What are the names of singers whose age is greater than 30?");
+    }
+
+    #[test]
+    fn synonym_only_avoids_schema_words() {
+        let lex = Lexicon::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..10 {
+            let q =
+                render_question(&spec_filter_cmp(), &lex, SurfaceStyle::SynonymOnly, &mut rng);
+            assert!(!q.contains("singer"), "q={q}");
+            assert!(!q.contains(" age "), "q={q}");
+        }
+    }
+
+    #[test]
+    fn implicit_drops_attribute() {
+        let lex = Lexicon::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let q = render_question(&spec_filter_cmp(), &lex, SurfaceStyle::Implicit, &mut rng);
+        assert!(q.contains("above 30"), "q={q}");
+        assert!(!q.contains("age"), "q={q}");
+    }
+
+    #[test]
+    fn sql_literal_escapes_quotes() {
+        assert_eq!(sql_literal(&Value::Text("it's".into())), "'it''s'");
+    }
+
+    #[test]
+    fn all_templates_render_sql_and_questions() {
+        let lex = Lexicon::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for kind in TemplateKind::ALL {
+            let n = kind.num_tables();
+            let spec = QuestionSpec {
+                kind: *kind,
+                database: "d".into(),
+                tables: (0..n).map(|i| format!("t{i}")).collect(),
+                entities: vec!["singer".into(), "concert".into(), "venue".into()][..n].to_vec(),
+                aligned: vec!["singer".into(), "concert".into(), "venue".into()][..n].to_vec(),
+                attr: Some("age".into()),
+                cmp: Some(CmpOp::Lt),
+                agg: Some(AggKind::Avg),
+                value: Some(Value::Int(5)),
+                k: Some(2),
+                join_on: Some(("x_id".into(), "x_id".into())),
+                junction_on: Some((("a_id".into(), "a_id".into()), ("b_id".into(), "b_id".into()))),
+                highest: true,
+            };
+            let sql = render_sql(&spec);
+            assert!(sql.starts_with("SELECT"), "{kind:?}: {sql}");
+            // parseable by the engine's parser
+            dbcopilot_sqlengine::parse_select(&sql).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            let q = render_question(&spec, &lex, SurfaceStyle::Canonical, &mut rng);
+            assert!(!q.is_empty());
+        }
+    }
+
+    #[test]
+    fn mixed_style_varies() {
+        let lex = Lexicon::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let qs: std::collections::HashSet<String> = (0..40)
+            .map(|_| render_question(&spec_filter_cmp(), &lex, SurfaceStyle::Mixed(0.5), &mut rng))
+            .collect();
+        assert!(qs.len() > 1, "mixed style should vary surface forms");
+    }
+}

@@ -1,0 +1,82 @@
+//! Routing case study (paper Figures 8–9): compare how each method routes
+//! individual questions, including a synonym-heavy question where lexical
+//! retrieval fails, and inspect success/failure cases of the router.
+//!
+//! ```sh
+//! cargo run --release --example case_study
+//! ```
+
+use dbcopilot_eval::{build_method, prepare, CorpusKind, MethodKind, Scale};
+use dbcopilot_retrieval::SchemaRouter;
+use dbcopilot_synth::{rerender_instances, Lexicon, SurfaceStyle};
+
+fn main() {
+    let scale = Scale::quick();
+    println!("Preparing the Spider-like corpus …");
+    let prepared = prepare(CorpusKind::Spider, &scale);
+    let lex = Lexicon::new();
+
+    // Methods of the paper's Figure 8.
+    let methods = [
+        MethodKind::Bm25,
+        MethodKind::Sxfmr,
+        MethodKind::CrushBm25,
+        MethodKind::Dtr,
+        MethodKind::DbCopilot,
+    ];
+    println!("Building methods (training where needed) …");
+    let built: Vec<_> = methods.iter().map(|&m| build_method(m, &prepared, &scale)).collect();
+
+    // A regular question and its synonym-substituted variant.
+    let insts = &prepared.corpus.test;
+    let syn = rerender_instances(insts, &lex, SurfaceStyle::SynonymOnly, 99);
+    for (title, question, gold) in [
+        ("regular question", insts[0].question.as_str(), &insts[0].schema),
+        ("synonym-substituted variant (Spider-syn)", syn[0].question.as_str(), &syn[0].schema),
+    ] {
+        println!("\n=== case: {title} ===");
+        println!("Q: {question}");
+        println!("gold: {gold}");
+        for (router, _) in &built {
+            let result = router.route(question, 10);
+            let db = result
+                .databases
+                .first()
+                .map(|(d, _)| d.as_str())
+                .unwrap_or("∅");
+            let tables: Vec<String> = result
+                .top_tables(3)
+                .iter()
+                .map(|(d, t)| format!("{d}.{t}"))
+                .collect();
+            let hit = db.eq_ignore_ascii_case(&gold.database);
+            println!(
+                "  {:<12} → {} {:<22} top tables: {}",
+                router.name(),
+                if hit { "✓" } else { "✗" },
+                db,
+                tables.join(", ")
+            );
+        }
+    }
+
+    // Failure inspection: find a question the router gets wrong (Figure 9).
+    let (dbc, _) = &built[4];
+    println!("\n=== first router failure (cf. paper Figure 9) ===");
+    for inst in insts.iter() {
+        let result = dbc.route(&inst.question, 10);
+        let ok = result
+            .databases
+            .first()
+            .map(|(d, _)| d.eq_ignore_ascii_case(&inst.schema.database))
+            .unwrap_or(false);
+        if !ok {
+            println!("Q: {}", inst.question);
+            println!("gold:   {}", inst.schema);
+            for (d, s) in result.databases.iter().take(3) {
+                println!("  routed {d} (score {s:.2})");
+            }
+            break;
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a small multi-database corpus, train the DBCopilot
+//! pipeline, and ask schema-agnostic questions.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dbcopilot::{DbCopilot, PipelineConfig};
+use dbcopilot_synth::{build_spider_like, CorpusSizes};
+
+fn main() {
+    println!("Building a 24-database corpus …");
+    let corpus =
+        build_spider_like(&CorpusSizes { num_databases: 24, train_n: 800, test_n: 40 }, 7);
+    println!(
+        "  {} databases, {} tables, {} columns",
+        corpus.collection.num_databases(),
+        corpus.collection.num_tables(),
+        corpus.collection.num_columns()
+    );
+
+    println!("Training the copilot (schema graph → questioner → router) …");
+    let mut cfg = PipelineConfig::default();
+    cfg.router.epochs = 8;
+    cfg.synth_pairs = 2500;
+    let copilot = DbCopilot::fit(&corpus, cfg);
+
+    println!("\nAsking the corpus' own test questions:\n");
+    for inst in corpus.test.iter().take(8) {
+        println!("Q: {}", inst.question);
+        match copilot.ask(&inst.question) {
+            Some(ans) => {
+                println!("  routed → {}", ans.schema);
+                println!("  gold   → {}", inst.schema);
+                if let Some(sql) = &ans.sql {
+                    println!("  SQL    → {sql}");
+                }
+                if let Some(rs) = &ans.result {
+                    let preview: Vec<String> = rs
+                        .rows
+                        .iter()
+                        .take(3)
+                        .map(|r| {
+                            r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+                        })
+                        .collect();
+                    println!("  rows   → {} ({})", rs.rows.len(), preview.join(" | "));
+                }
+            }
+            None => println!("  (no schema decoded)"),
+        }
+        println!();
+    }
+}

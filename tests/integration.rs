@@ -1,0 +1,102 @@
+//! Cross-crate integration tests: the full pipeline at small scale.
+
+use dbcopilot::eval::{build_method, eval_routing, prepare, CorpusKind, MethodKind, Scale};
+use dbcopilot::{DbCopilot, PipelineConfig};
+use dbcopilot_core::{DbcRouter, SerializationMode};
+use dbcopilot_synth::{build_spider_like, CorpusSizes};
+
+fn test_scale() -> Scale {
+    let mut s = Scale::quick();
+    s.spider = CorpusSizes { num_databases: 12, train_n: 300, test_n: 60 };
+    s.synth_pairs = 900;
+    s.router.epochs = 6;
+    s
+}
+
+#[test]
+fn router_beats_zero_shot_bm25_on_synonym_questions() {
+    // The paper's robustness claim (Table 4): lexical retrieval collapses
+    // under synonym substitution; the trained router does not.
+    let scale = test_scale();
+    let prepared = prepare(CorpusKind::Spider, &scale);
+    let syn = prepared.corpus.test_syn.as_ref().unwrap();
+
+    let (bm25, _) = build_method(MethodKind::Bm25, &prepared, &scale);
+    let (dbc, _) = DbcRouter::fit(
+        prepared.graph.clone(),
+        &prepared.synth_examples,
+        scale.router.clone(),
+        SerializationMode::Dfs,
+    );
+    let m_bm25 = eval_routing(bm25.as_ref(), syn, 100);
+    let m_dbc = eval_routing(&dbc, syn, 100);
+    assert!(
+        m_dbc.db_r1 > m_bm25.db_r1,
+        "router {:.1} should beat BM25 {:.1} on synonym questions",
+        m_dbc.db_r1,
+        m_bm25.db_r1
+    );
+}
+
+#[test]
+fn routed_schemata_are_always_valid() {
+    // Constrained decoding guarantees every candidate is a valid schema on
+    // the graph, for arbitrary questions (§3.5).
+    let scale = test_scale();
+    let prepared = prepare(CorpusKind::Spider, &scale);
+    let router = DbcRouter::untrained(prepared.graph.clone(), scale.router.clone());
+    for q in [
+        "how many things are there",
+        "zorgon blaster quux",
+        "",
+        "list the names of vocalists that are associated with the live show named 'X'",
+    ] {
+        for cand in router.route_schemata(q) {
+            assert!(
+                prepared.graph.is_valid_schema(&cand.schema),
+                "invalid schema {} for question {q:?}",
+                cand.schema
+            );
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_answers_questions() {
+    let corpus =
+        build_spider_like(&CorpusSizes { num_databases: 10, train_n: 250, test_n: 25 }, 5);
+    let mut cfg = PipelineConfig::default();
+    cfg.router.epochs = 6;
+    cfg.synth_pairs = 800;
+    let copilot = DbCopilot::fit(&corpus, cfg);
+    let mut routed_right = 0;
+    let mut executed = 0;
+    for inst in &corpus.test {
+        if let Some(ans) = copilot.ask(&inst.question) {
+            if ans.schema.database.eq_ignore_ascii_case(&inst.schema.database) {
+                routed_right += 1;
+            }
+            if ans.result.is_some() {
+                executed += 1;
+            }
+        }
+    }
+    assert!(routed_right > 0, "no question routed to the right database");
+    assert!(executed > 5, "only {executed} questions executed end to end");
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let scale = test_scale();
+    let a = {
+        let p = prepare(CorpusKind::Spider, &scale);
+        let (bm25, _) = build_method(MethodKind::Bm25, &p, &scale);
+        eval_routing(bm25.as_ref(), &p.corpus.test, 100)
+    };
+    let b = {
+        let p = prepare(CorpusKind::Spider, &scale);
+        let (bm25, _) = build_method(MethodKind::Bm25, &p, &scale);
+        eval_routing(bm25.as_ref(), &p.corpus.test, 100)
+    };
+    assert_eq!(a, b, "same seed must give identical metrics");
+}
