@@ -7,7 +7,6 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbcopilot_core::{DbcRouter, SerializationMode};
 use dbcopilot_eval::{build_method, prepare, CorpusKind, MethodKind, Scale};
 use dbcopilot_graph::{dfs_serialize, IterOrder};
-use dbcopilot_retrieval::SchemaRouter;
 
 fn bench_routing(c: &mut Criterion) {
     let mut scale = Scale::quick();
@@ -17,8 +16,13 @@ fn bench_routing(c: &mut Criterion) {
     let question = &prepared.corpus.test[0].question;
 
     let mut group = c.benchmark_group("route_one_query");
-    for &m in &[MethodKind::Bm25, MethodKind::Sxfmr, MethodKind::CrushBm25, MethodKind::Dtr, MethodKind::DbCopilot]
-    {
+    for &m in &[
+        MethodKind::Bm25,
+        MethodKind::Sxfmr,
+        MethodKind::CrushBm25,
+        MethodKind::Dtr,
+        MethodKind::DbCopilot,
+    ] {
         let (router, _) = build_method(m, &prepared, &scale);
         group.bench_with_input(BenchmarkId::from_parameter(m.label()), question, |b, q| {
             b.iter(|| router.route(q, 100))

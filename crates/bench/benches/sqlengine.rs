@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use dbcopilot_sqlengine::{execute, parse_select, Database, DatabaseSchema, DataType, TableSchema, Value};
+use dbcopilot_sqlengine::{
+    execute, parse_select, DataType, Database, DatabaseSchema, TableSchema, Value,
+};
 
 fn make_db(rows: usize) -> Database {
     let mut schema = DatabaseSchema::new("bench");
@@ -41,7 +43,11 @@ fn make_db(rows: usize) -> Database {
     for i in 0..rows / 4 {
         db.insert(
             "customer",
-            vec![Value::Int(i as i64), Value::Text(format!("c{i}")), Value::Text(regions[i % 4].into())],
+            vec![
+                Value::Int(i as i64),
+                Value::Text(format!("c{i}")),
+                Value::Text(regions[i % 4].into()),
+            ],
         )
         .unwrap();
     }

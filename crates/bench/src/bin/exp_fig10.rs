@@ -30,6 +30,18 @@ fn main() {
         series_db.push((kind.name().to_string(), db_pts));
         series_tab.push((kind.name().to_string(), tab_pts));
     }
-    println!("{}", dbcopilot_eval::render_series("Figure 10 — database recall@1 vs #synthetic pairs", &series_db));
-    println!("{}", dbcopilot_eval::render_series("Figure 10 — table recall@5 vs #synthetic pairs", &series_tab));
+    println!(
+        "{}",
+        dbcopilot_eval::render_series(
+            "Figure 10 — database recall@1 vs #synthetic pairs",
+            &series_db
+        )
+    );
+    println!(
+        "{}",
+        dbcopilot_eval::render_series(
+            "Figure 10 — table recall@5 vs #synthetic pairs",
+            &series_tab
+        )
+    );
 }

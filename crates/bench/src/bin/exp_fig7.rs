@@ -8,8 +8,13 @@ use dbcopilot_eval::{
 fn main() {
     let scale = Scale::from_env();
     let prepared = prepare(CorpusKind::Spider, &scale);
-    let methods =
-        [MethodKind::Bm25, MethodKind::Sxfmr, MethodKind::CrushBm25, MethodKind::Dtr, MethodKind::DbCopilot];
+    let methods = [
+        MethodKind::Bm25,
+        MethodKind::Sxfmr,
+        MethodKind::CrushBm25,
+        MethodKind::Dtr,
+        MethodKind::DbCopilot,
+    ];
     let ks = [1usize, 5, 10, 20, 30, 50];
 
     let mut fig7a = Vec::new();
@@ -17,8 +22,12 @@ fn main() {
     for &m in &methods {
         eprintln!("  building {}", m.label());
         let (router, _) = build_method(m, &prepared, &scale);
-        let rows =
-            map_by_db_size(router.as_ref(), &prepared.corpus.test, &prepared.corpus.collection, 100);
+        let rows = map_by_db_size(
+            router.as_ref(),
+            &prepared.corpus.test,
+            &prepared.corpus.collection,
+            100,
+        );
         fig7a.push((
             m.label().to_string(),
             rows.iter().map(|&(b, v, _)| (b as f64, v)).collect::<Vec<_>>(),
@@ -29,6 +38,9 @@ fn main() {
             curve.iter().map(|&(k, v)| (k as f64, v)).collect::<Vec<_>>(),
         ));
     }
-    println!("{}", render_series("Figure 7(a) — table mAP by database size (x = #tables bucket)", &fig7a));
+    println!(
+        "{}",
+        render_series("Figure 7(a) — table mAP by database size (x = #tables bucket)", &fig7a)
+    );
     println!("{}", render_series("Figure 7(b) — table recall@k (x = k)", &fig7b));
 }

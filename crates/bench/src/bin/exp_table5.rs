@@ -5,14 +5,12 @@
 //! commercial LLM; set `DBC_LLM_LATENCY_MS` (default 300) to simulate that
 //! latency for the CRUSH rows, or 0 to disable.
 
-use dbcopilot_eval::{build_method, prepare, report, render_table5, CorpusKind, MethodKind, Scale};
+use dbcopilot_eval::{build_method, prepare, render_table5, report, CorpusKind, MethodKind, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    let llm_ms: u64 = std::env::var("DBC_LLM_LATENCY_MS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(300);
+    let llm_ms: u64 =
+        std::env::var("DBC_LLM_LATENCY_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300);
     let prepared = prepare(CorpusKind::Spider, &scale);
     let questions: Vec<String> =
         prepared.corpus.test.iter().map(|i| i.question.clone()).take(64).collect();
@@ -23,12 +21,12 @@ fn main() {
             // simulated commercial-LLM latency (documented in EXPERIMENTS.md)
             router = add_latency(method, &prepared, &scale, llm_ms);
         }
-        let batch = if matches!(method, MethodKind::CrushBm25 | MethodKind::CrushSxfmr) && llm_ms > 0
-        {
-            16
-        } else {
-            64
-        };
+        let batch =
+            if matches!(method, MethodKind::CrushBm25 | MethodKind::CrushSxfmr) && llm_ms > 0 {
+                16
+            } else {
+                64
+            };
         eprintln!("  measuring {}", method.label());
         rows.push(report(
             method.label(),

@@ -37,15 +37,13 @@ impl<'g> Constrainer<'g> {
         let mut db_trie = Trie::new();
         let mut tables_by_db = HashMap::new();
         for db in graph.database_nodes() {
-            let seq = vocab
-                .encode_name(graph.name(db))
-                .expect("database name pieces must be in vocab");
+            let seq =
+                vocab.encode_name(graph.name(db)).expect("database name pieces must be in vocab");
             db_trie.insert(&seq, db);
             let mut tables = Vec::new();
             for t in graph.tables_of(db) {
-                let tseq = vocab
-                    .encode_name(graph.name(t))
-                    .expect("table name pieces must be in vocab");
+                let tseq =
+                    vocab.encode_name(graph.name(t)).expect("table name pieces must be in vocab");
                 tables.push((tseq, t));
             }
             tables_by_db.insert(db, tables);
@@ -275,11 +273,15 @@ pub fn beam_search(
                 let h_next = model.step_infer(beam.prev, &q, &beam.h);
                 let lps = model.logprobs_infer(&h_next, &allowed);
                 for (i, &sym) in allowed.iter().enumerate() {
-                    let penalty =
-                        opts.diversity_penalty * used.get(&sym).copied().unwrap_or(0.0);
+                    let penalty = opts.diversity_penalty * used.get(&sym).copied().unwrap_or(0.0);
                     let score = beam.logp + lps[i] - penalty;
                     expansions.push((
-                        Beam { state: beam.state.clone(), h: h_next.clone(), prev: sym, logp: beam.logp + lps[i] },
+                        Beam {
+                            state: beam.state.clone(),
+                            h: h_next.clone(),
+                            prev: sym,
+                            logp: beam.logp + lps[i],
+                        },
                         sym,
                         score,
                     ));
@@ -298,7 +300,10 @@ pub fn beam_search(
                 if next_state.done {
                     finished.push((next_state, beam.logp));
                     // a finished beam still occupies a slot this step
-                    next_beams.push(Beam { state: DecodeState { done: true, ..next_state_placeholder() }, ..beam });
+                    next_beams.push(Beam {
+                        state: DecodeState { done: true, ..next_state_placeholder() },
+                        ..beam
+                    });
                 } else {
                     any_alive = true;
                     next_beams.push(Beam { state: next_state, ..beam });
@@ -356,12 +361,8 @@ mod tests {
     fn collection() -> Collection {
         let mut c = Collection::new();
         let mut db = DatabaseSchema::new("concert_singer");
-        db.add_table(
-            TableSchema::new("singer").column("singer_id", DataType::Int).primary(0),
-        );
-        db.add_table(
-            TableSchema::new("concert").column("concert_id", DataType::Int).primary(0),
-        );
+        db.add_table(TableSchema::new("singer").column("singer_id", DataType::Int).primary(0));
+        db.add_table(TableSchema::new("concert").column("concert_id", DataType::Int).primary(0));
         db.add_table(
             TableSchema::new("singer_in_concert")
                 .column("singer_id", DataType::Int)
@@ -372,9 +373,11 @@ mod tests {
         let mut world = DatabaseSchema::new("world");
         world.add_table(TableSchema::new("country").column("code", DataType::Text).primary(0));
         world.add_table(
-            TableSchema::new("countrylanguage")
-                .column("countrycode", DataType::Text)
-                .foreign("countrycode", "country", "code"),
+            TableSchema::new("countrylanguage").column("countrycode", DataType::Text).foreign(
+                "countrycode",
+                "country",
+                "code",
+            ),
         );
         c.add_database(db);
         c.add_database(world);
@@ -473,10 +476,8 @@ mod tests {
             s = c.advance(&s, sym).unwrap_or_else(|| panic!("blocked at {sym}"));
         }
         let schema = c.schema_of(&s).unwrap();
-        assert!(schema.same_as(&QuerySchema::new(
-            "world",
-            vec!["country".into(), "countrylanguage".into()]
-        )));
+        assert!(schema
+            .same_as(&QuerySchema::new("world", vec!["country".into(), "countrylanguage".into()])));
     }
 
     #[test]
@@ -524,10 +525,8 @@ mod tests {
 
     #[test]
     fn merge_unions_tables_per_db() {
-        let a = DecodedSchema {
-            schema: QuerySchema::new("world", vec!["country".into()]),
-            logp: -1.0,
-        };
+        let a =
+            DecodedSchema { schema: QuerySchema::new("world", vec!["country".into()]), logp: -1.0 };
         let b = DecodedSchema {
             schema: QuerySchema::new("world", vec!["countrylanguage".into(), "country".into()]),
             logp: -2.0,

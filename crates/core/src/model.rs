@@ -117,16 +117,13 @@ impl RouterModel {
         for n in 1..=3usize {
             for w in tokens.windows(n) {
                 let phrase = w.join(" ");
-                let canon = self
-                    .lex
-                    .canonical_of(&phrase)
-                    .or_else(|| {
-                        if n == 1 {
-                            self.lex.canonical_of(&dbcopilot_synth::lexicon::singularize(&phrase))
-                        } else {
-                            None
-                        }
-                    });
+                let canon = self.lex.canonical_of(&phrase).or_else(|| {
+                    if n == 1 {
+                        self.lex.canonical_of(&dbcopilot_synth::lexicon::singularize(&phrase))
+                    } else {
+                        None
+                    }
+                });
                 if let Some(c) = canon {
                     words.push(format!("c:{c}"));
                 }

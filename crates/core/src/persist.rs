@@ -108,18 +108,10 @@ pub fn extend_router(
     transplant(&router.model, &router.vocab, &mut model, &new_vocab);
 
     // Synthesize data only for databases absent from the old graph.
-    let old_dbs: std::collections::HashSet<String> = router
-        .graph
-        .database_nodes()
-        .iter()
-        .map(|&d| router.graph.name(d).to_string())
-        .collect();
-    let new_db_names: Vec<String> = grown
-        .databases
-        .keys()
-        .filter(|d| !old_dbs.contains(*d))
-        .cloned()
-        .collect();
+    let old_dbs: std::collections::HashSet<String> =
+        router.graph.database_nodes().iter().map(|&d| router.graph.name(d).to_string()).collect();
+    let new_db_names: Vec<String> =
+        grown.databases.keys().filter(|d| !old_dbs.contains(*d)).cloned().collect();
     let mut examples: Vec<TrainExample> = Vec::new();
     {
         use rand::SeedableRng;
@@ -157,30 +149,43 @@ pub fn extend_router(
         train_router(&mut model, &new_graph, &new_vocab, &examples, SerializationMode::Dfs)
     };
     let decode_opts = DecodeOptions::from_config(&model.cfg);
-    let mut out = DbcRouter {
-        model,
-        vocab: new_vocab,
-        graph: new_graph,
-        decode_opts,
-        label: String::new(),
-    };
+    let mut out =
+        DbcRouter { model, vocab: new_vocab, graph: new_graph, decode_opts, label: String::new() };
     out.set_label("DBCopilot");
     Ok((out, stats))
 }
 
 /// Copy weights from the old model into the new one: encoder verbatim,
 /// decoder/output embedding rows mapped by piece text.
-fn transplant(old: &RouterModel, old_vocab: &PieceVocab, new: &mut RouterModel, new_vocab: &PieceVocab) {
+fn transplant(
+    old: &RouterModel,
+    old_vocab: &PieceVocab,
+    new: &mut RouterModel,
+    new_vocab: &PieceVocab,
+) {
     // encoder tables share shapes (buckets/hidden unchanged)
-    for name in ["q_emb.weight", "q_proj.w", "q_proj.b", "gru.wz", "gru.uz", "gru.bz", "gru.wr",
-        "gru.ur", "gru.br", "gru.wh", "gru.uh", "gru.bh"]
-    {
+    for name in [
+        "q_emb.weight",
+        "q_proj.w",
+        "q_proj.b",
+        "gru.wz",
+        "gru.uz",
+        "gru.bz",
+        "gru.wr",
+        "gru.ur",
+        "gru.br",
+        "gru.wh",
+        "gru.uh",
+        "gru.bh",
+    ] {
         if let (Some(o), Some(n)) = (old.store.id_of(name), new.store.id_of(name)) {
             *new.store.value_mut(n) = old.store.value(o).clone();
         }
     }
     // specials + shared pieces of the decoder tables
-    for (table, dim_src) in [("dec_emb.weight", old.dec_emb.weight), ("out_emb.weight", old.out_emb.weight)] {
+    for (table, dim_src) in
+        [("dec_emb.weight", old.dec_emb.weight), ("out_emb.weight", old.out_emb.weight)]
+    {
         let Some(nid) = new.store.id_of(table) else { continue };
         let src = old.store.value(dim_src).clone();
         let cols = src.cols();
@@ -285,8 +290,7 @@ mod tests {
             }],
             &dbcopilot_synth::QuestionerConfig::default(),
         );
-        let (extended, stats) =
-            extend_router(&router, &grown, &meta, &questioner, 60, 10).unwrap();
+        let (extended, stats) = extend_router(&router, &grown, &meta, &questioner, 60, 10).unwrap();
         assert!(stats.examples > 0);
         // old knowledge survives transplantation + fine-tuning on new dbs
         let old = extended.best_schema("how many vocalists").unwrap();

@@ -29,10 +29,7 @@ impl DbcRouter {
         let mut model = RouterModel::new(cfg, vocab.len());
         let stats = train_router(&mut model, &graph, &vocab, data, mode);
         let decode_opts = DecodeOptions::from_config(&model.cfg);
-        (
-            DbcRouter { model, vocab, graph, decode_opts, label: "DBCopilot".to_string() },
-            stats,
-        )
+        (DbcRouter { model, vocab, graph, decode_opts, label: "DBCopilot".to_string() }, stats)
     }
 
     /// Build an untrained router (tests, decoding benchmarks).
@@ -49,8 +46,7 @@ impl DbcRouter {
 
     /// Raw candidate sequences (best first).
     pub fn sequences(&self, question: &str) -> Vec<DecodedSchema> {
-        let constrainer =
-            Constrainer::new(&self.graph, &self.vocab, self.model.cfg.max_tables);
+        let constrainer = Constrainer::new(&self.graph, &self.vocab, self.model.cfg.max_tables);
         beam_search(&self.model, &constrainer, self.vocab.len(), question, &self.decode_opts)
     }
 
@@ -139,12 +135,8 @@ mod tests {
     fn fit_and_route_end_to_end() {
         let mut cfg = RouterConfig::tiny();
         cfg.epochs = 20;
-        let (router, stats) = super::DbcRouter::fit(
-            graph(),
-            &examples(),
-            cfg,
-            SerializationMode::Dfs,
-        );
+        let (router, stats) =
+            super::DbcRouter::fit(graph(), &examples(), cfg, SerializationMode::Dfs);
         assert!(stats.epoch_losses.last().unwrap() < &stats.epoch_losses[0]);
         let result = router.route("how many vocalists", 10);
         assert!(!result.databases.is_empty());
@@ -155,12 +147,8 @@ mod tests {
 
     #[test]
     fn routing_result_tables_are_ranked() {
-        let (router, _) = DbcRouter::fit(
-            graph(),
-            &examples(),
-            RouterConfig::tiny(),
-            SerializationMode::Dfs,
-        );
+        let (router, _) =
+            DbcRouter::fit(graph(), &examples(), RouterConfig::tiny(), SerializationMode::Dfs);
         let r = router.route("how many vocalists", 5);
         for w in r.tables.windows(2) {
             assert!(w[0].2 >= w[1].2, "tables must be sorted by score");

@@ -58,9 +58,9 @@ pub fn synthesize_training_data(
             // extracted training pairs (questions mention endpoints, the
             // junction table is implied).
             if let Some(dbm) = meta.per_db.get(&schema.database) {
-                schema.tables.sort_by_key(|t| {
-                    !dbm.tables.get(t).map(|tm| tm.is_junction).unwrap_or(false)
-                });
+                schema
+                    .tables
+                    .sort_by_key(|t| !dbm.tables.get(t).map(|tm| tm.is_junction).unwrap_or(false));
             }
             let (entities, attrs) = dbcopilot_synth::schema_tokens(meta, &schema);
             let question = questioner.generate(&entities, &attrs, &mut rng);
@@ -134,8 +134,7 @@ pub fn train_router(
             let mut batch_losses = Vec::new();
             for &i in chunk {
                 let ex = &data[i];
-                let Some(targets) = target_symbols(graph, vocab, &ex.schema, mode, &mut rng)
-                else {
+                let Some(targets) = target_symbols(graph, vocab, &ex.schema, mode, &mut rng) else {
                     continue;
                 };
                 let q = model.encode(&mut tape, &ex.question);
@@ -145,8 +144,14 @@ pub fn train_router(
                 let mut ex_losses = Vec::with_capacity(targets.len());
                 for &gold in &targets {
                     h = model.step(&mut tape, prev, q, h);
-                    let candidates =
-                        candidate_set(&constrainer, &state, gold, vocab_len, cfg.negatives, &mut rng);
+                    let candidates = candidate_set(
+                        &constrainer,
+                        &state,
+                        gold,
+                        vocab_len,
+                        cfg.negatives,
+                        &mut rng,
+                    );
                     let gold_idx =
                         candidates.iter().position(|&c| c == gold).expect("gold in candidates");
                     ex_losses.push(model.step_loss(&mut tape, h, &candidates, gold_idx));
@@ -328,8 +333,7 @@ mod tests {
         let g = SchemaGraph::build(&coll);
         let v = PieceVocab::build(&g);
         let mut model = RouterModel::new(RouterConfig::tiny(), v.len());
-        let stats =
-            train_router(&mut model, &g, &v, &toy_examples(), SerializationMode::Basic);
+        let stats = train_router(&mut model, &g, &v, &toy_examples(), SerializationMode::Basic);
         assert_eq!(stats.epoch_losses.len(), model.cfg.epochs);
     }
 }

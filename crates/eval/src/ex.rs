@@ -149,8 +149,7 @@ pub fn eval_ex(
                 let schemas: Vec<PromptSchema> = cands.iter().map(&resolve).collect();
                 let turn1 = cot_selection_prompt(&schemas, &inst.question);
                 let (pick, sel_tokens) = llm.select_schema(&schemas, &inst.question);
-                report.cost +=
-                    pricing.query_cost(estimate_tokens(&turn1.text), sel_tokens);
+                report.cost += pricing.query_cost(estimate_tokens(&turn1.text), sel_tokens);
                 let chosen = schemas.get(pick).cloned().unwrap_or_else(|| schemas[0].clone());
                 let p = basic_prompt(&chosen, &inst.question);
                 let out = llm.generate_sql(&p, &inst.question);
@@ -222,8 +221,10 @@ mod tests {
     #[test]
     fn oracle_ordering_holds() {
         let (p, llm) = quick_prepared();
-        let tc = eval_ex(&p.corpus, &p.corpus.test, &SchemaSource::OracleGoldTc, Strategy::Best, &llm);
-        let t = eval_ex(&p.corpus, &p.corpus.test, &SchemaSource::OracleGoldT, Strategy::Best, &llm);
+        let tc =
+            eval_ex(&p.corpus, &p.corpus.test, &SchemaSource::OracleGoldTc, Strategy::Best, &llm);
+        let t =
+            eval_ex(&p.corpus, &p.corpus.test, &SchemaSource::OracleGoldT, Strategy::Best, &llm);
         let db =
             eval_ex(&p.corpus, &p.corpus.test, &SchemaSource::OracleGoldDb, Strategy::Best, &llm);
         let five = eval_ex(

@@ -17,12 +17,10 @@ pub fn map_by_db_size(
     let mut buckets: std::collections::BTreeMap<usize, (f64, usize)> =
         std::collections::BTreeMap::new();
     for inst in instances {
-        let size = collection
-            .database(&inst.schema.database)
-            .map(|db| db.tables.len())
-            .unwrap_or(0);
+        let size =
+            collection.database(&inst.schema.database).map(|db| db.tables.len()).unwrap_or(0);
         // bucket db sizes to even numbers like the paper's x-axis
-        let bucket = (size + 1) / 2 * 2;
+        let bucket = size.div_ceil(2) * 2;
         let result = router.route(&inst.question, top_tables);
         let ap = average_precision(&result, &inst.schema);
         let e = buckets.entry(bucket).or_insert((0.0, 0));

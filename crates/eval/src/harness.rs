@@ -25,7 +25,8 @@ pub enum CorpusKind {
 }
 
 impl CorpusKind {
-    pub const ALL: &'static [CorpusKind] = &[CorpusKind::Spider, CorpusKind::Bird, CorpusKind::Fiben];
+    pub const ALL: &'static [CorpusKind] =
+        &[CorpusKind::Spider, CorpusKind::Bird, CorpusKind::Fiben];
 
     pub fn name(&self) -> &'static str {
         match self {
@@ -144,11 +145,7 @@ pub fn baseline_train_pairs(prepared: &Prepared) -> Vec<(String, Vec<(String, St
         .map(|ex| {
             (
                 ex.question.clone(),
-                ex.schema
-                    .tables
-                    .iter()
-                    .map(|t| (ex.schema.database.clone(), t.clone()))
-                    .collect(),
+                ex.schema.tables.iter().map(|t| (ex.schema.database.clone(), t.clone())).collect(),
             )
         })
         .collect()
@@ -223,11 +220,11 @@ pub fn eval_routing(
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
     let chunk = instances.len().div_ceil(threads).max(1);
     let mut total = RoutingMetrics::default();
-    let partials: Vec<RoutingMetrics> = crossbeam::thread::scope(|s| {
+    let partials: Vec<RoutingMetrics> = std::thread::scope(|s| {
         let handles: Vec<_> = instances
             .chunks(chunk)
             .map(|part| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut m = RoutingMetrics::default();
                     for inst in part {
                         let result = router.route(&inst.question, top_tables);
@@ -238,8 +235,7 @@ pub fn eval_routing(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("eval worker")).collect()
-    })
-    .expect("eval scope");
+    });
     for p in &partials {
         total.merge(p);
     }

@@ -20,8 +20,8 @@ pub mod scale;
 pub use ex::{eval_ex, ExReport, SchemaSource, Strategy};
 pub use figures::{map_by_db_size, recall_curve, render_series};
 pub use harness::{
-    baseline_train_pairs, build_method, eval_routing, prepare, BuildReport, CorpusKind,
-    MethodKind, Prepared,
+    baseline_train_pairs, build_method, eval_routing, prepare, BuildReport, CorpusKind, MethodKind,
+    Prepared,
 };
 pub use metrics::{average_precision, db_recall_at_k, table_recall_at_k, RoutingMetrics};
 pub use resources::{measure_qps, render_table5, report, ResourceReport};

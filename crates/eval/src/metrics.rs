@@ -6,11 +6,8 @@ use dbcopilot_retrieval::RoutingResult;
 
 /// Database hit within the top-k ranked databases.
 pub fn db_recall_at_k(result: &RoutingResult, gold: &QuerySchema, k: usize) -> f64 {
-    let hit = result
-        .databases
-        .iter()
-        .take(k)
-        .any(|(db, _)| db.eq_ignore_ascii_case(&gold.database));
+    let hit =
+        result.databases.iter().take(k).any(|(db, _)| db.eq_ignore_ascii_case(&gold.database));
     if hit {
         1.0
     } else {

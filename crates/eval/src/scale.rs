@@ -34,14 +34,10 @@ impl Scale {
             fiben_test: 279,
             fiben_areas: 30,
             synth_pairs: 10000,
-            router: {
-                let mut r = RouterConfig::default();
-                r.epochs = 10;
-                r
-            },
+            router: RouterConfig { epochs: 10, ..RouterConfig::default() },
             encoder: EncoderConfig::default(),
             llm: LlmConfig::default(),
-            seed: 0xdb
+            seed: 0xdb,
         }
     }
 
@@ -49,8 +45,7 @@ impl Scale {
     /// its full width (the tiny test config cannot learn a corpus) but
     /// trains on less data for fewer epochs.
     pub fn quick() -> Self {
-        let mut router = RouterConfig::default();
-        router.epochs = 5;
+        let router = RouterConfig { epochs: 5, ..RouterConfig::default() };
         let encoder = EncoderConfig { dim: 32, buckets: 1 << 11, epochs: 4, ..Default::default() };
         Scale {
             spider: CorpusSizes { num_databases: 16, train_n: 400, test_n: 60 },
@@ -69,7 +64,11 @@ impl Scale {
     pub fn from_env() -> Self {
         match std::env::var("DBC_SCALE").as_deref() {
             Ok("quick") => Scale::quick(),
-            _ => Scale::full(),
+            Ok("full") | Err(_) => Scale::full(),
+            Ok(other) => {
+                eprintln!("DBC_SCALE={other:?} not recognized (expected `quick` or `full`); running full scale");
+                Scale::full()
+            }
         }
     }
 }

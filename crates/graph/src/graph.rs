@@ -11,7 +11,7 @@
 //!   threshold, §4.1.5) — detected from populated content by
 //!   [`crate::joinable`].
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -28,7 +28,9 @@ pub enum NodeKind {
     Root,
     Database,
     /// A table, tagged with its owning database node.
-    Table { database: NodeId },
+    Table {
+        database: NodeId,
+    },
 }
 
 /// Relation type on an edge.
@@ -96,21 +98,25 @@ impl SchemaGraph {
             for t in &db.tables {
                 let t_id = g.table_by_name[&table_key(&db.name, &t.name)];
                 for fk in &t.foreign_keys {
-                    if let Some(&r_id) =
-                        g.table_by_name.get(&table_key(&db.name, &fk.ref_table))
-                    {
+                    if let Some(&r_id) = g.table_by_name.get(&table_key(&db.name, &fk.ref_table)) {
                         g.add_edge_bidi(t_id, r_id, EdgeKind::PrimaryForeign);
                     }
                 }
             }
             // Implicit foreign-foreign edges: two tables referencing the same
             // (table, column).
-            let mut by_target: HashMap<(String, String), Vec<NodeId>> = HashMap::new();
+            // BTreeMap: iteration order determines edge-insertion order, which
+            // must not vary across processes (walk sampling follows adjacency
+            // order; a HashMap here makes training nondeterministic).
+            let mut by_target: BTreeMap<(String, String), Vec<NodeId>> = BTreeMap::new();
             for t in &db.tables {
                 let t_id = g.table_by_name[&table_key(&db.name, &t.name)];
                 for fk in &t.foreign_keys {
                     by_target
-                        .entry((fk.ref_table.to_ascii_lowercase(), fk.ref_column.to_ascii_lowercase()))
+                        .entry((
+                            fk.ref_table.to_ascii_lowercase(),
+                            fk.ref_column.to_ascii_lowercase(),
+                        ))
                         .or_default()
                         .push(t_id);
                 }
@@ -184,7 +190,10 @@ impl SchemaGraph {
     }
 
     /// Out-neighbors with edge kinds.
-    pub fn successors_with_kind(&self, id: NodeId) -> impl Iterator<Item = (NodeId, EdgeKind)> + '_ {
+    pub fn successors_with_kind(
+        &self,
+        id: NodeId,
+    ) -> impl Iterator<Item = (NodeId, EdgeKind)> + '_ {
         self.adj[id.0 as usize].iter().copied()
     }
 
@@ -206,9 +215,7 @@ impl SchemaGraph {
     /// All table nodes of a database, deterministic order.
     pub fn tables_of(&self, db: NodeId) -> Vec<NodeId> {
         debug_assert!(matches!(self.kind(db), NodeKind::Database));
-        self.successors(db)
-            .filter(|t| matches!(self.kind(*t), NodeKind::Table { .. }))
-            .collect()
+        self.successors(db).filter(|t| matches!(self.kind(*t), NodeKind::Table { .. })).collect()
     }
 
     /// The owning database of a table node.
@@ -381,11 +388,7 @@ pub(crate) mod fixtures {
         c.add_database(world);
 
         let mut geo = DatabaseSchema::new("geo");
-        geo.add_table(
-            TableSchema::new("state")
-                .column("state_name", DataType::Text)
-                .primary(0),
-        );
+        geo.add_table(TableSchema::new("state").column("state_name", DataType::Text).primary(0));
         geo.add_table(
             TableSchema::new("city")
                 .column("city_name", DataType::Text)
@@ -442,11 +445,8 @@ mod tests {
         let city = g.table_node("geo", "city").unwrap();
         let river = g.table_node("geo", "river").unwrap();
         assert!(g.related_tables(city).contains(&river));
-        let kinds: Vec<EdgeKind> = g
-            .successors_with_kind(city)
-            .filter(|(t, _)| *t == river)
-            .map(|(_, k)| k)
-            .collect();
+        let kinds: Vec<EdgeKind> =
+            g.successors_with_kind(city).filter(|(t, _)| *t == river).map(|(_, k)| k).collect();
         assert_eq!(kinds, vec![EdgeKind::ForeignForeign]);
     }
 
@@ -470,10 +470,7 @@ mod tests {
         // single table always fine
         assert!(g.is_valid_schema(&QuerySchema::new("world", vec!["city".into()])));
         // FF-connected pair without the hub table
-        assert!(g.is_valid_schema(&QuerySchema::new(
-            "geo",
-            vec!["city".into(), "river".into()]
-        )));
+        assert!(g.is_valid_schema(&QuerySchema::new("geo", vec!["city".into(), "river".into()])));
         // disconnected pair
         assert!(!g.is_valid_schema(&QuerySchema::new(
             "concert_singer",
@@ -490,9 +487,7 @@ mod tests {
     #[test]
     fn joinable_edges_addable() {
         let mut g = SchemaGraph::build(&collection());
-        let before = g
-            .related_tables(g.table_node("concert_singer", "singer").unwrap())
-            .len();
+        let before = g.related_tables(g.table_node("concert_singer", "singer").unwrap()).len();
         g.add_joinable_edge("concert_singer", "singer", "concert");
         let singer = g.table_node("concert_singer", "singer").unwrap();
         assert_eq!(g.related_tables(singer).len(), before + 1);

@@ -121,11 +121,8 @@ mod tests {
             db.insert("orders", vec![Value::Int(i as i64), Value::Text((*name).into())]).unwrap();
         }
         for (i, name) in ["ann", "bo", "cy", "di"].iter().enumerate() {
-            db.insert(
-                "shipments",
-                vec![Value::Int(100 + i as i64), Value::Text((*name).into())],
-            )
-            .unwrap();
+            db.insert("shipments", vec![Value::Int(100 + i as i64), Value::Text((*name).into())])
+                .unwrap();
         }
         db
     }

@@ -18,6 +18,8 @@ pub mod walks;
 
 pub use graph::{EdgeKind, NodeId, NodeKind, QuerySchema, SchemaGraph, ROOT};
 pub use joinable::{augment_graph_with_joinable, detect_joinable, jaccard, JoinablePair};
-pub use serialize::{basic_serialize, deserialize_schema, dfs_serialize, dfs_serialize_names, IterOrder};
+pub use serialize::{
+    basic_serialize, deserialize_schema, dfs_serialize, dfs_serialize_names, IterOrder,
+};
 pub use trie::{Trie, TrieCursor};
 pub use walks::{sample_covering, sample_schema, WalkConfig};

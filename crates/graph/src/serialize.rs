@@ -8,8 +8,8 @@
 //! order `π` randomizes successor order so training sees multiple
 //! linearizations of the same schema.
 
-use rand::seq::SliceRandom;
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 
 use crate::graph::{NodeId, QuerySchema, SchemaGraph, ROOT};
 
@@ -47,10 +47,8 @@ pub fn dfs_serialize(
         if visited.len() == nodes.len() {
             break;
         }
-        let mut successors: Vec<NodeId> = graph
-            .successors(node)
-            .filter(|s| in_schema(*s) && !visited.contains(s))
-            .collect();
+        let mut successors: Vec<NodeId> =
+            graph.successors(node).filter(|s| in_schema(*s) && !visited.contains(s)).collect();
         if let IterOrder::Random(rng) = &mut order {
             successors.shuffle(rng);
         }
@@ -194,8 +192,7 @@ mod tests {
     fn disconnected_schema_still_serializes() {
         let g = graph();
         // singer & concert are not related without the junction table
-        let schema =
-            QuerySchema::new("concert_singer", vec!["singer".into(), "concert".into()]);
+        let schema = QuerySchema::new("concert_singer", vec!["singer".into(), "concert".into()]);
         let ids = dfs_serialize(&g, &schema, IterOrder::Fixed).unwrap();
         assert_eq!(ids.len(), 3);
     }

@@ -39,11 +39,8 @@ pub fn sample_schema(graph: &SchemaGraph, cfg: &WalkConfig, rng: &mut SmallRng) 
     let mut picked: Vec<NodeId> = vec![current];
 
     while picked.len() < cfg.max_tables && !rng.gen_bool(cfg.stop_prob) {
-        let neighbors: Vec<NodeId> = graph
-            .related_tables(current)
-            .into_iter()
-            .filter(|t| !picked.contains(t))
-            .collect();
+        let neighbors: Vec<NodeId> =
+            graph.related_tables(current).into_iter().filter(|t| !picked.contains(t)).collect();
         // Also allow continuing from any already-picked table (trail
         // branching), which matches DFS-serializable shapes.
         let mut frontier = neighbors;
@@ -89,10 +86,7 @@ pub fn sample_covering(
             if out.len() >= n {
                 break 'outer;
             }
-            out.push(QuerySchema::new(
-                graph.name(db).to_string(),
-                vec![graph.name(t).to_string()],
-            ));
+            out.push(QuerySchema::new(graph.name(db).to_string(), vec![graph.name(t).to_string()]));
         }
     }
     while out.len() < n {
@@ -162,8 +156,7 @@ mod tests {
         let g = graph();
         let mut rng = SmallRng::seed_from_u64(19);
         let cfg = WalkConfig { max_tables: 3, stop_prob: 0.2 };
-        let any_multi =
-            (0..100).any(|_| sample_schema(&g, &cfg, &mut rng).tables.len() > 1);
+        let any_multi = (0..100).any(|_| sample_schema(&g, &cfg, &mut rng).tables.len() > 1);
         assert!(any_multi);
     }
 

@@ -54,7 +54,10 @@ mod tests {
 
     #[test]
     fn tokens_scale_with_length() {
-        assert!(estimate_tokens("SELECT * FROM t") < estimate_tokens("SELECT a, b, c FROM t JOIN u ON t.x = u.x"));
+        assert!(
+            estimate_tokens("SELECT * FROM t")
+                < estimate_tokens("SELECT a, b, c FROM t JOIN u ON t.x = u.x")
+        );
         assert_eq!(estimate_tokens(""), 1);
     }
 

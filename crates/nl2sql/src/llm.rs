@@ -127,10 +127,8 @@ impl CopilotLM {
         let q_tokens = dbcopilot_retrieval::text::tokenize(question);
         let mut canon_tokens: Vec<String> = Vec::new();
         for t in &q_tokens {
-            if let Some(c) = self
-                .lex
-                .canonical_of(t)
-                .or_else(|| self.lex.canonical_of(&singularize(t)))
+            if let Some(c) =
+                self.lex.canonical_of(t).or_else(|| self.lex.canonical_of(&singularize(t)))
             {
                 canon_tokens.extend(c.split('_').map(str::to_string));
             }
@@ -146,10 +144,8 @@ impl CopilotLM {
                 text.push(' ');
             }
             let schema_tokens = dbcopilot_retrieval::text::tokenize(&text);
-            let hits = canon_tokens
-                .iter()
-                .filter(|qt| schema_tokens.iter().any(|st| st == *qt))
-                .count();
+            let hits =
+                canon_tokens.iter().filter(|qt| schema_tokens.iter().any(|st| st == *qt)).count();
             let score = hits as f64 / (schema_tokens.len() as f64).sqrt().max(1.0);
             if score > best.1 {
                 best = (i, score);
@@ -178,7 +174,8 @@ impl CopilotLM {
         rng: &mut SmallRng,
     ) -> Option<QuestionSpec> {
         // Group prompt tables by database, preserving candidate order.
-        let mut dbs: Vec<(&str, Vec<(&str, &[String])>)> = Vec::new();
+        type DbTables<'a> = Vec<(&'a str, &'a [String])>;
+        let mut dbs: Vec<(&str, DbTables)> = Vec::new();
         for s in schemas {
             let entry = match dbs.iter_mut().find(|(d, _)| *d == s.database.as_str()) {
                 Some(e) => e,
@@ -242,9 +239,7 @@ impl CopilotLM {
                 if let Some(i) = tables.iter().position(|(t, _)| {
                     self.lex.canonical_of(&display_form(t)).is_some_and(|tc| tc == canon)
                         || t.rsplit_once('_').is_some_and(|(_, tail)| {
-                            self.lex
-                                .canonical_of(&display_form(tail))
-                                .is_some_and(|tc| tc == canon)
+                            self.lex.canonical_of(&display_form(tail)).is_some_and(|tc| tc == canon)
                         })
                 }) {
                     return Some(i);
@@ -265,12 +260,7 @@ impl CopilotLM {
         best.0
     }
 
-    fn resolve_attr(
-        &self,
-        phrase: &str,
-        cols: &[String],
-        rng: &mut SmallRng,
-    ) -> Option<String> {
+    fn resolve_attr(&self, phrase: &str, cols: &[String], rng: &mut SmallRng) -> Option<String> {
         let p = phrase.trim().to_lowercase();
         if let Some(canon) = self.lex.canonical_of(&p) {
             let synonym_used = p != display_form(canon);
@@ -285,9 +275,7 @@ impl CopilotLM {
             return Some(c.clone());
         }
         // fuzzy: column contained in the phrase
-        cols.iter()
-            .find(|c| !c.ends_with("_id") && p.contains(&display_form(c)))
-            .cloned()
+        cols.iter().find(|c| !c.ends_with("_id") && p.contains(&display_form(c))).cloned()
     }
 
     /// Guess the filtered column when the question leaves it implicit
@@ -296,13 +284,14 @@ impl CopilotLM {
     fn guess_attr(&self, cols: &[String], numeric: bool) -> Option<String> {
         let is_num = |c: &String| self.lex.is_numeric(c);
         let is_cat = |c: &String| self.lex.is_categorical(c);
-        let pick = cols
-            .iter()
-            .filter(|c| !c.ends_with("_id") && *c != "name")
-            .find(|c| if numeric { is_num(c) } else { is_cat(c) });
-        pick.cloned().or_else(|| {
-            cols.iter().find(|c| !c.ends_with("_id") && *c != "name").cloned()
-        })
+        let pick = cols.iter().filter(|c| !c.ends_with("_id") && *c != "name").find(|c| {
+            if numeric {
+                is_num(c)
+            } else {
+                is_cat(c)
+            }
+        });
+        pick.cloned().or_else(|| cols.iter().find(|c| !c.ends_with("_id") && *c != "name").cloned())
     }
 
     fn ground_in_db(
@@ -401,12 +390,8 @@ impl CopilotLM {
                     if j == a || j == b {
                         continue;
                     }
-                    let a_link = jcols
-                        .iter()
-                        .find(|c| c.ends_with("_id") && a_cols.contains(c));
-                    let b_link = jcols
-                        .iter()
-                        .find(|c| c.ends_with("_id") && b_cols.contains(c));
+                    let a_link = jcols.iter().find(|c| c.ends_with("_id") && a_cols.contains(c));
+                    let b_link = jcols.iter().find(|c| c.ends_with("_id") && b_cols.contains(c));
                     if let (Some(al), Some(bl)) = (a_link, b_link) {
                         if al != bl {
                             junction = Some((jt.to_string(), al.clone(), bl.clone()));
@@ -557,14 +542,13 @@ pub fn parse_intent(question: &str) -> Option<Intent> {
                 let mut i = blank_intent(TemplateKind::CountFilter);
                 i.entities = vec![ent.trim().into()];
                 if attr_known {
-                    let (attr, vtail, c) =
-                        if let Some((a, v)) = split_ci(tail, " greater than ") {
-                            (a, v, CmpOp::Gt)
-                        } else if let Some((a, v)) = split_ci(tail, " less than ") {
-                            (a, v, CmpOp::Lt)
-                        } else {
-                            continue;
-                        };
+                    let (attr, vtail, c) = if let Some((a, v)) = split_ci(tail, " greater than ") {
+                        (a, v, CmpOp::Gt)
+                    } else if let Some((a, v)) = split_ci(tail, " less than ") {
+                        (a, v, CmpOp::Lt)
+                    } else {
+                        continue;
+                    };
                     i.attr = Some(attr.trim().into());
                     i.cmp = Some(c);
                     i.value = Some(parse_value(vtail)?);
@@ -762,8 +746,8 @@ mod tests {
 
     #[test]
     fn parse_filter_cmp() {
-        let i = parse_intent("What are the names of singers whose age is greater than 30?")
-            .unwrap();
+        let i =
+            parse_intent("What are the names of singers whose age is greater than 30?").unwrap();
         assert_eq!(i.kind, TemplateKind::FilterCmp);
         assert_eq!(i.attr.as_deref(), Some("age"));
         assert!(matches!(i.value, Some(Value::Int(30))));
@@ -838,10 +822,12 @@ mod tests {
 
     #[test]
     fn distraction_grows_with_prompt_width() {
-        let mut cfg = LlmConfig::default();
-        cfg.distraction_per_table = 0.05;
-        cfg.base_error = 0.0;
-        cfg.synonym_resolution = 1.0;
+        let cfg = LlmConfig {
+            distraction_per_table: 0.05,
+            base_error: 0.0,
+            synonym_resolution: 1.0,
+            ..LlmConfig::default()
+        };
         let llm = CopilotLM::new(cfg);
         // wide prompt: singer + 30 irrelevant tables
         let mut wide = singer_schema();
@@ -893,10 +879,7 @@ mod tests {
         let schema = PromptSchema {
             database: "school".into(),
             tables: vec![
-                (
-                    "student".into(),
-                    vec!["student_id".into(), "name".into(), "school_id".into()],
-                ),
+                ("student".into(), vec!["student_id".into(), "name".into(), "school_id".into()]),
                 ("school".into(), vec!["school_id".into(), "name".into(), "region".into()]),
             ],
         };

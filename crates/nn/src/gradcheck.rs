@@ -70,8 +70,8 @@ mod tests {
     fn scalar_loss(tape: &mut Tape, out: crate::tape::ValId, dim: usize) -> crate::tape::ValId {
         let ones = tape.constant(Tensor::from_vec(dim, 1, vec![1.0; dim]));
         let s = tape.matmul(out, ones);
-        let s2 = tape.mul_elem(s, s);
-        s2
+
+        tape.mul_elem(s, s)
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! [`Grad::SparseRows`] so that large embedding matrices never materialize a
 //! dense gradient (critical for the schema router's output vocabulary).
 //!
-//! Parameters live in a [`ParamStore`](crate::optim::ParamStore); the tape
+//! Parameters live in a [`ParamStore`]; the tape
 //! caches one leaf node per parameter and [`Tape::collect_grads`] moves the
 //! accumulated gradients back into the store after a backward pass.
 
@@ -61,7 +61,8 @@ impl Grad {
                 }
             }
             (sparse @ Grad::SparseRows { .. }, Grad::Dense(b)) => {
-                let mut d = std::mem::replace(sparse, Grad::Dense(Tensor::zeros(0, 0))).into_dense();
+                let mut d =
+                    std::mem::replace(sparse, Grad::Dense(Tensor::zeros(0, 0))).into_dense();
                 d.add_scaled_assign(&b, 1.0);
                 *sparse = Grad::Dense(d);
             }
@@ -162,10 +163,7 @@ impl Tape {
         let req = self.requires(&[a, b]);
         let back: Option<BackwardFn> = req.then(|| {
             Box::new(move |g: &Tensor| {
-                vec![
-                    (a, Grad::Dense(g.matmul(&bv))),
-                    (b, Grad::Dense(g.transpose().matmul(&av))),
-                ]
+                vec![(a, Grad::Dense(g.matmul(&bv))), (b, Grad::Dense(g.transpose().matmul(&av)))]
             }) as BackwardFn
         });
         self.push(out, back, req)
@@ -207,10 +205,7 @@ impl Tape {
         let req = self.requires(&[a, b]);
         let back: Option<BackwardFn> = req.then(|| {
             Box::new(move |g: &Tensor| {
-                vec![
-                    (a, Grad::Dense(g.mul_elem(&bv))),
-                    (b, Grad::Dense(g.mul_elem(&av))),
-                ]
+                vec![(a, Grad::Dense(g.mul_elem(&bv))), (b, Grad::Dense(g.mul_elem(&av)))]
             }) as BackwardFn
         });
         self.push(out, back, req)
@@ -220,8 +215,8 @@ impl Tape {
     pub fn scale(&mut self, a: ValId, s: f32) -> ValId {
         let out = self.value(a).scale(s);
         let req = self.requires(&[a]);
-        let back: Option<BackwardFn> =
-            req.then(|| Box::new(move |g: &Tensor| vec![(a, Grad::Dense(g.scale(s)))]) as BackwardFn);
+        let back: Option<BackwardFn> = req
+            .then(|| Box::new(move |g: &Tensor| vec![(a, Grad::Dense(g.scale(s)))]) as BackwardFn);
         self.push(out, back, req)
     }
 
@@ -229,8 +224,9 @@ impl Tape {
     pub fn one_minus(&mut self, a: ValId) -> ValId {
         let out = self.value(a).map(|v| 1.0 - v);
         let req = self.requires(&[a]);
-        let back: Option<BackwardFn> =
-            req.then(|| Box::new(move |g: &Tensor| vec![(a, Grad::Dense(g.scale(-1.0)))]) as BackwardFn);
+        let back: Option<BackwardFn> = req.then(|| {
+            Box::new(move |g: &Tensor| vec![(a, Grad::Dense(g.scale(-1.0)))]) as BackwardFn
+        });
         self.push(out, back, req)
     }
 
@@ -657,7 +653,12 @@ mod tests {
         // row softmax grads: (p - onehot)/2
         let p0 = Tensor::from_row(vec![1.0, 2.0]).softmax_rows();
         assert!((ga.get(0, 0) - (p0.get(0, 0) - 1.0) / 2.0).abs() < 1e-5);
-        assert!((gb.get(0, 1) - (Tensor::from_row(vec![3.0, 4.0]).softmax_rows().get(0, 1) - 1.0) / 2.0).abs() < 1e-5);
+        assert!(
+            (gb.get(0, 1)
+                - (Tensor::from_row(vec![3.0, 4.0]).softmax_rows().get(0, 1) - 1.0) / 2.0)
+                .abs()
+                < 1e-5
+        );
     }
 
     #[test]

@@ -133,8 +133,7 @@ pub fn tune_bm25(
                     .filter(|(gd, gt)| {
                         got.iter().any(|&(id, _)| {
                             let t = targets.get(id);
-                            t.database.eq_ignore_ascii_case(gd)
-                                && t.table.eq_ignore_ascii_case(gt)
+                            t.database.eq_ignore_ascii_case(gd) && t.table.eq_ignore_ascii_case(gt)
                         })
                     })
                     .count();
@@ -216,8 +215,14 @@ mod tests {
     fn tuning_returns_grid_point() {
         let ts = targets();
         let train = vec![
-            ("which language is spoken".to_string(), vec![("world".to_string(), "countrylanguage".to_string())]),
-            ("age of singers".to_string(), vec![("concert_singer".to_string(), "singer".to_string())]),
+            (
+                "which language is spoken".to_string(),
+                vec![("world".to_string(), "countrylanguage".to_string())],
+            ),
+            (
+                "age of singers".to_string(),
+                vec![("concert_singer".to_string(), "singer".to_string())],
+            ),
         ];
         let p = tune_bm25(&ts, &train, 5);
         assert!([0.6, 0.9, 1.2, 1.6, 2.0].contains(&p.k1));

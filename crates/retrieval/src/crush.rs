@@ -45,9 +45,7 @@ impl Hallucinator {
     /// content words plus their raw forms.
     pub fn hallucinate(&self, question: &str) -> Vec<String> {
         use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(
-            crate::text::fnv1a(question) ^ self.seed,
-        );
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(crate::text::fnv1a(question) ^ self.seed);
         let tokens = tokenize(question);
         let mut segments = Vec::new();
         // multi-word synonym resolution: try trigrams, bigrams, unigrams
@@ -218,7 +216,6 @@ impl<R: SegmentSearch> SchemaRouter for Crush<R> {
 mod tests {
     use super::*;
     use crate::bm25::{Bm25Index, Bm25Params};
-    use crate::targets::Target;
     use dbcopilot_sqlengine::{Collection, DataType, DatabaseSchema, TableSchema};
 
     fn collection() -> Collection {

@@ -222,11 +222,9 @@ pub fn build_dtr(
     let mut pairs = Vec::new();
     for (q, gold) in train {
         for (db, table) in gold {
-            if let Some(t) = targets
-                .targets
-                .iter()
-                .find(|t| t.database.eq_ignore_ascii_case(db) && t.table.eq_ignore_ascii_case(table))
-            {
+            if let Some(t) = targets.targets.iter().find(|t| {
+                t.database.eq_ignore_ascii_case(db) && t.table.eq_ignore_ascii_case(table)
+            }) {
                 pairs.push((q.clone(), t.text.clone()));
             }
         }
@@ -245,9 +243,21 @@ mod tests {
     fn tiny_targets() -> TargetSet {
         TargetSet {
             targets: vec![
-                Target { database: "world".into(), table: "country".into(), text: "country code name continent".into() },
-                Target { database: "concert_singer".into(), table: "singer".into(), text: "singer name age genre".into() },
-                Target { database: "cinema".into(), table: "movie".into(), text: "movie title year rating".into() },
+                Target {
+                    database: "world".into(),
+                    table: "country".into(),
+                    text: "country code name continent".into(),
+                },
+                Target {
+                    database: "concert_singer".into(),
+                    table: "singer".into(),
+                    text: "singer name age genre".into(),
+                },
+                Target {
+                    database: "cinema".into(),
+                    table: "movie".into(),
+                    text: "movie title year rating".into(),
+                },
             ],
         }
     }
@@ -314,13 +324,9 @@ mod tests {
         let enc = {
             let mut e = TextEncoder::new(fast_cfg());
             // identity training so same-word matching works
-            let pairs: Vec<(String, String)> = tiny_targets()
-                .targets
-                .iter()
-                .map(|t| (t.text.clone(), t.text.clone()))
-                .collect();
-            let reps: Vec<(String, String)> =
-                (0..10).flat_map(|_| pairs.clone()).collect();
+            let pairs: Vec<(String, String)> =
+                tiny_targets().targets.iter().map(|t| (t.text.clone(), t.text.clone())).collect();
+            let reps: Vec<(String, String)> = (0..10).flat_map(|_| pairs.clone()).collect();
             e.train_pairs(&reps);
             e
         };

@@ -141,9 +141,17 @@ mod tests {
     fn target_set() -> TargetSet {
         TargetSet {
             targets: vec![
-                Target { database: "world".into(), table: "country".into(), text: "country code name".into() },
+                Target {
+                    database: "world".into(),
+                    table: "country".into(),
+                    text: "country code name".into(),
+                },
                 Target { database: "world".into(), table: "city".into(), text: "city name".into() },
-                Target { database: "car".into(), table: "countries".into(), text: "countries id".into() },
+                Target {
+                    database: "car".into(),
+                    table: "countries".into(),
+                    text: "countries id".into(),
+                },
             ],
         }
     }

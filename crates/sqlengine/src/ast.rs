@@ -88,24 +88,54 @@ impl fmt::Display for AggFunc {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Expr {
     /// Column reference, optionally qualified: `[table.]column`.
-    Column { table: Option<String>, column: String },
+    Column {
+        table: Option<String>,
+        column: String,
+    },
     Literal(Value),
-    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     Not(Box<Expr>),
     Neg(Box<Expr>),
     /// `expr IS NULL` / `expr IS NOT NULL`.
-    IsNull { expr: Box<Expr>, negated: bool },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
     /// `expr LIKE 'pattern'` with `%`/`_` wildcards.
-    Like { expr: Box<Expr>, pattern: String, negated: bool },
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
     /// `expr BETWEEN low AND high`.
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr> },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+    },
     /// `expr IN (v1, v2, …)` or `expr IN (SELECT …)`.
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
-    InSubquery { expr: Box<Expr>, subquery: Box<Select>, negated: bool },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<Expr>,
+        subquery: Box<Select>,
+        negated: bool,
+    },
     /// `(SELECT …)` producing a single value.
     ScalarSubquery(Box<Select>),
     /// Aggregate call; `arg = None` encodes `COUNT(*)`.
-    Aggregate { func: AggFunc, arg: Option<Box<Expr>>, distinct: bool },
+    Aggregate {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+        distinct: bool,
+    },
 }
 
 impl Expr {
@@ -187,7 +217,10 @@ impl Expr {
 pub enum Projection {
     /// `SELECT *`
     Wildcard,
-    Expr { expr: Expr, alias: Option<String> },
+    Expr {
+        expr: Expr,
+        alias: Option<String>,
+    },
 }
 
 /// A table reference in FROM/JOIN with an optional alias.

@@ -54,9 +54,7 @@ pub fn results_equal(a: &ResultSet, b: &ResultSet) -> bool {
         rows
     };
     let (ra, rb) = (canon(a), canon(b));
-    ra.iter()
-        .zip(rb.iter())
-        .all(|(x, y)| x.iter().zip(y.iter()).all(|(va, vb)| va.result_eq(vb)))
+    ra.iter().zip(rb.iter()).all(|(x, y)| x.iter().zip(y.iter()).all(|(va, vb)| va.result_eq(vb)))
 }
 
 /// Execute both queries against `db` and compare (execution accuracy).

@@ -54,8 +54,7 @@ pub fn execute_select(db: &Database, sel: &Select) -> Result<ResultSet, EngineEr
             for right in &jt.rows {
                 let mut combined = left.clone();
                 combined.extend(right.iter().cloned());
-                let keep =
-                    eval(&join.on, &combined, &scope, db, None)?.is_truthy();
+                let keep = eval(&join.on, &combined, &scope, db, None)?.is_truthy();
                 if keep {
                     next.push(combined);
                 }
@@ -174,13 +173,10 @@ impl Scope {
                     .iter()
                     .find(|b| b.name.eq_ignore_ascii_case(q))
                     .ok_or_else(|| EngineError::UnknownTable { table: q.to_string() })?;
-                let idx = b
-                    .columns
-                    .iter()
-                    .position(|c| c.eq_ignore_ascii_case(column))
-                    .ok_or_else(|| EngineError::UnknownColumn {
-                        column: format!("{q}.{column}"),
-                    })?;
+                let idx =
+                    b.columns.iter().position(|c| c.eq_ignore_ascii_case(column)).ok_or_else(
+                        || EngineError::UnknownColumn { column: format!("{q}.{column}") },
+                    )?;
                 Ok(b.offset + idx)
             }
             None => {
@@ -378,9 +374,7 @@ fn eval_order_key(
 ) -> Result<Value, EngineError> {
     // ORDER BY <alias> refers to the projected value.
     if let Expr::Column { table: None, column } = &key.expr {
-        if let Some((_, pos)) =
-            alias_map.iter().find(|(a, _)| a.eq_ignore_ascii_case(column))
-        {
+        if let Some((_, pos)) = alias_map.iter().find(|(a, _)| a.eq_ignore_ascii_case(column)) {
             if let Some(v) = projected.get(*pos) {
                 return Ok(v.clone());
             }
@@ -590,9 +584,8 @@ fn eval_aggregate(
     if func == AggFunc::Count && arg.is_none() {
         return Ok(Value::Int(rows.len() as i64));
     }
-    let arg = arg.ok_or_else(|| EngineError::Eval {
-        message: format!("{func} requires an argument"),
-    })?;
+    let arg =
+        arg.ok_or_else(|| EngineError::Eval { message: format!("{func} requires an argument") })?;
     let mut vals = Vec::with_capacity(rows.len());
     for row in rows {
         let v = eval(arg, row, scope, db, None)?;
@@ -732,21 +725,13 @@ mod tests {
                 .foreign("concert_id", "concert", "concert_id"),
         );
         let mut db = Database::from_schema(&schema);
-        for (id, name, age) in
-            [(1, "Ann", 30), (2, "Bo", 42), (3, "Cy", 25), (4, "Di", 35)]
-        {
-            db.insert(
-                "singer",
-                vec![Value::Int(id), Value::Text(name.into()), Value::Int(age)],
-            )
-            .unwrap();
+        for (id, name, age) in [(1, "Ann", 30), (2, "Bo", 42), (3, "Cy", 25), (4, "Di", 35)] {
+            db.insert("singer", vec![Value::Int(id), Value::Text(name.into()), Value::Int(age)])
+                .unwrap();
         }
         for (id, venue, year) in [(10, "Arena", 2014), (11, "Hall", 2014), (12, "Club", 2022)] {
-            db.insert(
-                "concert",
-                vec![Value::Int(id), Value::Text(venue.into()), Value::Int(year)],
-            )
-            .unwrap();
+            db.insert("concert", vec![Value::Int(id), Value::Text(venue.into()), Value::Int(year)])
+                .unwrap();
         }
         for (s, c) in [(1, 10), (2, 10), (1, 11), (3, 12)] {
             db.insert("singer_in_concert", vec![Value::Int(s), Value::Int(c)]).unwrap();
@@ -818,11 +803,8 @@ mod tests {
     #[test]
     fn scalar_subquery_max() {
         let db = concert_db();
-        let rs = execute(
-            &db,
-            "SELECT name FROM singer WHERE age = (SELECT MAX(age) FROM singer)",
-        )
-        .unwrap();
+        let rs = execute(&db, "SELECT name FROM singer WHERE age = (SELECT MAX(age) FROM singer)")
+            .unwrap();
         assert_eq!(rs.rows.len(), 1);
         assert!(rs.rows[0][0].sql_eq(&Value::Text("Bo".into())));
     }
@@ -939,11 +921,7 @@ mod tests {
     #[test]
     fn count_distinct() {
         let db = concert_db();
-        let rs = execute(
-            &db,
-            "SELECT COUNT(DISTINCT singer_id) FROM singer_in_concert",
-        )
-        .unwrap();
+        let rs = execute(&db, "SELECT COUNT(DISTINCT singer_id) FROM singer_in_concert").unwrap();
         assert!(rs.rows[0][0].sql_eq(&Value::Int(3)));
     }
 

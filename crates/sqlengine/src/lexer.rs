@@ -97,7 +97,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, EngineError> {
                     tokens.push(Token::Symbol(Sym::NotEq));
                     i += 2;
                 } else {
-                    return Err(EngineError::Lex { pos: i, message: "expected '=' after '!'".into() });
+                    return Err(EngineError::Lex {
+                        pos: i,
+                        message: "expected '=' after '!'".into(),
+                    });
                 }
             }
             '<' => {
@@ -183,8 +186,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, EngineError> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }

@@ -1,8 +1,6 @@
 //! Recursive-descent parser for the supported SQL subset.
 
-use crate::ast::{
-    AggFunc, BinOp, Expr, Join, OrderKey, Projection, Select, SortDir, TableRef,
-};
+use crate::ast::{AggFunc, BinOp, Expr, Join, OrderKey, Projection, Select, SortDir, TableRef};
 use crate::error::EngineError;
 use crate::lexer::{lex, Sym, Token};
 use crate::value::Value;
@@ -166,7 +164,17 @@ impl Parser {
         } else {
             None
         };
-        Ok(Select { distinct, projections, from, joins, where_clause, group_by, having, order_by, limit })
+        Ok(Select {
+            distinct,
+            projections,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn projection(&mut self) -> Result<Projection, EngineError> {
@@ -193,11 +201,8 @@ impl Parser {
 
     fn table_ref(&mut self) -> Result<TableRef, EngineError> {
         let first = self.ident()?;
-        let (database, table) = if self.eat_symbol(Sym::Dot) {
-            (Some(first), self.ident()?)
-        } else {
-            (None, first)
-        };
+        let (database, table) =
+            if self.eat_symbol(Sym::Dot) { (Some(first), self.ident()?) } else { (None, first) };
         let alias = if self.eat_keyword("AS") {
             Some(self.ident()?)
         } else if let Some(Token::Ident(s)) = self.peek() {
@@ -433,8 +438,8 @@ fn is_reserved(word: &str) -> bool {
     const RESERVED: &[&str] = &[
         "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER",
         "ON", "AS", "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN", "IS", "NULL", "DISTINCT", "ASC",
-        "DESC", "TRUE", "FALSE", "UNION", "LEFT", "RIGHT", "OUTER", "CASE", "WHEN", "THEN",
-        "ELSE", "END",
+        "DESC", "TRUE", "FALSE", "UNION", "LEFT", "RIGHT", "OUTER", "CASE", "WHEN", "THEN", "ELSE",
+        "END",
     ];
     RESERVED.iter().any(|k| word.eq_ignore_ascii_case(k))
 }

@@ -101,12 +101,9 @@ pub fn render_expr(e: &Expr) -> String {
             if *negated { "NOT " } else { "" },
             pattern.replace('\'', "''")
         ),
-        Expr::Between { expr, low, high } => format!(
-            "{} BETWEEN {} AND {}",
-            render_expr(expr),
-            render_expr(low),
-            render_expr(high)
-        ),
+        Expr::Between { expr, low, high } => {
+            format!("{} BETWEEN {} AND {}", render_expr(expr), render_expr(low), render_expr(high))
+        }
         Expr::InList { expr, list, negated } => {
             let items: Vec<String> = list.iter().map(render_expr).collect();
             format!(
@@ -124,11 +121,9 @@ pub fn render_expr(e: &Expr) -> String {
         ),
         Expr::ScalarSubquery(s) => format!("({})", render_select(s)),
         Expr::Aggregate { func, arg: None, .. } => format!("{func}(*)"),
-        Expr::Aggregate { func, arg: Some(a), distinct } => format!(
-            "{func}({}{})",
-            if *distinct { "DISTINCT " } else { "" },
-            render_expr(a)
-        ),
+        Expr::Aggregate { func, arg: Some(a), distinct } => {
+            format!("{func}({}{})", if *distinct { "DISTINCT " } else { "" }, render_expr(a))
+        }
     }
 }
 

@@ -50,7 +50,12 @@ pub struct TableSchema {
 
 impl TableSchema {
     pub fn new(name: impl Into<String>) -> Self {
-        TableSchema { name: name.into(), columns: Vec::new(), primary_key: None, foreign_keys: Vec::new() }
+        TableSchema {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: None,
+            foreign_keys: Vec::new(),
+        }
     }
 
     pub fn column(mut self, name: impl Into<String>, ty: DataType) -> Self {
@@ -200,7 +205,8 @@ mod tests {
 
     #[test]
     fn flat_text_format() {
-        let t = TableSchema::new("singer").column("id", DataType::Int).column("name", DataType::Text);
+        let t =
+            TableSchema::new("singer").column("id", DataType::Int).column("name", DataType::Text);
         assert_eq!(t.flat_text(), "singer(id, name)");
     }
 

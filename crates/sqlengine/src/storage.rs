@@ -72,30 +72,23 @@ pub struct Database {
 impl Database {
     /// Create an empty database from a schema.
     pub fn from_schema(schema: &DatabaseSchema) -> Self {
-        let tables = schema
-            .tables
-            .iter()
-            .map(|t| (t.name.clone(), Table::new(t.clone())))
-            .collect();
+        let tables =
+            schema.tables.iter().map(|t| (t.name.clone(), Table::new(t.clone()))).collect();
         Database { name: schema.name.clone(), tables }
     }
 
     pub fn table(&self, name: &str) -> Option<&Table> {
         // Case-insensitive fallback keeps generated SQL robust.
-        self.tables.get(name).or_else(|| {
-            self.tables.values().find(|t| t.schema.name.eq_ignore_ascii_case(name))
-        })
+        self.tables
+            .get(name)
+            .or_else(|| self.tables.values().find(|t| t.schema.name.eq_ignore_ascii_case(name)))
     }
 
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
         if self.tables.contains_key(name) {
             return self.tables.get_mut(name);
         }
-        let key = self
-            .tables
-            .keys()
-            .find(|k| k.eq_ignore_ascii_case(name))
-            .cloned()?;
+        let key = self.tables.keys().find(|k| k.eq_ignore_ascii_case(name)).cloned()?;
         self.tables.get_mut(&key)
     }
 

@@ -186,7 +186,7 @@ mod tests {
 
     #[test]
     fn total_order_ranks_types() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Text("a".into()),
             Value::Int(5),
             Value::Null,

@@ -2,7 +2,7 @@
 //! ordering, nested subqueries — behaviors EX comparison depends on.
 
 use dbcopilot_sqlengine::{
-    execute, execution_match, Database, DatabaseSchema, DataType, TableSchema, Value,
+    execute, execution_match, DataType, Database, DatabaseSchema, TableSchema, Value,
 };
 
 fn db() -> Database {
@@ -86,8 +86,7 @@ fn is_null_filters() {
 fn multi_key_order_by() {
     let d = db();
     // price ASC with NULLs first (total order), then name DESC as tiebreak
-    let rs =
-        execute(&d, "SELECT name FROM items ORDER BY price ASC, name DESC").unwrap();
+    let rs = execute(&d, "SELECT name FROM items ORDER BY price ASC, name DESC").unwrap();
     let names: Vec<String> = rs
         .rows
         .iter()
@@ -119,8 +118,8 @@ fn nested_subqueries_two_deep() {
 #[test]
 fn scalar_subquery_empty_is_null() {
     let d = db();
-    let rs = execute(&d, "SELECT name FROM items WHERE price = (SELECT MAX(x) FROM empty)")
-        .unwrap();
+    let rs =
+        execute(&d, "SELECT name FROM items WHERE price = (SELECT MAX(x) FROM empty)").unwrap();
     assert!(rs.rows.is_empty(), "comparison with NULL matches nothing");
 }
 
@@ -158,8 +157,8 @@ fn ex_match_is_case_insensitive_on_keywords_not_values() {
 #[test]
 fn arithmetic_in_projections_and_filters() {
     let d = db();
-    let rs = execute(&d, "SELECT name FROM items WHERE price * 2 > 3.0 AND price + 1 < 10")
-        .unwrap();
+    let rs =
+        execute(&d, "SELECT name FROM items WHERE price * 2 > 3.0 AND price + 1 < 10").unwrap();
     assert_eq!(rs.rows.len(), 1); // date (8.0)
 }
 
@@ -181,11 +180,8 @@ fn not_like_and_wildcards() {
 #[test]
 fn having_with_aggregate_on_other_column() {
     let d = db();
-    let rs = execute(
-        &d,
-        "SELECT category FROM items GROUP BY category HAVING AVG(price) > 1.0",
-    )
-    .unwrap();
+    let rs = execute(&d, "SELECT category FROM items GROUP BY category HAVING AVG(price) > 1.0")
+        .unwrap();
     // fruit avg 1.5 ✓; veg avg (0.5, NULL skipped) = 0.5 ✗; NULL category avg 8.0 ✓
     assert_eq!(rs.rows.len(), 2);
 }

@@ -13,7 +13,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use dbcopilot_sqlengine::{
-    Collection, Database, DatabaseSchema, DataType, Store, TableSchema, Value,
+    Collection, DataType, Database, DatabaseSchema, Store, TableSchema, Value,
 };
 
 use crate::lexicon::{
@@ -199,16 +199,9 @@ pub fn generate_mart(
         let mut entities: Vec<&str> = domain.entities.to_vec();
         entities.shuffle(&mut rng);
         entities.truncate(k.min(entities.len()));
-        let prefixed: Vec<String> =
-            entities.iter().map(|e| format!("{prefix}_{e}")).collect();
-        let area_tables = build_tables(
-            &prefixed,
-            &entities,
-            0.8,
-            rows_per_table,
-            &mut rng,
-            &mut db_meta,
-        );
+        let prefixed: Vec<String> = entities.iter().map(|e| format!("{prefix}_{e}")).collect();
+        let area_tables =
+            build_tables(&prefixed, &entities, 0.8, rows_per_table, &mut rng, &mut db_meta);
         rows.extend(area_tables);
     }
 
@@ -254,25 +247,14 @@ fn generate_database(
     let table_names: Vec<String> = entities
         .iter()
         .map(|e| {
-            let base = if rng.gen_bool(0.35) {
-                synonym_table_name(e, rng)
-            } else {
-                e.to_string()
-            };
+            let base = if rng.gen_bool(0.35) { synonym_table_name(e, rng) } else { e.to_string() };
             match table_prefix {
                 Some(p) => format!("{p}_{base}"),
                 None => base,
             }
         })
         .collect();
-    let mut tables = build_tables(
-        &table_names,
-        entities,
-        0.65,
-        rows_per_table,
-        rng,
-        &mut db_meta,
-    );
+    let mut tables = build_tables(&table_names, entities, 0.65, rows_per_table, rng, &mut db_meta);
 
     // Junction tables between FK-unrelated entity pairs.
     for _ in 0..2 {
@@ -295,8 +277,10 @@ fn generate_database(
                 .foreign(a_pk.clone(), a_table.clone(), a_pk.clone())
                 .foreign(b_pk.clone(), b_table.clone(), b_pk.clone());
             // rows: random pairs
-            let a_rows = tables.iter().find(|(t, _)| t.name == a_table).map(|(_, r)| r.len()).unwrap_or(1);
-            let b_rows = tables.iter().find(|(t, _)| t.name == b_table).map(|(_, r)| r.len()).unwrap_or(1);
+            let a_rows =
+                tables.iter().find(|(t, _)| t.name == a_table).map(|(_, r)| r.len()).unwrap_or(1);
+            let b_rows =
+                tables.iter().find(|(t, _)| t.name == b_table).map(|(_, r)| r.len()).unwrap_or(1);
             let n = rng.gen_range(rows_per_table.0..=rows_per_table.1);
             let mut trows = Vec::with_capacity(n);
             for _ in 0..n {
@@ -370,14 +354,12 @@ fn build_tables(
         for akey in &shuffled {
             let spec = crate::lexicon::ATTRIBUTES.iter().find(|a| a.name == *akey).unwrap();
             let keep_floor = match spec.values {
-                ValueSpec::Category(_) => {
-                    !attr_keys.iter().any(|k| {
-                        matches!(
-                            crate::lexicon::ATTRIBUTES.iter().find(|a| a.name == *k).unwrap().values,
-                            ValueSpec::Category(_)
-                        )
-                    })
-                }
+                ValueSpec::Category(_) => !attr_keys.iter().any(|k| {
+                    matches!(
+                        crate::lexicon::ATTRIBUTES.iter().find(|a| a.name == *k).unwrap().values,
+                        ValueSpec::Category(_)
+                    )
+                }),
                 _ => !attr_keys.iter().any(|k| {
                     !matches!(
                         crate::lexicon::ATTRIBUTES.iter().find(|a| a.name == *k).unwrap().values,
@@ -416,9 +398,11 @@ fn build_tables(
             let parent_pk = format!("{}_id", entities[pi]);
             let fk_col = parent_pk.clone();
             if ts.column_index(&fk_col).is_none() {
-                ts = ts
-                    .column(fk_col.clone(), DataType::Int)
-                    .foreign(fk_col.clone(), parent_table.clone(), parent_pk);
+                ts = ts.column(fk_col.clone(), DataType::Int).foreign(
+                    fk_col.clone(),
+                    parent_table.clone(),
+                    parent_pk,
+                );
                 parents.push((parent_table, fk_col));
             }
         }
@@ -479,8 +463,8 @@ fn gen_value(a: &AttrSpec, rng: &mut SmallRng) -> Value {
 
 /// SQL keywords that must not become bare table names.
 const RESERVED_NAMES: &[&str] = &[
-    "case", "select", "from", "where", "group", "order", "join", "union", "end", "left",
-    "right", "on", "as", "by", "in", "is", "and", "or", "not", "between", "like",
+    "case", "select", "from", "where", "group", "order", "join", "union", "end", "left", "right",
+    "on", "as", "by", "in", "is", "and", "or", "not", "between", "like",
 ];
 
 /// Snake-cased synonym name for an entity table, seeded.
@@ -534,7 +518,13 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        let cfg = GenConfig { num_databases: 5, entities_per_db: (3, 4), junction_prob: 0.5, rows_per_table: (5, 9), seed: 7 };
+        let cfg = GenConfig {
+            num_databases: 5,
+            entities_per_db: (3, 4),
+            junction_prob: 0.5,
+            rows_per_table: (5, 9),
+            seed: 7,
+        };
         let a = generate_collection(&cfg);
         let b = generate_collection(&cfg);
         assert_eq!(a.collection.num_tables(), b.collection.num_tables());

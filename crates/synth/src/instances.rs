@@ -143,7 +143,7 @@ fn sample_spec(
     bind_spec(gc, lex, db, dbm, TemplateKind::CountAll, rng)
 }
 
-fn entity_tables<'a>(dbm: &'a DbMeta) -> Vec<&'a TableMeta> {
+fn entity_tables(dbm: &DbMeta) -> Vec<&TableMeta> {
     dbm.tables.values().filter(|t| !t.is_junction && t.has_name).collect()
 }
 
@@ -286,8 +286,8 @@ fn bind_spec(
             spec.join_on = Some((fk_col, ppk));
             match kind {
                 TemplateKind::JoinFilter => {
-                    let attr = categorical_attr(lex, ptm, rng)
-                        .or_else(|| numeric_attr(lex, ptm, rng))?;
+                    let attr =
+                        categorical_attr(lex, ptm, rng).or_else(|| numeric_attr(lex, ptm, rng))?;
                     let value = sample_column_value(gc, db, &parent_table, &attr, rng)?;
                     spec.attr = Some(attr);
                     spec.value = Some(value);
@@ -327,8 +327,7 @@ fn bind_spec(
             let value = sample_column_value(gc, db, &b_table, "name", rng)?;
             spec.tables = vec![j.table.clone(), a_table.clone(), b_table.clone()];
             spec.entities = vec![j.entity.clone(), atm.entity.clone(), btm.entity.clone()];
-            spec.aligned =
-                vec![j.table.clone(), atm.aligned_name(lex), btm.aligned_name(lex)];
+            spec.aligned = vec![j.table.clone(), atm.aligned_name(lex), btm.aligned_name(lex)];
             spec.junction_on = Some(((afk, apk), (bfk, bpk)));
             spec.value = Some(value);
         }

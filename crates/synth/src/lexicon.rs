@@ -80,278 +80,1246 @@ pub const NAME_FIRST: &[&str] = &[
 ];
 pub const NAME_SECOND: &[&str] = &[
     "Adler", "Brook", "Cruz", "Dale", "Eng", "Frost", "Gray", "Hale", "Iver", "Jude", "Kane",
-    "Lund", "Moss", "Nash", "Orr", "Page", "Quill", "Reed", "Stone", "Tate", "Ume", "Vale",
-    "West", "York", "Zell",
+    "Lund", "Moss", "Nash", "Orr", "Page", "Quill", "Reed", "Stone", "Tate", "Ume", "Vale", "West",
+    "York", "Zell",
 ];
 
 /// Shared attribute pool.
 pub const ATTRIBUTES: &[AttrSpec] = &[
-    AttrSpec { name: "age", ty: DataType::Int, values: ValueSpec::IntRange(16, 90), synonyms: &["years", "how old"] },
-    AttrSpec { name: "year", ty: DataType::Int, values: ValueSpec::IntRange(1950, 2024), synonyms: &["calendar year", "vintage"] },
-    AttrSpec { name: "price", ty: DataType::Float, values: ValueSpec::FloatRange(1.0, 900.0), synonyms: &["cost", "amount charged"] },
-    AttrSpec { name: "salary", ty: DataType::Float, values: ValueSpec::FloatRange(20000.0, 200000.0), synonyms: &["pay", "compensation"] },
-    AttrSpec { name: "population", ty: DataType::Int, values: ValueSpec::IntRange(1000, 9000000), synonyms: &["number of residents", "inhabitants"] },
-    AttrSpec { name: "capacity", ty: DataType::Int, values: ValueSpec::IntRange(50, 90000), synonyms: &["seating", "maximum occupancy"] },
-    AttrSpec { name: "rating", ty: DataType::Float, values: ValueSpec::FloatRange(1.0, 10.0), synonyms: &["score", "grade"] },
-    AttrSpec { name: "length", ty: DataType::Float, values: ValueSpec::FloatRange(0.5, 4000.0), synonyms: &["extent", "how long"] },
-    AttrSpec { name: "weight", ty: DataType::Float, values: ValueSpec::FloatRange(0.1, 900.0), synonyms: &["mass", "heaviness"] },
-    AttrSpec { name: "height", ty: DataType::Float, values: ValueSpec::FloatRange(0.4, 3.0), synonyms: &["stature", "how tall"] },
-    AttrSpec { name: "budget", ty: DataType::Float, values: ValueSpec::FloatRange(10000.0, 5000000.0), synonyms: &["funding", "allocated money"] },
-    AttrSpec { name: "revenue", ty: DataType::Float, values: ValueSpec::FloatRange(1000.0, 9000000.0), synonyms: &["income", "earnings"] },
-    AttrSpec { name: "distance", ty: DataType::Float, values: ValueSpec::FloatRange(1.0, 12000.0), synonyms: &["mileage", "how far"] },
-    AttrSpec { name: "duration", ty: DataType::Int, values: ValueSpec::IntRange(1, 600), synonyms: &["running time", "how long it lasts"] },
-    AttrSpec { name: "country", ty: DataType::Text, values: ValueSpec::Category(0), synonyms: &["nation", "homeland"] },
-    AttrSpec { name: "color", ty: DataType::Text, values: ValueSpec::Category(1), synonyms: &["hue", "shade"] },
-    AttrSpec { name: "size_class", ty: DataType::Text, values: ValueSpec::Category(2), synonyms: &["size category", "magnitude class"] },
-    AttrSpec { name: "status", ty: DataType::Text, values: ValueSpec::Category(3), synonyms: &["state", "condition"] },
-    AttrSpec { name: "tier", ty: DataType::Text, values: ValueSpec::Category(4), synonyms: &["rank band", "medal level"] },
-    AttrSpec { name: "region", ty: DataType::Text, values: ValueSpec::Category(5), synonyms: &["area", "zone"] },
-    AttrSpec { name: "season", ty: DataType::Text, values: ValueSpec::Category(6), synonyms: &["time of year", "quarter"] },
-    AttrSpec { name: "genre", ty: DataType::Text, values: ValueSpec::Category(7), synonyms: &["style", "category of music"] },
-    AttrSpec { name: "weekday", ty: DataType::Text, values: ValueSpec::Category(8), synonyms: &["day of week", "day"] },
-    AttrSpec { name: "plan", ty: DataType::Text, values: ValueSpec::Category(9), synonyms: &["subscription level", "package"] },
-    AttrSpec { name: "stock", ty: DataType::Int, values: ValueSpec::IntRange(0, 500), synonyms: &["inventory", "units on hand"] },
-    AttrSpec { name: "floors", ty: DataType::Int, values: ValueSpec::IntRange(1, 120), synonyms: &["storeys", "levels"] },
-    AttrSpec { name: "wins", ty: DataType::Int, values: ValueSpec::IntRange(0, 80), synonyms: &["victories", "matches won"] },
-    AttrSpec { name: "losses", ty: DataType::Int, values: ValueSpec::IntRange(0, 80), synonyms: &["defeats", "matches lost"] },
-    AttrSpec { name: "points", ty: DataType::Int, values: ValueSpec::IntRange(0, 3000), synonyms: &["score total", "tally"] },
-    AttrSpec { name: "credits", ty: DataType::Int, values: ValueSpec::IntRange(1, 12), synonyms: &["credit hours", "units"] },
-    AttrSpec { name: "enrollment", ty: DataType::Int, values: ValueSpec::IntRange(50, 60000), synonyms: &["student count", "number enrolled"] },
-    AttrSpec { name: "founded", ty: DataType::Int, values: ValueSpec::IntRange(1800, 2020), synonyms: &["establishment year", "year created"] },
-    AttrSpec { name: "pages", ty: DataType::Int, values: ValueSpec::IntRange(40, 1500), synonyms: &["page count", "how many pages"] },
-    AttrSpec { name: "dosage", ty: DataType::Float, values: ValueSpec::FloatRange(0.5, 500.0), synonyms: &["dose", "prescribed amount"] },
-    AttrSpec { name: "beds", ty: DataType::Int, values: ValueSpec::IntRange(10, 1200), synonyms: &["bed count", "patient capacity"] },
-    AttrSpec { name: "horsepower", ty: DataType::Int, values: ValueSpec::IntRange(60, 1200), synonyms: &["engine power", "hp"] },
-    AttrSpec { name: "mpg", ty: DataType::Float, values: ValueSpec::FloatRange(8.0, 60.0), synonyms: &["fuel economy", "miles per gallon"] },
-    AttrSpec { name: "depth", ty: DataType::Float, values: ValueSpec::FloatRange(1.0, 11000.0), synonyms: &["how deep", "profundity"] },
-    AttrSpec { name: "altitude", ty: DataType::Float, values: ValueSpec::FloatRange(0.0, 8848.0), synonyms: &["elevation", "height above sea level"] },
-    AttrSpec { name: "interest_rate", ty: DataType::Float, values: ValueSpec::FloatRange(0.1, 12.0), synonyms: &["rate of interest", "yield"] },
-    AttrSpec { name: "balance", ty: DataType::Float, values: ValueSpec::FloatRange(-5000.0, 90000.0), synonyms: &["account total", "funds held"] },
-    AttrSpec { name: "premium", ty: DataType::Float, values: ValueSpec::FloatRange(50.0, 4000.0), synonyms: &["insurance fee", "policy cost"] },
-    AttrSpec { name: "quantity", ty: DataType::Int, values: ValueSpec::IntRange(1, 400), synonyms: &["count", "number of items"] },
-    AttrSpec { name: "gdp", ty: DataType::Float, values: ValueSpec::FloatRange(0.5, 25000.0), synonyms: &["gross domestic product", "economic output"] },
+    AttrSpec {
+        name: "age",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(16, 90),
+        synonyms: &["years", "how old"],
+    },
+    AttrSpec {
+        name: "year",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(1950, 2024),
+        synonyms: &["calendar year", "vintage"],
+    },
+    AttrSpec {
+        name: "price",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(1.0, 900.0),
+        synonyms: &["cost", "amount charged"],
+    },
+    AttrSpec {
+        name: "salary",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(20000.0, 200000.0),
+        synonyms: &["pay", "compensation"],
+    },
+    AttrSpec {
+        name: "population",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(1000, 9000000),
+        synonyms: &["number of residents", "inhabitants"],
+    },
+    AttrSpec {
+        name: "capacity",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(50, 90000),
+        synonyms: &["seating", "maximum occupancy"],
+    },
+    AttrSpec {
+        name: "rating",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(1.0, 10.0),
+        synonyms: &["score", "grade"],
+    },
+    AttrSpec {
+        name: "length",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(0.5, 4000.0),
+        synonyms: &["extent", "how long"],
+    },
+    AttrSpec {
+        name: "weight",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(0.1, 900.0),
+        synonyms: &["mass", "heaviness"],
+    },
+    AttrSpec {
+        name: "height",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(0.4, 3.0),
+        synonyms: &["stature", "how tall"],
+    },
+    AttrSpec {
+        name: "budget",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(10000.0, 5000000.0),
+        synonyms: &["funding", "allocated money"],
+    },
+    AttrSpec {
+        name: "revenue",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(1000.0, 9000000.0),
+        synonyms: &["income", "earnings"],
+    },
+    AttrSpec {
+        name: "distance",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(1.0, 12000.0),
+        synonyms: &["mileage", "how far"],
+    },
+    AttrSpec {
+        name: "duration",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(1, 600),
+        synonyms: &["running time", "how long it lasts"],
+    },
+    AttrSpec {
+        name: "country",
+        ty: DataType::Text,
+        values: ValueSpec::Category(0),
+        synonyms: &["nation", "homeland"],
+    },
+    AttrSpec {
+        name: "color",
+        ty: DataType::Text,
+        values: ValueSpec::Category(1),
+        synonyms: &["hue", "shade"],
+    },
+    AttrSpec {
+        name: "size_class",
+        ty: DataType::Text,
+        values: ValueSpec::Category(2),
+        synonyms: &["size category", "magnitude class"],
+    },
+    AttrSpec {
+        name: "status",
+        ty: DataType::Text,
+        values: ValueSpec::Category(3),
+        synonyms: &["state", "condition"],
+    },
+    AttrSpec {
+        name: "tier",
+        ty: DataType::Text,
+        values: ValueSpec::Category(4),
+        synonyms: &["rank band", "medal level"],
+    },
+    AttrSpec {
+        name: "region",
+        ty: DataType::Text,
+        values: ValueSpec::Category(5),
+        synonyms: &["area", "zone"],
+    },
+    AttrSpec {
+        name: "season",
+        ty: DataType::Text,
+        values: ValueSpec::Category(6),
+        synonyms: &["time of year", "quarter"],
+    },
+    AttrSpec {
+        name: "genre",
+        ty: DataType::Text,
+        values: ValueSpec::Category(7),
+        synonyms: &["style", "category of music"],
+    },
+    AttrSpec {
+        name: "weekday",
+        ty: DataType::Text,
+        values: ValueSpec::Category(8),
+        synonyms: &["day of week", "day"],
+    },
+    AttrSpec {
+        name: "plan",
+        ty: DataType::Text,
+        values: ValueSpec::Category(9),
+        synonyms: &["subscription level", "package"],
+    },
+    AttrSpec {
+        name: "stock",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(0, 500),
+        synonyms: &["inventory", "units on hand"],
+    },
+    AttrSpec {
+        name: "floors",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(1, 120),
+        synonyms: &["storeys", "levels"],
+    },
+    AttrSpec {
+        name: "wins",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(0, 80),
+        synonyms: &["victories", "matches won"],
+    },
+    AttrSpec {
+        name: "losses",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(0, 80),
+        synonyms: &["defeats", "matches lost"],
+    },
+    AttrSpec {
+        name: "points",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(0, 3000),
+        synonyms: &["score total", "tally"],
+    },
+    AttrSpec {
+        name: "credits",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(1, 12),
+        synonyms: &["credit hours", "units"],
+    },
+    AttrSpec {
+        name: "enrollment",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(50, 60000),
+        synonyms: &["student count", "number enrolled"],
+    },
+    AttrSpec {
+        name: "founded",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(1800, 2020),
+        synonyms: &["establishment year", "year created"],
+    },
+    AttrSpec {
+        name: "pages",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(40, 1500),
+        synonyms: &["page count", "how many pages"],
+    },
+    AttrSpec {
+        name: "dosage",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(0.5, 500.0),
+        synonyms: &["dose", "prescribed amount"],
+    },
+    AttrSpec {
+        name: "beds",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(10, 1200),
+        synonyms: &["bed count", "patient capacity"],
+    },
+    AttrSpec {
+        name: "horsepower",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(60, 1200),
+        synonyms: &["engine power", "hp"],
+    },
+    AttrSpec {
+        name: "mpg",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(8.0, 60.0),
+        synonyms: &["fuel economy", "miles per gallon"],
+    },
+    AttrSpec {
+        name: "depth",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(1.0, 11000.0),
+        synonyms: &["how deep", "profundity"],
+    },
+    AttrSpec {
+        name: "altitude",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(0.0, 8848.0),
+        synonyms: &["elevation", "height above sea level"],
+    },
+    AttrSpec {
+        name: "interest_rate",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(0.1, 12.0),
+        synonyms: &["rate of interest", "yield"],
+    },
+    AttrSpec {
+        name: "balance",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(-5000.0, 90000.0),
+        synonyms: &["account total", "funds held"],
+    },
+    AttrSpec {
+        name: "premium",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(50.0, 4000.0),
+        synonyms: &["insurance fee", "policy cost"],
+    },
+    AttrSpec {
+        name: "quantity",
+        ty: DataType::Int,
+        values: ValueSpec::IntRange(1, 400),
+        synonyms: &["count", "number of items"],
+    },
+    AttrSpec {
+        name: "gdp",
+        ty: DataType::Float,
+        values: ValueSpec::FloatRange(0.5, 25000.0),
+        synonyms: &["gross domestic product", "economic output"],
+    },
 ];
 
 /// Entity concept pool.
 pub const ENTITIES: &[EntitySpec] = &[
     // music / entertainment
-    EntitySpec { name: "singer", synonyms: &["vocalist", "recording artist"], attrs: &["age", "country", "genre"] },
-    EntitySpec { name: "concert", synonyms: &["live show", "gig"], attrs: &["year", "capacity", "season"] },
+    EntitySpec {
+        name: "singer",
+        synonyms: &["vocalist", "recording artist"],
+        attrs: &["age", "country", "genre"],
+    },
+    EntitySpec {
+        name: "concert",
+        synonyms: &["live show", "gig"],
+        attrs: &["year", "capacity", "season"],
+    },
     EntitySpec { name: "album", synonyms: &["record", "LP"], attrs: &["year", "rating", "genre"] },
-    EntitySpec { name: "band", synonyms: &["music group", "ensemble"], attrs: &["founded", "country", "genre"] },
-    EntitySpec { name: "venue", synonyms: &["concert hall", "arena"], attrs: &["capacity", "region", "founded"] },
-    EntitySpec { name: "movie", synonyms: &["film", "picture"], attrs: &["year", "rating", "duration"] },
+    EntitySpec {
+        name: "band",
+        synonyms: &["music group", "ensemble"],
+        attrs: &["founded", "country", "genre"],
+    },
+    EntitySpec {
+        name: "venue",
+        synonyms: &["concert hall", "arena"],
+        attrs: &["capacity", "region", "founded"],
+    },
+    EntitySpec {
+        name: "movie",
+        synonyms: &["film", "picture"],
+        attrs: &["year", "rating", "duration"],
+    },
     EntitySpec { name: "director", synonyms: &["filmmaker", "auteur"], attrs: &["age", "country"] },
-    EntitySpec { name: "actor", synonyms: &["performer", "cast member"], attrs: &["age", "country"] },
-    EntitySpec { name: "tv_show", synonyms: &["series", "program"], attrs: &["year", "rating", "duration"] },
-    EntitySpec { name: "channel", synonyms: &["network", "station"], attrs: &["founded", "region"] },
+    EntitySpec {
+        name: "actor",
+        synonyms: &["performer", "cast member"],
+        attrs: &["age", "country"],
+    },
+    EntitySpec {
+        name: "tv_show",
+        synonyms: &["series", "program"],
+        attrs: &["year", "rating", "duration"],
+    },
+    EntitySpec {
+        name: "channel",
+        synonyms: &["network", "station"],
+        attrs: &["founded", "region"],
+    },
     // education
     EntitySpec { name: "student", synonyms: &["pupil", "learner"], attrs: &["age", "country"] },
     EntitySpec { name: "course", synonyms: &["class", "module"], attrs: &["credits", "duration"] },
-    EntitySpec { name: "teacher", synonyms: &["instructor", "educator"], attrs: &["age", "salary"] },
-    EntitySpec { name: "school", synonyms: &["academy", "institution"], attrs: &["enrollment", "founded", "region"] },
-    EntitySpec { name: "department", synonyms: &["faculty", "division"], attrs: &["budget", "founded"] },
-    EntitySpec { name: "dormitory", synonyms: &["residence hall", "student housing"], attrs: &["capacity", "floors"] },
+    EntitySpec {
+        name: "teacher",
+        synonyms: &["instructor", "educator"],
+        attrs: &["age", "salary"],
+    },
+    EntitySpec {
+        name: "school",
+        synonyms: &["academy", "institution"],
+        attrs: &["enrollment", "founded", "region"],
+    },
+    EntitySpec {
+        name: "department",
+        synonyms: &["faculty", "division"],
+        attrs: &["budget", "founded"],
+    },
+    EntitySpec {
+        name: "dormitory",
+        synonyms: &["residence hall", "student housing"],
+        attrs: &["capacity", "floors"],
+    },
     EntitySpec { name: "scholarship", synonyms: &["grant", "bursary"], attrs: &["budget", "year"] },
     // geography
-    EntitySpec { name: "city", synonyms: &["town", "municipality"], attrs: &["population", "region", "altitude"] },
-    EntitySpec { name: "state", synonyms: &["province", "territory"], attrs: &["population", "region"] },
+    EntitySpec {
+        name: "city",
+        synonyms: &["town", "municipality"],
+        attrs: &["population", "region", "altitude"],
+    },
+    EntitySpec {
+        name: "state",
+        synonyms: &["province", "territory"],
+        attrs: &["population", "region"],
+    },
     EntitySpec { name: "river", synonyms: &["waterway", "stream"], attrs: &["length", "depth"] },
     EntitySpec { name: "mountain", synonyms: &["peak", "summit"], attrs: &["altitude", "region"] },
     EntitySpec { name: "lake", synonyms: &["reservoir", "basin"], attrs: &["depth", "region"] },
-    EntitySpec { name: "airport", synonyms: &["airfield", "aerodrome"], attrs: &["capacity", "region", "founded"] },
+    EntitySpec {
+        name: "airport",
+        synonyms: &["airfield", "aerodrome"],
+        attrs: &["capacity", "region", "founded"],
+    },
     EntitySpec { name: "harbor", synonyms: &["port", "dock"], attrs: &["capacity", "region"] },
     // transport
-    EntitySpec { name: "flight", synonyms: &["air service", "plane trip"], attrs: &["distance", "duration", "weekday"] },
-    EntitySpec { name: "airline", synonyms: &["carrier", "air company"], attrs: &["founded", "country"] },
-    EntitySpec { name: "train", synonyms: &["rail service", "railway line"], attrs: &["distance", "duration"] },
-    EntitySpec { name: "bus_route", synonyms: &["bus line", "coach service"], attrs: &["distance", "weekday"] },
-    EntitySpec { name: "ship", synonyms: &["vessel", "boat"], attrs: &["weight", "length", "founded"] },
-    EntitySpec { name: "car", synonyms: &["automobile", "vehicle"], attrs: &["year", "horsepower", "mpg", "color"] },
-    EntitySpec { name: "maker", synonyms: &["manufacturer", "producer"], attrs: &["founded", "country"] },
+    EntitySpec {
+        name: "flight",
+        synonyms: &["air service", "plane trip"],
+        attrs: &["distance", "duration", "weekday"],
+    },
+    EntitySpec {
+        name: "airline",
+        synonyms: &["carrier", "air company"],
+        attrs: &["founded", "country"],
+    },
+    EntitySpec {
+        name: "train",
+        synonyms: &["rail service", "railway line"],
+        attrs: &["distance", "duration"],
+    },
+    EntitySpec {
+        name: "bus_route",
+        synonyms: &["bus line", "coach service"],
+        attrs: &["distance", "weekday"],
+    },
+    EntitySpec {
+        name: "ship",
+        synonyms: &["vessel", "boat"],
+        attrs: &["weight", "length", "founded"],
+    },
+    EntitySpec {
+        name: "car",
+        synonyms: &["automobile", "vehicle"],
+        attrs: &["year", "horsepower", "mpg", "color"],
+    },
+    EntitySpec {
+        name: "maker",
+        synonyms: &["manufacturer", "producer"],
+        attrs: &["founded", "country"],
+    },
     EntitySpec { name: "driver", synonyms: &["chauffeur", "motorist"], attrs: &["age", "wins"] },
     // commerce
-    EntitySpec { name: "product", synonyms: &["item", "good"], attrs: &["price", "stock", "size_class"] },
-    EntitySpec { name: "customer", synonyms: &["client", "buyer"], attrs: &["age", "country", "plan"] },
-    EntitySpec { name: "order_record", synonyms: &["purchase", "transaction"], attrs: &["quantity", "price", "status"] },
-    EntitySpec { name: "store", synonyms: &["shop", "outlet"], attrs: &["region", "founded", "revenue"] },
-    EntitySpec { name: "supplier", synonyms: &["vendor", "provider"], attrs: &["country", "founded"] },
-    EntitySpec { name: "warehouse", synonyms: &["depot", "storage facility"], attrs: &["capacity", "region"] },
-    EntitySpec { name: "employee", synonyms: &["staff member", "worker"], attrs: &["age", "salary", "status"] },
+    EntitySpec {
+        name: "product",
+        synonyms: &["item", "good"],
+        attrs: &["price", "stock", "size_class"],
+    },
+    EntitySpec {
+        name: "customer",
+        synonyms: &["client", "buyer"],
+        attrs: &["age", "country", "plan"],
+    },
+    EntitySpec {
+        name: "order_record",
+        synonyms: &["purchase", "transaction"],
+        attrs: &["quantity", "price", "status"],
+    },
+    EntitySpec {
+        name: "store",
+        synonyms: &["shop", "outlet"],
+        attrs: &["region", "founded", "revenue"],
+    },
+    EntitySpec {
+        name: "supplier",
+        synonyms: &["vendor", "provider"],
+        attrs: &["country", "founded"],
+    },
+    EntitySpec {
+        name: "warehouse",
+        synonyms: &["depot", "storage facility"],
+        attrs: &["capacity", "region"],
+    },
+    EntitySpec {
+        name: "employee",
+        synonyms: &["staff member", "worker"],
+        attrs: &["age", "salary", "status"],
+    },
     // sports
-    EntitySpec { name: "team", synonyms: &["club", "squad"], attrs: &["wins", "losses", "founded"] },
-    EntitySpec { name: "player", synonyms: &["athlete", "sportsperson"], attrs: &["age", "height", "points"] },
-    EntitySpec { name: "stadium", synonyms: &["sports ground", "ballpark"], attrs: &["capacity", "founded", "region"] },
-    EntitySpec { name: "match_game", synonyms: &["fixture", "contest"], attrs: &["year", "season", "points"] },
+    EntitySpec {
+        name: "team",
+        synonyms: &["club", "squad"],
+        attrs: &["wins", "losses", "founded"],
+    },
+    EntitySpec {
+        name: "player",
+        synonyms: &["athlete", "sportsperson"],
+        attrs: &["age", "height", "points"],
+    },
+    EntitySpec {
+        name: "stadium",
+        synonyms: &["sports ground", "ballpark"],
+        attrs: &["capacity", "founded", "region"],
+    },
+    EntitySpec {
+        name: "match_game",
+        synonyms: &["fixture", "contest"],
+        attrs: &["year", "season", "points"],
+    },
     EntitySpec { name: "coach", synonyms: &["trainer", "manager"], attrs: &["age", "wins"] },
-    EntitySpec { name: "tournament", synonyms: &["competition", "championship"], attrs: &["year", "budget"] },
+    EntitySpec {
+        name: "tournament",
+        synonyms: &["competition", "championship"],
+        attrs: &["year", "budget"],
+    },
     // health
-    EntitySpec { name: "hospital", synonyms: &["medical center", "clinic"], attrs: &["beds", "founded", "region"] },
+    EntitySpec {
+        name: "hospital",
+        synonyms: &["medical center", "clinic"],
+        attrs: &["beds", "founded", "region"],
+    },
     EntitySpec { name: "doctor", synonyms: &["physician", "medic"], attrs: &["age", "salary"] },
-    EntitySpec { name: "patient", synonyms: &["case", "admitted person"], attrs: &["age", "status"] },
+    EntitySpec {
+        name: "patient",
+        synonyms: &["case", "admitted person"],
+        attrs: &["age", "status"],
+    },
     EntitySpec { name: "medication", synonyms: &["drug", "medicine"], attrs: &["dosage", "price"] },
-    EntitySpec { name: "treatment", synonyms: &["therapy", "procedure"], attrs: &["duration", "price"] },
+    EntitySpec {
+        name: "treatment",
+        synonyms: &["therapy", "procedure"],
+        attrs: &["duration", "price"],
+    },
     // finance
-    EntitySpec { name: "bank", synonyms: &["financial institution", "lender"], attrs: &["founded", "region", "revenue"] },
-    EntitySpec { name: "account", synonyms: &["ledger entry", "deposit record"], attrs: &["balance", "status", "plan"] },
-    EntitySpec { name: "loan", synonyms: &["credit line", "borrowing"], attrs: &["balance", "interest_rate", "year"] },
-    EntitySpec { name: "bond", synonyms: &["fixed income security", "debenture"], attrs: &["interest_rate", "year", "price"] },
-    EntitySpec { name: "fund", synonyms: &["investment vehicle", "portfolio"], attrs: &["balance", "rating", "founded"] },
-    EntitySpec { name: "stock_issue", synonyms: &["equity", "share listing"], attrs: &["price", "year"] },
-    EntitySpec { name: "policy", synonyms: &["insurance contract", "coverage plan"], attrs: &["premium", "year", "status"] },
-    EntitySpec { name: "branch", synonyms: &["local office", "subsidiary"], attrs: &["region", "founded", "revenue"] },
-    EntitySpec { name: "indicator", synonyms: &["economic measure", "metric"], attrs: &["gdp", "year", "region"] },
+    EntitySpec {
+        name: "bank",
+        synonyms: &["financial institution", "lender"],
+        attrs: &["founded", "region", "revenue"],
+    },
+    EntitySpec {
+        name: "account",
+        synonyms: &["ledger entry", "deposit record"],
+        attrs: &["balance", "status", "plan"],
+    },
+    EntitySpec {
+        name: "loan",
+        synonyms: &["credit line", "borrowing"],
+        attrs: &["balance", "interest_rate", "year"],
+    },
+    EntitySpec {
+        name: "bond",
+        synonyms: &["fixed income security", "debenture"],
+        attrs: &["interest_rate", "year", "price"],
+    },
+    EntitySpec {
+        name: "fund",
+        synonyms: &["investment vehicle", "portfolio"],
+        attrs: &["balance", "rating", "founded"],
+    },
+    EntitySpec {
+        name: "stock_issue",
+        synonyms: &["equity", "share listing"],
+        attrs: &["price", "year"],
+    },
+    EntitySpec {
+        name: "policy",
+        synonyms: &["insurance contract", "coverage plan"],
+        attrs: &["premium", "year", "status"],
+    },
+    EntitySpec {
+        name: "branch",
+        synonyms: &["local office", "subsidiary"],
+        attrs: &["region", "founded", "revenue"],
+    },
+    EntitySpec {
+        name: "indicator",
+        synonyms: &["economic measure", "metric"],
+        attrs: &["gdp", "year", "region"],
+    },
     // publishing / misc
-    EntitySpec { name: "book", synonyms: &["volume", "publication"], attrs: &["year", "pages", "rating"] },
+    EntitySpec {
+        name: "book",
+        synonyms: &["volume", "publication"],
+        attrs: &["year", "pages", "rating"],
+    },
     EntitySpec { name: "author", synonyms: &["writer", "novelist"], attrs: &["age", "country"] },
-    EntitySpec { name: "journal", synonyms: &["periodical", "magazine"], attrs: &["founded", "rating"] },
-    EntitySpec { name: "paper_article", synonyms: &["article", "manuscript"], attrs: &["year", "pages"] },
-    EntitySpec { name: "conference", synonyms: &["symposium", "meeting"], attrs: &["year", "region", "capacity"] },
-    EntitySpec { name: "museum", synonyms: &["gallery", "exhibition hall"], attrs: &["founded", "region", "capacity"] },
+    EntitySpec {
+        name: "journal",
+        synonyms: &["periodical", "magazine"],
+        attrs: &["founded", "rating"],
+    },
+    EntitySpec {
+        name: "paper_article",
+        synonyms: &["article", "manuscript"],
+        attrs: &["year", "pages"],
+    },
+    EntitySpec {
+        name: "conference",
+        synonyms: &["symposium", "meeting"],
+        attrs: &["year", "region", "capacity"],
+    },
+    EntitySpec {
+        name: "museum",
+        synonyms: &["gallery", "exhibition hall"],
+        attrs: &["founded", "region", "capacity"],
+    },
     EntitySpec { name: "artwork", synonyms: &["piece", "exhibit"], attrs: &["year", "price"] },
-    EntitySpec { name: "restaurant", synonyms: &["eatery", "diner"], attrs: &["rating", "region", "founded"] },
+    EntitySpec {
+        name: "restaurant",
+        synonyms: &["eatery", "diner"],
+        attrs: &["rating", "region", "founded"],
+    },
     EntitySpec { name: "dish", synonyms: &["menu item", "plate"], attrs: &["price", "rating"] },
-    EntitySpec { name: "hotel", synonyms: &["inn", "lodging"], attrs: &["rating", "capacity", "region"] },
-    EntitySpec { name: "farm", synonyms: &["ranch", "homestead"], attrs: &["region", "founded", "revenue"] },
-    EntitySpec { name: "crop", synonyms: &["harvest", "produce"], attrs: &["quantity", "season", "price"] },
+    EntitySpec {
+        name: "hotel",
+        synonyms: &["inn", "lodging"],
+        attrs: &["rating", "capacity", "region"],
+    },
+    EntitySpec {
+        name: "farm",
+        synonyms: &["ranch", "homestead"],
+        attrs: &["region", "founded", "revenue"],
+    },
+    EntitySpec {
+        name: "crop",
+        synonyms: &["harvest", "produce"],
+        attrs: &["quantity", "season", "price"],
+    },
     // expansion pool: keeps entity surfaces discriminative at 166 databases
-    EntitySpec { name: "festival", synonyms: &["street fair", "celebration"], attrs: &["year", "capacity", "season"] },
-    EntitySpec { name: "orchestra", synonyms: &["philharmonic", "symphony group"], attrs: &["founded", "country", "rating"] },
-    EntitySpec { name: "podcast", synonyms: &["audio show", "radio program"], attrs: &["year", "rating", "duration"] },
-    EntitySpec { name: "documentary", synonyms: &["factual film", "nonfiction feature"], attrs: &["year", "rating", "duration"] },
-    EntitySpec { name: "cartoon", synonyms: &["animation", "animated short"], attrs: &["year", "rating", "duration"] },
-    EntitySpec { name: "lecture", synonyms: &["talk", "seminar session"], attrs: &["duration", "capacity", "weekday"] },
-    EntitySpec { name: "exam", synonyms: &["test paper", "assessment"], attrs: &["duration", "points", "season"] },
-    EntitySpec { name: "club_society", synonyms: &["student society", "campus club"], attrs: &["founded", "enrollment"] },
-    EntitySpec { name: "laboratory", synonyms: &["research lab", "testing facility"], attrs: &["budget", "founded", "region"] },
-    EntitySpec { name: "library_branch", synonyms: &["reading room", "lending site"], attrs: &["founded", "capacity", "region"] },
-    EntitySpec { name: "village", synonyms: &["hamlet", "settlement"], attrs: &["population", "region", "altitude"] },
-    EntitySpec { name: "island", synonyms: &["isle", "atoll"], attrs: &["population", "region", "altitude"] },
-    EntitySpec { name: "desert", synonyms: &["arid region", "dunes area"], attrs: &["region", "altitude"] },
+    EntitySpec {
+        name: "festival",
+        synonyms: &["street fair", "celebration"],
+        attrs: &["year", "capacity", "season"],
+    },
+    EntitySpec {
+        name: "orchestra",
+        synonyms: &["philharmonic", "symphony group"],
+        attrs: &["founded", "country", "rating"],
+    },
+    EntitySpec {
+        name: "podcast",
+        synonyms: &["audio show", "radio program"],
+        attrs: &["year", "rating", "duration"],
+    },
+    EntitySpec {
+        name: "documentary",
+        synonyms: &["factual film", "nonfiction feature"],
+        attrs: &["year", "rating", "duration"],
+    },
+    EntitySpec {
+        name: "cartoon",
+        synonyms: &["animation", "animated short"],
+        attrs: &["year", "rating", "duration"],
+    },
+    EntitySpec {
+        name: "lecture",
+        synonyms: &["talk", "seminar session"],
+        attrs: &["duration", "capacity", "weekday"],
+    },
+    EntitySpec {
+        name: "exam",
+        synonyms: &["test paper", "assessment"],
+        attrs: &["duration", "points", "season"],
+    },
+    EntitySpec {
+        name: "club_society",
+        synonyms: &["student society", "campus club"],
+        attrs: &["founded", "enrollment"],
+    },
+    EntitySpec {
+        name: "laboratory",
+        synonyms: &["research lab", "testing facility"],
+        attrs: &["budget", "founded", "region"],
+    },
+    EntitySpec {
+        name: "library_branch",
+        synonyms: &["reading room", "lending site"],
+        attrs: &["founded", "capacity", "region"],
+    },
+    EntitySpec {
+        name: "village",
+        synonyms: &["hamlet", "settlement"],
+        attrs: &["population", "region", "altitude"],
+    },
+    EntitySpec {
+        name: "island",
+        synonyms: &["isle", "atoll"],
+        attrs: &["population", "region", "altitude"],
+    },
+    EntitySpec {
+        name: "desert",
+        synonyms: &["arid region", "dunes area"],
+        attrs: &["region", "altitude"],
+    },
     EntitySpec { name: "forest", synonyms: &["woodland", "grove"], attrs: &["region", "altitude"] },
-    EntitySpec { name: "canal", synonyms: &["waterway channel", "artificial channel"], attrs: &["length", "depth", "founded"] },
-    EntitySpec { name: "bridge", synonyms: &["overpass", "viaduct"], attrs: &["length", "founded", "region"] },
-    EntitySpec { name: "tunnel", synonyms: &["underpass", "bore"], attrs: &["length", "founded", "region"] },
-    EntitySpec { name: "highway", synonyms: &["motorway", "expressway"], attrs: &["length", "region"] },
-    EntitySpec { name: "ferry", synonyms: &["water shuttle", "crossing boat"], attrs: &["capacity", "duration", "weekday"] },
-    EntitySpec { name: "tram", synonyms: &["streetcar", "trolley"], attrs: &["distance", "duration", "weekday"] },
-    EntitySpec { name: "taxi", synonyms: &["cab", "hired car"], attrs: &["price", "distance", "rating"] },
-    EntitySpec { name: "bicycle", synonyms: &["bike", "cycle"], attrs: &["price", "weight", "color"] },
-    EntitySpec { name: "motorcycle", synonyms: &["motorbike", "two wheeler"], attrs: &["year", "horsepower", "price"] },
-    EntitySpec { name: "truck", synonyms: &["lorry", "hauler"], attrs: &["year", "horsepower", "weight"] },
-    EntitySpec { name: "rocket", synonyms: &["launcher", "space vehicle"], attrs: &["year", "weight", "budget"] },
-    EntitySpec { name: "satellite", synonyms: &["orbiter", "space probe"], attrs: &["year", "weight", "altitude"] },
-    EntitySpec { name: "gadget", synonyms: &["device", "appliance"], attrs: &["price", "weight", "rating"] },
-    EntitySpec { name: "software_app", synonyms: &["application", "computer program"], attrs: &["year", "rating", "price"] },
-    EntitySpec { name: "website", synonyms: &["web portal", "online site"], attrs: &["founded", "rating", "plan"] },
-    EntitySpec { name: "server_machine", synonyms: &["compute node", "host box"], attrs: &["capacity", "price", "status"] },
-    EntitySpec { name: "videogame", synonyms: &["computer game", "console title"], attrs: &["year", "rating", "price"] },
-    EntitySpec { name: "boardgame", synonyms: &["tabletop game", "parlor game"], attrs: &["year", "rating", "duration"] },
-    EntitySpec { name: "puzzle", synonyms: &["brain teaser", "riddle set"], attrs: &["rating", "duration", "pages"] },
-    EntitySpec { name: "gym", synonyms: &["fitness center", "training hall"], attrs: &["capacity", "founded", "region"] },
-    EntitySpec { name: "swimming_pool", synonyms: &["aquatic center", "natatorium"], attrs: &["depth", "capacity", "region"] },
-    EntitySpec { name: "marathon", synonyms: &["road race", "endurance run"], attrs: &["year", "distance", "season"] },
-    EntitySpec { name: "referee", synonyms: &["umpire", "match official"], attrs: &["age", "wins"] },
-    EntitySpec { name: "cyclist", synonyms: &["rider", "pedaler"], attrs: &["age", "wins", "points"] },
-    EntitySpec { name: "boxer", synonyms: &["pugilist", "fighter"], attrs: &["age", "weight", "wins"] },
-    EntitySpec { name: "nurse", synonyms: &["care worker", "ward attendant"], attrs: &["age", "salary", "status"] },
-    EntitySpec { name: "vaccine", synonyms: &["immunization shot", "inoculation"], attrs: &["dosage", "year", "price"] },
-    EntitySpec { name: "surgery", synonyms: &["operation", "surgical procedure"], attrs: &["duration", "price", "status"] },
-    EntitySpec { name: "ambulance", synonyms: &["rescue van", "medical transport"], attrs: &["year", "capacity", "status"] },
-    EntitySpec { name: "pharmacist", synonyms: &["chemist", "dispenser"], attrs: &["age", "salary"] },
-    EntitySpec { name: "bakery", synonyms: &["pastry shop", "bread house"], attrs: &["founded", "rating", "region"] },
-    EntitySpec { name: "brewery", synonyms: &["beer maker", "ale house"], attrs: &["founded", "revenue", "region"] },
-    EntitySpec { name: "vineyard", synonyms: &["wine estate", "grape farm"], attrs: &["founded", "region", "revenue"] },
-    EntitySpec { name: "butcher", synonyms: &["meat shop", "charcuterie"], attrs: &["founded", "rating", "region"] },
-    EntitySpec { name: "cafe", synonyms: &["coffee house", "espresso bar"], attrs: &["rating", "region", "founded"] },
-    EntitySpec { name: "barber", synonyms: &["hair salon", "grooming shop"], attrs: &["rating", "price", "region"] },
-    EntitySpec { name: "tailor", synonyms: &["dressmaker", "clothier"], attrs: &["founded", "rating", "price"] },
-    EntitySpec { name: "jeweler", synonyms: &["gem dealer", "goldsmith"], attrs: &["founded", "revenue", "rating"] },
-    EntitySpec { name: "florist", synonyms: &["flower shop", "bouquet seller"], attrs: &["rating", "price", "region"] },
-    EntitySpec { name: "locksmith", synonyms: &["key cutter", "lock fitter"], attrs: &["price", "rating", "region"] },
-    EntitySpec { name: "plumber", synonyms: &["pipe fitter", "drain specialist"], attrs: &["price", "rating", "age"] },
-    EntitySpec { name: "electrician", synonyms: &["wiring specialist", "spark technician"], attrs: &["price", "rating", "age"] },
-    EntitySpec { name: "carpenter", synonyms: &["woodworker", "joiner"], attrs: &["price", "rating", "age"] },
-    EntitySpec { name: "architect", synonyms: &["building designer", "draftsman"], attrs: &["age", "salary", "rating"] },
-    EntitySpec { name: "skyscraper", synonyms: &["tower block", "high rise"], attrs: &["floors", "founded", "region"] },
-    EntitySpec { name: "apartment", synonyms: &["flat", "housing unit"], attrs: &["price", "floors", "region"] },
-    EntitySpec { name: "castle", synonyms: &["fortress", "citadel"], attrs: &["founded", "region", "capacity"] },
-    EntitySpec { name: "lighthouse", synonyms: &["beacon tower", "harbor light"], attrs: &["founded", "altitude", "region"] },
-    EntitySpec { name: "windmill", synonyms: &["wind turbine", "gristmill"], attrs: &["founded", "altitude", "region"] },
-    EntitySpec { name: "power_plant", synonyms: &["generating station", "energy facility"], attrs: &["capacity", "founded", "region"] },
-    EntitySpec { name: "mine_site", synonyms: &["quarry", "excavation pit"], attrs: &["depth", "founded", "region"] },
-    EntitySpec { name: "oil_rig", synonyms: &["drilling platform", "offshore derrick"], attrs: &["depth", "founded", "capacity"] },
-    EntitySpec { name: "reservoir_dam", synonyms: &["dam", "water barrier"], attrs: &["depth", "capacity", "founded"] },
-    EntitySpec { name: "greenhouse", synonyms: &["glasshouse", "plant nursery"], attrs: &["capacity", "region", "founded"] },
-    EntitySpec { name: "orchard", synonyms: &["fruit grove", "apple garden"], attrs: &["region", "founded", "quantity"] },
-    EntitySpec { name: "beehive", synonyms: &["apiary", "bee colony"], attrs: &["quantity", "region", "season"] },
-    EntitySpec { name: "aquarium", synonyms: &["fish house", "marine exhibit"], attrs: &["capacity", "founded", "region"] },
-    EntitySpec { name: "zoo", synonyms: &["wildlife park", "menagerie"], attrs: &["capacity", "founded", "region"] },
-    EntitySpec { name: "circus", synonyms: &["big top", "traveling show"], attrs: &["founded", "capacity", "season"] },
-    EntitySpec { name: "theater", synonyms: &["playhouse", "stage hall"], attrs: &["capacity", "founded", "region"] },
-    EntitySpec { name: "opera", synonyms: &["lyric drama", "operatic work"], attrs: &["year", "duration", "rating"] },
-    EntitySpec { name: "ballet", synonyms: &["dance production", "choreographed piece"], attrs: &["year", "duration", "rating"] },
-    EntitySpec { name: "sculpture", synonyms: &["statue", "carved piece"], attrs: &["year", "weight", "price"] },
-    EntitySpec { name: "painting", synonyms: &["canvas work", "oil picture"], attrs: &["year", "price", "rating"] },
-    EntitySpec { name: "newspaper", synonyms: &["daily paper", "gazette"], attrs: &["founded", "pages", "region"] },
-    EntitySpec { name: "comic", synonyms: &["graphic novel", "illustrated serial"], attrs: &["year", "pages", "rating"] },
-    EntitySpec { name: "dictionary", synonyms: &["lexicon book", "word reference"], attrs: &["year", "pages"] },
-    EntitySpec { name: "translator", synonyms: &["interpreter", "language specialist"], attrs: &["age", "salary"] },
-    EntitySpec { name: "lawyer", synonyms: &["attorney", "legal counsel"], attrs: &["age", "salary", "wins"] },
-    EntitySpec { name: "judge_official", synonyms: &["magistrate", "court official"], attrs: &["age", "salary"] },
-    EntitySpec { name: "court_case", synonyms: &["lawsuit", "legal proceeding"], attrs: &["year", "duration", "status"] },
-    EntitySpec { name: "prison", synonyms: &["jail", "correctional facility"], attrs: &["capacity", "founded", "region"] },
-    EntitySpec { name: "fire_station", synonyms: &["firehouse", "engine company"], attrs: &["capacity", "founded", "region"] },
-    EntitySpec { name: "police_unit", synonyms: &["precinct", "patrol squad"], attrs: &["capacity", "founded", "region"] },
-    EntitySpec { name: "embassy", synonyms: &["consulate", "diplomatic mission"], attrs: &["founded", "country", "region"] },
-    EntitySpec { name: "ministry", synonyms: &["government department", "state office"], attrs: &["budget", "founded"] },
-    EntitySpec { name: "election", synonyms: &["ballot", "vote round"], attrs: &["year", "season", "region"] },
-    EntitySpec { name: "senator", synonyms: &["legislator", "council member"], attrs: &["age", "wins", "region"] },
-    EntitySpec { name: "charity", synonyms: &["nonprofit", "relief fund"], attrs: &["founded", "budget", "region"] },
-    EntitySpec { name: "volunteer", synonyms: &["helper", "aid worker"], attrs: &["age", "status"] },
-    EntitySpec { name: "donation", synonyms: &["gift pledge", "contribution"], attrs: &["price", "year", "status"] },
-    EntitySpec { name: "auction", synonyms: &["bidding event", "sale by bids"], attrs: &["year", "revenue", "season"] },
-    EntitySpec { name: "currency", synonyms: &["money unit", "tender"], attrs: &["price", "country"] },
-    EntitySpec { name: "tax_record", synonyms: &["levy entry", "duty filing"], attrs: &["year", "balance", "status"] },
-    EntitySpec { name: "audit", synonyms: &["financial review", "inspection report"], attrs: &["year", "duration", "status"] },
-    EntitySpec { name: "patent", synonyms: &["invention right", "filing grant"], attrs: &["year", "status", "country"] },
-    EntitySpec { name: "telescope", synonyms: &["observatory instrument", "star scope"], attrs: &["length", "price", "founded"] },
-    EntitySpec { name: "microscope", synonyms: &["magnifier instrument", "lab scope"], attrs: &["price", "weight", "rating"] },
-    EntitySpec { name: "robot", synonyms: &["automaton", "mechanical agent"], attrs: &["year", "weight", "price"] },
-    EntitySpec { name: "drone", synonyms: &["quadcopter", "unmanned craft"], attrs: &["weight", "price", "altitude"] },
-    EntitySpec { name: "glacier", synonyms: &["ice sheet", "ice field"], attrs: &["length", "depth", "region"] },
-    EntitySpec { name: "volcano", synonyms: &["crater mount", "lava peak"], attrs: &["altitude", "region", "status"] },
-    EntitySpec { name: "earthquake", synonyms: &["seismic event", "tremor"], attrs: &["year", "depth", "region"] },
-    EntitySpec { name: "hurricane", synonyms: &["cyclone", "tropical storm"], attrs: &["year", "season", "region"] },
+    EntitySpec {
+        name: "canal",
+        synonyms: &["waterway channel", "artificial channel"],
+        attrs: &["length", "depth", "founded"],
+    },
+    EntitySpec {
+        name: "bridge",
+        synonyms: &["overpass", "viaduct"],
+        attrs: &["length", "founded", "region"],
+    },
+    EntitySpec {
+        name: "tunnel",
+        synonyms: &["underpass", "bore"],
+        attrs: &["length", "founded", "region"],
+    },
+    EntitySpec {
+        name: "highway",
+        synonyms: &["motorway", "expressway"],
+        attrs: &["length", "region"],
+    },
+    EntitySpec {
+        name: "ferry",
+        synonyms: &["water shuttle", "crossing boat"],
+        attrs: &["capacity", "duration", "weekday"],
+    },
+    EntitySpec {
+        name: "tram",
+        synonyms: &["streetcar", "trolley"],
+        attrs: &["distance", "duration", "weekday"],
+    },
+    EntitySpec {
+        name: "taxi",
+        synonyms: &["cab", "hired car"],
+        attrs: &["price", "distance", "rating"],
+    },
+    EntitySpec {
+        name: "bicycle",
+        synonyms: &["bike", "cycle"],
+        attrs: &["price", "weight", "color"],
+    },
+    EntitySpec {
+        name: "motorcycle",
+        synonyms: &["motorbike", "two wheeler"],
+        attrs: &["year", "horsepower", "price"],
+    },
+    EntitySpec {
+        name: "truck",
+        synonyms: &["lorry", "hauler"],
+        attrs: &["year", "horsepower", "weight"],
+    },
+    EntitySpec {
+        name: "rocket",
+        synonyms: &["launcher", "space vehicle"],
+        attrs: &["year", "weight", "budget"],
+    },
+    EntitySpec {
+        name: "satellite",
+        synonyms: &["orbiter", "space probe"],
+        attrs: &["year", "weight", "altitude"],
+    },
+    EntitySpec {
+        name: "gadget",
+        synonyms: &["device", "appliance"],
+        attrs: &["price", "weight", "rating"],
+    },
+    EntitySpec {
+        name: "software_app",
+        synonyms: &["application", "computer program"],
+        attrs: &["year", "rating", "price"],
+    },
+    EntitySpec {
+        name: "website",
+        synonyms: &["web portal", "online site"],
+        attrs: &["founded", "rating", "plan"],
+    },
+    EntitySpec {
+        name: "server_machine",
+        synonyms: &["compute node", "host box"],
+        attrs: &["capacity", "price", "status"],
+    },
+    EntitySpec {
+        name: "videogame",
+        synonyms: &["computer game", "console title"],
+        attrs: &["year", "rating", "price"],
+    },
+    EntitySpec {
+        name: "boardgame",
+        synonyms: &["tabletop game", "parlor game"],
+        attrs: &["year", "rating", "duration"],
+    },
+    EntitySpec {
+        name: "puzzle",
+        synonyms: &["brain teaser", "riddle set"],
+        attrs: &["rating", "duration", "pages"],
+    },
+    EntitySpec {
+        name: "gym",
+        synonyms: &["fitness center", "training hall"],
+        attrs: &["capacity", "founded", "region"],
+    },
+    EntitySpec {
+        name: "swimming_pool",
+        synonyms: &["aquatic center", "natatorium"],
+        attrs: &["depth", "capacity", "region"],
+    },
+    EntitySpec {
+        name: "marathon",
+        synonyms: &["road race", "endurance run"],
+        attrs: &["year", "distance", "season"],
+    },
+    EntitySpec {
+        name: "referee",
+        synonyms: &["umpire", "match official"],
+        attrs: &["age", "wins"],
+    },
+    EntitySpec {
+        name: "cyclist",
+        synonyms: &["rider", "pedaler"],
+        attrs: &["age", "wins", "points"],
+    },
+    EntitySpec {
+        name: "boxer",
+        synonyms: &["pugilist", "fighter"],
+        attrs: &["age", "weight", "wins"],
+    },
+    EntitySpec {
+        name: "nurse",
+        synonyms: &["care worker", "ward attendant"],
+        attrs: &["age", "salary", "status"],
+    },
+    EntitySpec {
+        name: "vaccine",
+        synonyms: &["immunization shot", "inoculation"],
+        attrs: &["dosage", "year", "price"],
+    },
+    EntitySpec {
+        name: "surgery",
+        synonyms: &["operation", "surgical procedure"],
+        attrs: &["duration", "price", "status"],
+    },
+    EntitySpec {
+        name: "ambulance",
+        synonyms: &["rescue van", "medical transport"],
+        attrs: &["year", "capacity", "status"],
+    },
+    EntitySpec {
+        name: "pharmacist",
+        synonyms: &["chemist", "dispenser"],
+        attrs: &["age", "salary"],
+    },
+    EntitySpec {
+        name: "bakery",
+        synonyms: &["pastry shop", "bread house"],
+        attrs: &["founded", "rating", "region"],
+    },
+    EntitySpec {
+        name: "brewery",
+        synonyms: &["beer maker", "ale house"],
+        attrs: &["founded", "revenue", "region"],
+    },
+    EntitySpec {
+        name: "vineyard",
+        synonyms: &["wine estate", "grape farm"],
+        attrs: &["founded", "region", "revenue"],
+    },
+    EntitySpec {
+        name: "butcher",
+        synonyms: &["meat shop", "charcuterie"],
+        attrs: &["founded", "rating", "region"],
+    },
+    EntitySpec {
+        name: "cafe",
+        synonyms: &["coffee house", "espresso bar"],
+        attrs: &["rating", "region", "founded"],
+    },
+    EntitySpec {
+        name: "barber",
+        synonyms: &["hair salon", "grooming shop"],
+        attrs: &["rating", "price", "region"],
+    },
+    EntitySpec {
+        name: "tailor",
+        synonyms: &["dressmaker", "clothier"],
+        attrs: &["founded", "rating", "price"],
+    },
+    EntitySpec {
+        name: "jeweler",
+        synonyms: &["gem dealer", "goldsmith"],
+        attrs: &["founded", "revenue", "rating"],
+    },
+    EntitySpec {
+        name: "florist",
+        synonyms: &["flower shop", "bouquet seller"],
+        attrs: &["rating", "price", "region"],
+    },
+    EntitySpec {
+        name: "locksmith",
+        synonyms: &["key cutter", "lock fitter"],
+        attrs: &["price", "rating", "region"],
+    },
+    EntitySpec {
+        name: "plumber",
+        synonyms: &["pipe fitter", "drain specialist"],
+        attrs: &["price", "rating", "age"],
+    },
+    EntitySpec {
+        name: "electrician",
+        synonyms: &["wiring specialist", "spark technician"],
+        attrs: &["price", "rating", "age"],
+    },
+    EntitySpec {
+        name: "carpenter",
+        synonyms: &["woodworker", "joiner"],
+        attrs: &["price", "rating", "age"],
+    },
+    EntitySpec {
+        name: "architect",
+        synonyms: &["building designer", "draftsman"],
+        attrs: &["age", "salary", "rating"],
+    },
+    EntitySpec {
+        name: "skyscraper",
+        synonyms: &["tower block", "high rise"],
+        attrs: &["floors", "founded", "region"],
+    },
+    EntitySpec {
+        name: "apartment",
+        synonyms: &["flat", "housing unit"],
+        attrs: &["price", "floors", "region"],
+    },
+    EntitySpec {
+        name: "castle",
+        synonyms: &["fortress", "citadel"],
+        attrs: &["founded", "region", "capacity"],
+    },
+    EntitySpec {
+        name: "lighthouse",
+        synonyms: &["beacon tower", "harbor light"],
+        attrs: &["founded", "altitude", "region"],
+    },
+    EntitySpec {
+        name: "windmill",
+        synonyms: &["wind turbine", "gristmill"],
+        attrs: &["founded", "altitude", "region"],
+    },
+    EntitySpec {
+        name: "power_plant",
+        synonyms: &["generating station", "energy facility"],
+        attrs: &["capacity", "founded", "region"],
+    },
+    EntitySpec {
+        name: "mine_site",
+        synonyms: &["quarry", "excavation pit"],
+        attrs: &["depth", "founded", "region"],
+    },
+    EntitySpec {
+        name: "oil_rig",
+        synonyms: &["drilling platform", "offshore derrick"],
+        attrs: &["depth", "founded", "capacity"],
+    },
+    EntitySpec {
+        name: "reservoir_dam",
+        synonyms: &["dam", "water barrier"],
+        attrs: &["depth", "capacity", "founded"],
+    },
+    EntitySpec {
+        name: "greenhouse",
+        synonyms: &["glasshouse", "plant nursery"],
+        attrs: &["capacity", "region", "founded"],
+    },
+    EntitySpec {
+        name: "orchard",
+        synonyms: &["fruit grove", "apple garden"],
+        attrs: &["region", "founded", "quantity"],
+    },
+    EntitySpec {
+        name: "beehive",
+        synonyms: &["apiary", "bee colony"],
+        attrs: &["quantity", "region", "season"],
+    },
+    EntitySpec {
+        name: "aquarium",
+        synonyms: &["fish house", "marine exhibit"],
+        attrs: &["capacity", "founded", "region"],
+    },
+    EntitySpec {
+        name: "zoo",
+        synonyms: &["wildlife park", "menagerie"],
+        attrs: &["capacity", "founded", "region"],
+    },
+    EntitySpec {
+        name: "circus",
+        synonyms: &["big top", "traveling show"],
+        attrs: &["founded", "capacity", "season"],
+    },
+    EntitySpec {
+        name: "theater",
+        synonyms: &["playhouse", "stage hall"],
+        attrs: &["capacity", "founded", "region"],
+    },
+    EntitySpec {
+        name: "opera",
+        synonyms: &["lyric drama", "operatic work"],
+        attrs: &["year", "duration", "rating"],
+    },
+    EntitySpec {
+        name: "ballet",
+        synonyms: &["dance production", "choreographed piece"],
+        attrs: &["year", "duration", "rating"],
+    },
+    EntitySpec {
+        name: "sculpture",
+        synonyms: &["statue", "carved piece"],
+        attrs: &["year", "weight", "price"],
+    },
+    EntitySpec {
+        name: "painting",
+        synonyms: &["canvas work", "oil picture"],
+        attrs: &["year", "price", "rating"],
+    },
+    EntitySpec {
+        name: "newspaper",
+        synonyms: &["daily paper", "gazette"],
+        attrs: &["founded", "pages", "region"],
+    },
+    EntitySpec {
+        name: "comic",
+        synonyms: &["graphic novel", "illustrated serial"],
+        attrs: &["year", "pages", "rating"],
+    },
+    EntitySpec {
+        name: "dictionary",
+        synonyms: &["lexicon book", "word reference"],
+        attrs: &["year", "pages"],
+    },
+    EntitySpec {
+        name: "translator",
+        synonyms: &["interpreter", "language specialist"],
+        attrs: &["age", "salary"],
+    },
+    EntitySpec {
+        name: "lawyer",
+        synonyms: &["attorney", "legal counsel"],
+        attrs: &["age", "salary", "wins"],
+    },
+    EntitySpec {
+        name: "judge_official",
+        synonyms: &["magistrate", "court official"],
+        attrs: &["age", "salary"],
+    },
+    EntitySpec {
+        name: "court_case",
+        synonyms: &["lawsuit", "legal proceeding"],
+        attrs: &["year", "duration", "status"],
+    },
+    EntitySpec {
+        name: "prison",
+        synonyms: &["jail", "correctional facility"],
+        attrs: &["capacity", "founded", "region"],
+    },
+    EntitySpec {
+        name: "fire_station",
+        synonyms: &["firehouse", "engine company"],
+        attrs: &["capacity", "founded", "region"],
+    },
+    EntitySpec {
+        name: "police_unit",
+        synonyms: &["precinct", "patrol squad"],
+        attrs: &["capacity", "founded", "region"],
+    },
+    EntitySpec {
+        name: "embassy",
+        synonyms: &["consulate", "diplomatic mission"],
+        attrs: &["founded", "country", "region"],
+    },
+    EntitySpec {
+        name: "ministry",
+        synonyms: &["government department", "state office"],
+        attrs: &["budget", "founded"],
+    },
+    EntitySpec {
+        name: "election",
+        synonyms: &["ballot", "vote round"],
+        attrs: &["year", "season", "region"],
+    },
+    EntitySpec {
+        name: "senator",
+        synonyms: &["legislator", "council member"],
+        attrs: &["age", "wins", "region"],
+    },
+    EntitySpec {
+        name: "charity",
+        synonyms: &["nonprofit", "relief fund"],
+        attrs: &["founded", "budget", "region"],
+    },
+    EntitySpec {
+        name: "volunteer",
+        synonyms: &["helper", "aid worker"],
+        attrs: &["age", "status"],
+    },
+    EntitySpec {
+        name: "donation",
+        synonyms: &["gift pledge", "contribution"],
+        attrs: &["price", "year", "status"],
+    },
+    EntitySpec {
+        name: "auction",
+        synonyms: &["bidding event", "sale by bids"],
+        attrs: &["year", "revenue", "season"],
+    },
+    EntitySpec {
+        name: "currency",
+        synonyms: &["money unit", "tender"],
+        attrs: &["price", "country"],
+    },
+    EntitySpec {
+        name: "tax_record",
+        synonyms: &["levy entry", "duty filing"],
+        attrs: &["year", "balance", "status"],
+    },
+    EntitySpec {
+        name: "audit",
+        synonyms: &["financial review", "inspection report"],
+        attrs: &["year", "duration", "status"],
+    },
+    EntitySpec {
+        name: "patent",
+        synonyms: &["invention right", "filing grant"],
+        attrs: &["year", "status", "country"],
+    },
+    EntitySpec {
+        name: "telescope",
+        synonyms: &["observatory instrument", "star scope"],
+        attrs: &["length", "price", "founded"],
+    },
+    EntitySpec {
+        name: "microscope",
+        synonyms: &["magnifier instrument", "lab scope"],
+        attrs: &["price", "weight", "rating"],
+    },
+    EntitySpec {
+        name: "robot",
+        synonyms: &["automaton", "mechanical agent"],
+        attrs: &["year", "weight", "price"],
+    },
+    EntitySpec {
+        name: "drone",
+        synonyms: &["quadcopter", "unmanned craft"],
+        attrs: &["weight", "price", "altitude"],
+    },
+    EntitySpec {
+        name: "glacier",
+        synonyms: &["ice sheet", "ice field"],
+        attrs: &["length", "depth", "region"],
+    },
+    EntitySpec {
+        name: "volcano",
+        synonyms: &["crater mount", "lava peak"],
+        attrs: &["altitude", "region", "status"],
+    },
+    EntitySpec {
+        name: "earthquake",
+        synonyms: &["seismic event", "tremor"],
+        attrs: &["year", "depth", "region"],
+    },
+    EntitySpec {
+        name: "hurricane",
+        synonyms: &["cyclone", "tropical storm"],
+        attrs: &["year", "season", "region"],
+    },
 ];
 
 /// Domain pool.
 pub const DOMAINS: &[DomainSpec] = &[
-    DomainSpec { name: "music", db_stems: &["concert_singer", "music_label", "festival"], entities: &["singer", "concert", "album", "band", "venue"] },
-    DomainSpec { name: "film", db_stems: &["cinema", "movie_studio", "film_rank"], entities: &["movie", "director", "actor", "venue"] },
-    DomainSpec { name: "television", db_stems: &["tvshow", "broadcast"], entities: &["tv_show", "channel", "actor"] },
-    DomainSpec { name: "college", db_stems: &["college", "university_basic", "campus"], entities: &["student", "course", "teacher", "department", "dormitory", "scholarship"] },
-    DomainSpec { name: "school_district", db_stems: &["school_admin", "district"], entities: &["school", "teacher", "student", "bus_route"] },
-    DomainSpec { name: "world_geo", db_stems: &["world", "geo", "atlas"], entities: &["city", "state", "river", "mountain", "lake"] },
-    DomainSpec { name: "aviation", db_stems: &["flight_info", "airline_ops"], entities: &["flight", "airline", "airport", "city"] },
-    DomainSpec { name: "railway", db_stems: &["rail_net", "train_station"], entities: &["train", "city", "driver"] },
-    DomainSpec { name: "maritime", db_stems: &["shipping", "port_authority"], entities: &["ship", "harbor", "city"] },
-    DomainSpec { name: "automotive", db_stems: &["car_catalog", "auto_sales"], entities: &["car", "maker", "driver"] },
-    DomainSpec { name: "retail", db_stems: &["shop_orders", "ecommerce", "market"], entities: &["product", "customer", "order_record", "store", "supplier", "warehouse"] },
-    DomainSpec { name: "hr", db_stems: &["company_hr", "payroll"], entities: &["employee", "department", "branch"] },
-    DomainSpec { name: "soccer", db_stems: &["soccer_league", "club_stats"], entities: &["team", "player", "stadium", "match_game", "coach"] },
-    DomainSpec { name: "olympics", db_stems: &["games", "olympic_record"], entities: &["player", "tournament", "stadium", "coach"] },
-    DomainSpec { name: "healthcare", db_stems: &["hospital_admin", "clinic_net"], entities: &["hospital", "doctor", "patient", "treatment"] },
-    DomainSpec { name: "pharma", db_stems: &["pharmacy", "drug_trial"], entities: &["medication", "patient", "doctor", "supplier"] },
-    DomainSpec { name: "banking", db_stems: &["bank_core", "branch_ledger"], entities: &["bank", "account", "loan", "customer", "branch"] },
-    DomainSpec { name: "investing", db_stems: &["asset_mgmt", "fund_house"], entities: &["fund", "bond", "stock_issue", "customer"] },
-    DomainSpec { name: "insurance", db_stems: &["insurance_ops", "claims"], entities: &["policy", "customer", "branch", "employee"] },
-    DomainSpec { name: "macroeconomy", db_stems: &["china_macro", "global_macro"], entities: &["indicator", "city", "state"] },
-    DomainSpec { name: "publishing", db_stems: &["library", "press", "bookstore"], entities: &["book", "author", "journal", "store"] },
-    DomainSpec { name: "academia", db_stems: &["scholar", "proceedings"], entities: &["paper_article", "author", "conference", "journal"] },
-    DomainSpec { name: "culture", db_stems: &["museum_city", "art_scene"], entities: &["museum", "artwork", "city"] },
-    DomainSpec { name: "hospitality", db_stems: &["dining", "travel_guide"], entities: &["restaurant", "dish", "hotel", "city"] },
-    DomainSpec { name: "agriculture", db_stems: &["farm_coop", "harvest_log"], entities: &["farm", "crop", "supplier"] },
+    DomainSpec {
+        name: "music",
+        db_stems: &["concert_singer", "music_label", "festival"],
+        entities: &["singer", "concert", "album", "band", "venue"],
+    },
+    DomainSpec {
+        name: "film",
+        db_stems: &["cinema", "movie_studio", "film_rank"],
+        entities: &["movie", "director", "actor", "venue"],
+    },
+    DomainSpec {
+        name: "television",
+        db_stems: &["tvshow", "broadcast"],
+        entities: &["tv_show", "channel", "actor"],
+    },
+    DomainSpec {
+        name: "college",
+        db_stems: &["college", "university_basic", "campus"],
+        entities: &["student", "course", "teacher", "department", "dormitory", "scholarship"],
+    },
+    DomainSpec {
+        name: "school_district",
+        db_stems: &["school_admin", "district"],
+        entities: &["school", "teacher", "student", "bus_route"],
+    },
+    DomainSpec {
+        name: "world_geo",
+        db_stems: &["world", "geo", "atlas"],
+        entities: &["city", "state", "river", "mountain", "lake"],
+    },
+    DomainSpec {
+        name: "aviation",
+        db_stems: &["flight_info", "airline_ops"],
+        entities: &["flight", "airline", "airport", "city"],
+    },
+    DomainSpec {
+        name: "railway",
+        db_stems: &["rail_net", "train_station"],
+        entities: &["train", "city", "driver"],
+    },
+    DomainSpec {
+        name: "maritime",
+        db_stems: &["shipping", "port_authority"],
+        entities: &["ship", "harbor", "city"],
+    },
+    DomainSpec {
+        name: "automotive",
+        db_stems: &["car_catalog", "auto_sales"],
+        entities: &["car", "maker", "driver"],
+    },
+    DomainSpec {
+        name: "retail",
+        db_stems: &["shop_orders", "ecommerce", "market"],
+        entities: &["product", "customer", "order_record", "store", "supplier", "warehouse"],
+    },
+    DomainSpec {
+        name: "hr",
+        db_stems: &["company_hr", "payroll"],
+        entities: &["employee", "department", "branch"],
+    },
+    DomainSpec {
+        name: "soccer",
+        db_stems: &["soccer_league", "club_stats"],
+        entities: &["team", "player", "stadium", "match_game", "coach"],
+    },
+    DomainSpec {
+        name: "olympics",
+        db_stems: &["games", "olympic_record"],
+        entities: &["player", "tournament", "stadium", "coach"],
+    },
+    DomainSpec {
+        name: "healthcare",
+        db_stems: &["hospital_admin", "clinic_net"],
+        entities: &["hospital", "doctor", "patient", "treatment"],
+    },
+    DomainSpec {
+        name: "pharma",
+        db_stems: &["pharmacy", "drug_trial"],
+        entities: &["medication", "patient", "doctor", "supplier"],
+    },
+    DomainSpec {
+        name: "banking",
+        db_stems: &["bank_core", "branch_ledger"],
+        entities: &["bank", "account", "loan", "customer", "branch"],
+    },
+    DomainSpec {
+        name: "investing",
+        db_stems: &["asset_mgmt", "fund_house"],
+        entities: &["fund", "bond", "stock_issue", "customer"],
+    },
+    DomainSpec {
+        name: "insurance",
+        db_stems: &["insurance_ops", "claims"],
+        entities: &["policy", "customer", "branch", "employee"],
+    },
+    DomainSpec {
+        name: "macroeconomy",
+        db_stems: &["china_macro", "global_macro"],
+        entities: &["indicator", "city", "state"],
+    },
+    DomainSpec {
+        name: "publishing",
+        db_stems: &["library", "press", "bookstore"],
+        entities: &["book", "author", "journal", "store"],
+    },
+    DomainSpec {
+        name: "academia",
+        db_stems: &["scholar", "proceedings"],
+        entities: &["paper_article", "author", "conference", "journal"],
+    },
+    DomainSpec {
+        name: "culture",
+        db_stems: &["museum_city", "art_scene"],
+        entities: &["museum", "artwork", "city"],
+    },
+    DomainSpec {
+        name: "hospitality",
+        db_stems: &["dining", "travel_guide"],
+        entities: &["restaurant", "dish", "hotel", "city"],
+    },
+    DomainSpec {
+        name: "agriculture",
+        db_stems: &["farm_coop", "harvest_log"],
+        entities: &["farm", "crop", "supplier"],
+    },
 ];
 
 /// Indexed lexicon with lookup tables.
@@ -458,7 +1426,10 @@ pub fn singularize(word: &str) -> String {
         return format!("{stem}y");
     }
     if let Some(stem) = word.strip_suffix("es") {
-        if stem.ends_with("ch") || stem.ends_with("sh") || stem.ends_with('s') || stem.ends_with('x')
+        if stem.ends_with("ch")
+            || stem.ends_with("sh")
+            || stem.ends_with('s')
+            || stem.ends_with('x')
         {
             return stem.to_string();
         }
@@ -504,7 +1475,12 @@ mod tests {
         for d in DOMAINS {
             assert!(!d.db_stems.is_empty());
             for e in d.entities {
-                assert!(lex.entity(e).is_some(), "domain {} references unknown entity {}", d.name, e);
+                assert!(
+                    lex.entity(e).is_some(),
+                    "domain {} references unknown entity {}",
+                    d.name,
+                    e
+                );
             }
         }
     }

@@ -27,7 +27,9 @@ pub use corpusgen::{
     generate_collection, generate_mart, CorpusMeta, DbMeta, GenConfig, GeneratedCollection,
     TableMeta,
 };
-pub use instances::{generate_instances, generate_instances_for, rerender_instances, schema_detail_text, Instance};
+pub use instances::{
+    generate_instances, generate_instances_for, rerender_instances, schema_detail_text, Instance,
+};
 pub use lexicon::Lexicon;
 pub use questioner::{Questioner, QuestionerConfig, TrainPair};
 pub use stats::{render_table2, DatasetStats};
@@ -122,13 +124,23 @@ fn build_corpus(
     };
     let train = if sizes.train_n > 0 {
         instances::generate_instances_for(
-            &gc, &lex, sizes.train_n, TEST_STYLE, seed.wrapping_add(11), &train_databases,
+            &gc,
+            &lex,
+            sizes.train_n,
+            TEST_STYLE,
+            seed.wrapping_add(11),
+            &train_databases,
         )
     } else {
         Vec::new()
     };
     let test = instances::generate_instances_for(
-        &gc, &lex, sizes.test_n, TEST_STYLE, seed.wrapping_add(13), &test_databases,
+        &gc,
+        &lex,
+        sizes.test_n,
+        TEST_STYLE,
+        seed.wrapping_add(13),
+        &test_databases,
     );
     let (test_syn, test_real) = if robustness {
         (

@@ -18,7 +18,7 @@
 //! the wrong schema element, and pattern sampling by raw frequency gives the
 //! "generation bias" of a simple pipeline.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -66,7 +66,7 @@ struct Pattern {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Questioner {
     /// token → (phrase, score), best first.
-    phrase_table: HashMap<String, Vec<(String, f32)>>,
+    phrase_table: BTreeMap<String, Vec<(String, f32)>>,
     patterns: Vec<Pattern>,
     /// All known tokens (for hallucination sampling).
     tokens: Vec<String>,
@@ -74,11 +74,59 @@ pub struct Questioner {
 }
 
 const STOPWORDS: &[&str] = &[
-    "the", "of", "all", "a", "an", "is", "are", "was", "how", "many", "what", "which", "whose",
-    "list", "show", "give", "its", "their", "each", "for", "with", "than", "to", "that", "have",
-    "has", "does", "in", "and", "or", "there", "at", "least", "one", "more", "name", "names",
-    "together", "associated", "named", "equal", "equals", "greater", "less", "above", "below",
-    "values", "maximum", "minimum", "average", "total", "highest", "lowest",
+    "the",
+    "of",
+    "all",
+    "a",
+    "an",
+    "is",
+    "are",
+    "was",
+    "how",
+    "many",
+    "what",
+    "which",
+    "whose",
+    "list",
+    "show",
+    "give",
+    "its",
+    "their",
+    "each",
+    "for",
+    "with",
+    "than",
+    "to",
+    "that",
+    "have",
+    "has",
+    "does",
+    "in",
+    "and",
+    "or",
+    "there",
+    "at",
+    "least",
+    "one",
+    "more",
+    "name",
+    "names",
+    "together",
+    "associated",
+    "named",
+    "equal",
+    "equals",
+    "greater",
+    "less",
+    "above",
+    "below",
+    "values",
+    "maximum",
+    "minimum",
+    "average",
+    "total",
+    "highest",
+    "lowest",
 ];
 
 fn is_stop(word: &str) -> bool {
@@ -124,9 +172,9 @@ impl Questioner {
     /// Train from pairs.
     pub fn train(pairs: &[TrainPair], cfg: &QuestionerConfig) -> Self {
         // --- phase 1: alignment counts
-        let mut token_count: HashMap<String, u32> = HashMap::new();
-        let mut phrase_count: HashMap<String, u32> = HashMap::new();
-        let mut joint: HashMap<(String, String), u32> = HashMap::new();
+        let mut token_count: BTreeMap<String, u32> = BTreeMap::new();
+        let mut phrase_count: BTreeMap<String, u32> = BTreeMap::new();
+        let mut joint: BTreeMap<(String, String), u32> = BTreeMap::new();
         let mut n_pairs = 0u32;
 
         for pair in pairs {
@@ -149,13 +197,13 @@ impl Questioner {
         // --- phase 2: phrase table by PMI-style score
         // A phrase that aligns with many different tokens is template filler
         // or cross-table noise; discount it by its token document frequency.
-        let mut token_df: HashMap<&String, u32> = HashMap::new();
+        let mut token_df: BTreeMap<&String, u32> = BTreeMap::new();
         for ((g, _), &c) in &joint {
             if c >= cfg.min_count {
                 *token_df.entry(g).or_insert(0) += 1;
             }
         }
-        let mut phrase_table: HashMap<String, Vec<(String, f32)>> = HashMap::new();
+        let mut phrase_table: BTreeMap<String, Vec<(String, f32)>> = BTreeMap::new();
         for ((g, t), &c) in &joint {
             if c < cfg.min_count {
                 continue;
@@ -164,8 +212,7 @@ impl Questioner {
             let tc = token_count[t] as f32;
             let df = token_df.get(g).copied().unwrap_or(1) as f32;
             // PMI with a frequency prior: favors phrases specific to the token.
-            let score =
-                (c as f32 * n_pairs as f32) / (pc * tc) * (c as f32).ln_1p() / df.powf(1.5);
+            let score = (c as f32 * n_pairs as f32) / (pc * tc) * (c as f32).ln_1p() / df.powf(1.5);
             phrase_table.entry(t.clone()).or_default().push((g.clone(), score));
         }
         for phrases in phrase_table.values_mut() {
@@ -211,7 +258,7 @@ impl Questioner {
         }
 
         // --- phase 3: pattern extraction by delexicalization
-        let mut pattern_counts: HashMap<(String, usize), f32> = HashMap::new();
+        let mut pattern_counts: BTreeMap<(String, usize), f32> = BTreeMap::new();
         for pair in pairs {
             let words = question_words(&pair.question);
             let mut text = words.join(" ");
@@ -235,9 +282,8 @@ impl Questioner {
             if !text.contains("{e") {
                 continue;
             }
-            let leftover = text
-                .split_whitespace()
-                .any(|w| !w.starts_with('{') && entity_words.contains(w));
+            let leftover =
+                text.split_whitespace().any(|w| !w.starts_with('{') && entity_words.contains(w));
             if leftover {
                 continue;
             }
@@ -248,7 +294,10 @@ impl Questioner {
             .map(|((text, n_tables), weight)| Pattern { text, n_tables, weight })
             .collect();
         patterns.sort_by(|a, b| {
-            b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal)
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.text.cmp(&b.text))
         });
         patterns.truncate(400);
 
@@ -271,15 +320,9 @@ impl Questioner {
 
     /// Generate a pseudo-question for a sampled schema described by its
     /// entity tokens (one per table) and attribute tokens.
-    pub fn generate(
-        &self,
-        entities: &[String],
-        attrs: &[String],
-        rng: &mut SmallRng,
-    ) -> String {
+    pub fn generate(&self, entities: &[String], attrs: &[String], rng: &mut SmallRng) -> String {
         let n = entities.len().max(1);
-        let candidates: Vec<&Pattern> =
-            self.patterns.iter().filter(|p| p.n_tables == n).collect();
+        let candidates: Vec<&Pattern> = self.patterns.iter().filter(|p| p.n_tables == n).collect();
         let pattern_text = if candidates.is_empty() {
             fallback_pattern(n)
         } else {

@@ -342,8 +342,7 @@ fn pick_surface(
     style: SurfaceStyle,
     rng: &mut SmallRng,
 ) -> String {
-    let alternatives: Vec<&String> =
-        surfaces.iter().filter(|s| s.as_str() != aligned).collect();
+    let alternatives: Vec<&String> = surfaces.iter().filter(|s| s.as_str() != aligned).collect();
     let use_alt = match style {
         SurfaceStyle::Canonical => false,
         SurfaceStyle::Mixed(p) => rng.gen_bool(p),
@@ -393,7 +392,12 @@ pub fn render_question(
             if implicit {
                 format!("Which {} are associated with {}? List their names.", e_pl(0, rng), v())
             } else {
-                format!("Which {} have {} equal to {}? List their names.", e_pl(0, rng), a(rng), v())
+                format!(
+                    "Which {} have {} equal to {}? List their names.",
+                    e_pl(0, rng),
+                    a(rng),
+                    v()
+                )
             }
         }
         TemplateKind::CountAll => format!("How many {} are there?", e_pl(0, rng)),
@@ -407,7 +411,12 @@ pub fn render_question(
             }
         }
         TemplateKind::AggAttr => {
-            format!("What is the {} {} of all {}?", spec.agg.unwrap().phrase(), a(rng), e_pl(0, rng))
+            format!(
+                "What is the {} {} of all {}?",
+                spec.agg.unwrap().phrase(),
+                a(rng),
+                e_pl(0, rng)
+            )
         }
         TemplateKind::GroupCount => {
             format!("For each {}, how many {} are there?", a(rng), e_pl(0, rng))
@@ -495,10 +504,7 @@ mod tests {
 
     #[test]
     fn sql_rendering_filter() {
-        assert_eq!(
-            render_sql(&spec_filter_cmp()),
-            "SELECT name FROM singer WHERE age > 30"
-        );
+        assert_eq!(render_sql(&spec_filter_cmp()), "SELECT name FROM singer WHERE age > 30");
     }
 
     #[test]
@@ -539,8 +545,7 @@ mod tests {
         let lex = Lexicon::new();
         let mut rng = SmallRng::seed_from_u64(0);
         for _ in 0..10 {
-            let q =
-                render_question(&spec_filter_cmp(), &lex, SurfaceStyle::SynonymOnly, &mut rng);
+            let q = render_question(&spec_filter_cmp(), &lex, SurfaceStyle::SynonymOnly, &mut rng);
             assert!(!q.contains("singer"), "q={q}");
             assert!(!q.contains(" age "), "q={q}");
         }

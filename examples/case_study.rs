@@ -7,7 +7,6 @@
 //! ```
 
 use dbcopilot_eval::{build_method, prepare, CorpusKind, MethodKind, Scale};
-use dbcopilot_retrieval::SchemaRouter;
 use dbcopilot_synth::{rerender_instances, Lexicon, SurfaceStyle};
 
 fn main() {
@@ -39,16 +38,9 @@ fn main() {
         println!("gold: {gold}");
         for (router, _) in &built {
             let result = router.route(question, 10);
-            let db = result
-                .databases
-                .first()
-                .map(|(d, _)| d.as_str())
-                .unwrap_or("∅");
-            let tables: Vec<String> = result
-                .top_tables(3)
-                .iter()
-                .map(|(d, t)| format!("{d}.{t}"))
-                .collect();
+            let db = result.databases.first().map(|(d, _)| d.as_str()).unwrap_or("∅");
+            let tables: Vec<String> =
+                result.top_tables(3).iter().map(|(d, t)| format!("{d}.{t}")).collect();
             let hit = db.eq_ignore_ascii_case(&gold.database);
             println!(
                 "  {:<12} → {} {:<22} top tables: {}",

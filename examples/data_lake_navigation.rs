@@ -12,7 +12,7 @@
 
 use dbcopilot_core::{DbcRouter, RouterConfig, SerializationMode};
 use dbcopilot_eval::{eval_routing, prepare, CorpusKind, Scale};
-use dbcopilot_retrieval::{Bm25Index, Bm25Params, SchemaRouter, TargetSet};
+use dbcopilot_retrieval::{Bm25Index, Bm25Params, TargetSet};
 
 fn main() {
     let mut scale = Scale::quick();
@@ -26,8 +26,7 @@ fn main() {
     );
 
     println!("Training the schema router on synthesized question–schema pairs …");
-    let mut cfg = RouterConfig::default();
-    cfg.epochs = 8;
+    let cfg = RouterConfig { epochs: 8, ..RouterConfig::default() };
     let (router, stats) = DbcRouter::fit(
         prepared.graph.clone(),
         &prepared.synth_examples,
@@ -44,8 +43,14 @@ fn main() {
     let m_router = eval_routing(&router, &prepared.corpus.test, 100);
     let m_bm25 = eval_routing(&bm25, &prepared.corpus.test, 100);
     println!("\nTable recall on {} mart questions:", prepared.corpus.test.len());
-    println!("  {:<10} Tab R@5 {:>6.1}  Tab R@15 {:>6.1}", "DBCopilot", m_router.table_r5, m_router.table_r15);
-    println!("  {:<10} Tab R@5 {:>6.1}  Tab R@15 {:>6.1}", "BM25", m_bm25.table_r5, m_bm25.table_r15);
+    println!(
+        "  {:<10} Tab R@5 {:>6.1}  Tab R@15 {:>6.1}",
+        "DBCopilot", m_router.table_r5, m_router.table_r15
+    );
+    println!(
+        "  {:<10} Tab R@5 {:>6.1}  Tab R@15 {:>6.1}",
+        "BM25", m_bm25.table_r5, m_bm25.table_r15
+    );
 
     println!("\nCandidate navigation for one question:");
     if let Some(inst) = prepared.corpus.test.first() {

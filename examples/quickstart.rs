@@ -10,8 +10,7 @@ use dbcopilot_synth::{build_spider_like, CorpusSizes};
 
 fn main() {
     println!("Building a 24-database corpus …");
-    let corpus =
-        build_spider_like(&CorpusSizes { num_databases: 24, train_n: 800, test_n: 40 }, 7);
+    let corpus = build_spider_like(&CorpusSizes { num_databases: 24, train_n: 800, test_n: 40 }, 7);
     println!(
         "  {} databases, {} tables, {} columns",
         corpus.collection.num_databases(),
@@ -40,9 +39,7 @@ fn main() {
                         .rows
                         .iter()
                         .take(3)
-                        .map(|r| {
-                            r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
-                        })
+                        .map(|r| r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "))
                         .collect();
                     println!("  rows   → {} ({})", rs.rows.len(), preview.join(" | "));
                 }

@@ -131,10 +131,8 @@ mod tests {
 
     #[test]
     fn pipeline_end_to_end() {
-        let corpus = build_spider_like(
-            &CorpusSizes { num_databases: 8, train_n: 200, test_n: 20 },
-            11,
-        );
+        let corpus =
+            build_spider_like(&CorpusSizes { num_databases: 8, train_n: 200, test_n: 20 }, 11);
         let mut cfg = PipelineConfig::default();
         cfg.router.epochs = 5;
         cfg.synth_pairs = 800;

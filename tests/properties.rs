@@ -6,9 +6,7 @@ use proptest::prelude::*;
 use dbcopilot_graph::{
     deserialize_schema, dfs_serialize, sample_schema, IterOrder, SchemaGraph, WalkConfig,
 };
-use dbcopilot_synth::{
-    generate_collection, generate_instances, GenConfig, Lexicon, SurfaceStyle,
-};
+use dbcopilot_synth::{generate_collection, generate_instances, GenConfig, Lexicon, SurfaceStyle};
 
 fn small_gen(seed: u64) -> GenConfig {
     GenConfig {

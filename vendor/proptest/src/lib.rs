@@ -1,0 +1,250 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the surface the workspace's property tests use: the [`proptest!`] macro
+//! (with `#![proptest_config(...)]`), [`ProptestConfig::with_cases`],
+//! integer-range strategies (`lo..hi`, `lo..=hi`), and
+//! [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports the
+//! sampled input and panics. Sampling is deterministic (SplitMix64 from a
+//! fixed seed), so failures reproduce across runs.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Test-runner configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A rejected/failed test case (carries the failure message).
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Deterministic sample generator state (SplitMix64).
+pub fn next_state(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Value-producing strategy (subset: uniform integer ranges).
+pub trait Strategy {
+    type Value: fmt::Debug;
+    fn sample(&self, state: &mut u64) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, state: &mut u64) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((next_state(state) % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, state: &mut u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return next_state(state) as $t;
+                }
+                lo.wrapping_add((next_state(state) % span) as $t)
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Property-test entry point; each body runs `cases` times over samples of
+/// its strategy. No shrinking: failures report the exact sampled input.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($arg:ident in $strat:expr) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            // Fixed seed: deterministic, but distinct per test name.
+            let mut __state: u64 = 0xDBC0_0153u64 ^ {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in stringify!($name).bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
+                h
+            };
+            for __case in 0..__cfg.cases {
+                let $arg = $crate::Strategy::sample(&($strat), &mut __state);
+                let __input = format!("{:?}", $arg);
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                if let Err(e) = __result {
+                    panic!(
+                        "proptest {} failed at case {}/{} with input {}: {}",
+                        stringify!($name), __case + 1, __cfg.cases, __input, e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a `proptest!` body; failure aborts only the current case
+/// with a message (no shrinking in this vendored subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Samples stay inside the declared range.
+        #[test]
+        fn in_range(x in 10u64..20) {
+            prop_assert!((10..20).contains(&x), "{x} out of range");
+        }
+
+        #[test]
+        fn inclusive_range(x in 0i32..=3) {
+            prop_assert!((0..=3).contains(&x));
+            prop_assert_eq!(x - x, 0);
+            prop_assert_ne!(x, x + 1, "off by one from {}", x);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = 1u64;
+        let mut b = 1u64;
+        for _ in 0..10 {
+            assert_eq!((5u64..500).sample(&mut a), (5u64..500).sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_reports_input() {
+        crate::proptest! {
+            #![proptest_config(crate::ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u8..4) {
+                crate::prop_assert!(x > 100, "sampled {}", x);
+            }
+        }
+        always_fails();
+    }
+}

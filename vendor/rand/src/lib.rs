@@ -1,0 +1,189 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the exact surface the DBCopilot crates use: [`rngs::SmallRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] / [`Rng::gen_bool`],
+//! and [`seq::SliceRandom`] (`choose` / `shuffle`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction rand 0.8's `SmallRng` uses on 64-bit targets — so the
+//! statistical quality is adequate for the seeded, reproducible workloads
+//! here. Exact streams differ from the real crate; all seeds in this
+//! repository were calibrated against this implementation.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core RNG interface: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (subset: `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers, in the style of rand 0.8's `Rng` extension trait.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        next_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+fn next_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random bits into [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn next_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Types with a uniform sampler. The single blanket [`SampleRange`] impl
+/// below couples the range's element type to the sampled type, which is what
+/// lets inference flow outward from expression context (as in real rand:
+/// `k + rng.gen_range(1..3)` with `k: i64` infers `Range<i64>`).
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        T::sample_range(lo, hi, true, rng)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                let span = (hi as u64)
+                    .wrapping_sub(lo as u64)
+                    .wrapping_add(inclusive as u64);
+                if span == 0 {
+                    // inclusive full-domain range: every draw is valid
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty => $unit:ident),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(lo: $t, hi: $t, _inclusive: bool, rng: &mut R) -> $t {
+                lo + (hi - lo) * $unit(rng)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32 => next_f32, f64 => next_f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+    use crate::seq::SliceRandom;
+
+    #[test]
+    fn determinism() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(1..=4);
+            assert!((1..=4).contains(&y));
+            let f = rng.gen_range(0.0f32..1.0);
+            assert!((0.0..1.0).contains(&f));
+            let g = rng.gen_range(-2.0f64..=2.0);
+            assert!((-2.0..=2.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let items = [1, 2, 3, 4, 5];
+        for _ in 0..50 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut v: Vec<u32> = (0..64).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig, "64-element shuffle left slice identical");
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, orig);
+    }
+}

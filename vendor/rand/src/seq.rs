@@ -1,0 +1,34 @@
+//! Slice sampling helpers (subset of rand 0.8's `seq::SliceRandom`).
+
+use crate::{Rng, RngCore};
+
+/// Extension trait on slices: uniform choice and Fisher–Yates shuffle.
+pub trait SliceRandom {
+    type Item;
+
+    /// A uniformly random element, or `None` on an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let idx = (&mut *rng).gen_range(0..self.len());
+            Some(&self[idx])
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (&mut *rng).gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}

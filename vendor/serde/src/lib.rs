@@ -1,0 +1,478 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! serialization surface the workspace needs: [`Serialize`] / [`Deserialize`]
+//! traits (value-model based, not visitor based), derive macros re-exported
+//! from the companion `serde_derive` proc-macro crate (supporting
+//! `#[serde(skip)]` and `#[serde(default)]`), and impls for the std types
+//! used across the DBCopilot crates.
+//!
+//! The data model is a simple owned [`Value`] tree; `serde_json` (also
+//! vendored) renders/parses it as JSON text. Maps serialize as arrays of
+//! `[key, value]` pairs so non-string keys (e.g. `HashMap<u32, _>` in the
+//! trie) round-trip losslessly.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+/// The self-describing data model every `Serialize` impl produces and every
+/// `Deserialize` impl consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Ordered key–value pairs (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (linear scan; objects here are small).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a message describing the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError { msg: m.into() }
+    }
+
+    fn expected(what: &str, got: &Value) -> Self {
+        DeError::msg(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// helpers used by derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Required field: error if `v` is not an object or the key is absent.
+pub fn de_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, DeError> {
+    match v {
+        Value::Object(_) => match v.get(key) {
+            Some(field) => {
+                T::deserialize(field).map_err(|e| DeError::msg(format!("field `{key}`: {e}")))
+            }
+            None => Err(DeError::msg(format!("missing field `{key}`"))),
+        },
+        other => Err(DeError::expected("object", other)),
+    }
+}
+
+/// `#[serde(default)]` field: absent key falls back to `Default::default()`.
+pub fn de_field_default<T: Deserialize + Default>(v: &Value, key: &str) -> Result<T, DeError> {
+    match v {
+        Value::Object(_) => match v.get(key) {
+            Some(field) => {
+                T::deserialize(field).map_err(|e| DeError::msg(format!("field `{key}`: {e}")))
+            }
+            None => Ok(T::default()),
+        },
+        other => Err(DeError::expected("object", other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Float(f) => Ok(*f as $t),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Float(f) => Ok(*f as $t),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN), // non-finite floats render as null
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Deserialize::deserialize(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::msg(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+) of $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected(concat!("array of length ", $len), other)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A: 0) of 1;
+    (A: 0, B: 1) of 2;
+    (A: 0, B: 1, C: 2) of 3;
+    (A: 0, B: 1, C: 2, D: 3) of 4;
+}
+
+// Maps serialize as arrays of [key, value] pairs: self-consistent, order of
+// hash maps is not guaranteed, and non-string keys need no special casing.
+macro_rules! ser_de_map {
+    ($($map:ident, $kbound:path;)*) => {$(
+        impl<K: Serialize, V: Serialize> Serialize for $map<K, V> {
+            fn serialize(&self) -> Value {
+                Value::Array(
+                    self.iter()
+                        .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                        .collect(),
+                )
+            }
+        }
+        impl<K: Deserialize + $kbound + Eq, V: Deserialize> Deserialize for $map<K, V> {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => items
+                        .iter()
+                        .map(|pair| match pair {
+                            Value::Array(kv) if kv.len() == 2 => {
+                                Ok((K::deserialize(&kv[0])?, V::deserialize(&kv[1])?))
+                            }
+                            other => Err(DeError::expected("[key, value] pair", other)),
+                        })
+                        .collect(),
+                    other => Err(DeError::expected("array of pairs", other)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_map! {
+    HashMap, Hash;
+    BTreeMap, Ord;
+}
+
+macro_rules! ser_de_set {
+    ($($set:ident, $bound:path;)*) => {$(
+        impl<T: Serialize> Serialize for $set<T> {
+            fn serialize(&self) -> Value {
+                Value::Array(self.iter().map(Serialize::serialize).collect())
+            }
+        }
+        impl<T: Deserialize + $bound + Eq> Deserialize for $set<T> {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => items.iter().map(T::deserialize).collect(),
+                    other => Err(DeError::expected("array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_set! {
+    HashSet, Hash;
+    BTreeSet, Ord;
+}
+
+macro_rules! ser_de_smart_ptr {
+    ($($ptr:ident),*) => {$(
+        impl<T: Serialize> Serialize for $ptr<T> {
+            fn serialize(&self) -> Value {
+                (**self).serialize()
+            }
+        }
+        impl<T: Deserialize> Deserialize for $ptr<T> {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                Ok($ptr::new(T::deserialize(v)?))
+            }
+        }
+    )*};
+}
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+ser_de_smart_ptr!(Box, Rc, Arc);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-7i64).serialize()).unwrap(), -7);
+        assert_eq!(f32::deserialize(&1.5f32.serialize()).unwrap(), 1.5);
+        assert_eq!(String::deserialize(&"hi".to_string().serialize()).unwrap(), "hi");
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+    }
+
+    #[test]
+    fn f32_exactness_through_f64() {
+        // f32 -> f64 widening is lossless, so every f32 round-trips exactly.
+        for bits in [0x3f80_0001u32, 0x0000_0001, 0x7f7f_ffff, 0xc249_9326] {
+            let x = f32::from_bits(bits);
+            assert_eq!(f32::deserialize(&x.serialize()).unwrap().to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);
+
+        let mut m = HashMap::new();
+        m.insert(3u32, "x".to_string());
+        m.insert(9, "y".to_string());
+        assert_eq!(HashMap::<u32, String>::deserialize(&m.serialize()).unwrap(), m);
+
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::deserialize(&o.serialize()).unwrap(), None);
+        let t = (1u8, "a".to_string());
+        assert_eq!(<(u8, String)>::deserialize(&t.serialize()).unwrap(), t);
+    }
+
+    #[test]
+    fn missing_field_errors() {
+        let v = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert!(de_field::<i64>(&v, "a").is_ok());
+        assert!(de_field::<i64>(&v, "b").is_err());
+        assert_eq!(de_field_default::<i64>(&v, "b").unwrap(), 0);
+    }
+}

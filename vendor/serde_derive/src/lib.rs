@@ -1,0 +1,521 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! is written against the bare `proc_macro` API — no `syn`, no `quote`. It
+//! parses the derive input by walking the token stream and emits impls of
+//! the value-model traits in the vendored `serde` crate.
+//!
+//! Supported input shapes (everything this workspace uses):
+//! * structs with named fields, including `#[serde(skip)]` and
+//!   `#[serde(default)]` field attributes;
+//! * tuple structs (newtype arity-1 serializes transparently);
+//! * unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged:
+//!   `"Variant"` for unit, `{"Variant": ...}` otherwise);
+//! * type generics (`Trie<P>`), which receive `P: serde::Serialize` /
+//!   `P: serde::Deserialize` bounds. Lifetimes, const generics, and where
+//!   clauses are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// parsed shape
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    /// Type-parameter names, e.g. `["P"]` for `Trie<P>`.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// token-walking parser
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+/// Skip `#[...]` attributes and visibility, returning serde attr flags seen.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let mut skip = false;
+    let mut default = false;
+    loop {
+        if *i < toks.len() && is_punct(&toks[*i], '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                let inner = g.stream().to_string();
+                // `serde(skip)` / `serde(default)`; `to_string` may insert
+                // spaces, so match on the attribute path + argument words.
+                if inner.starts_with("serde") {
+                    if inner.contains("skip") {
+                        skip = true;
+                    }
+                    if inner.contains("default") {
+                        default = true;
+                    }
+                }
+            }
+            *i += 2;
+        } else if *i < toks.len() && is_ident(&toks[*i], "pub") {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate), pub(super), ...
+                }
+            }
+        } else {
+            return (skip, default);
+        }
+    }
+}
+
+/// Advance past a type (or expression) until a top-level `,`, tracking
+/// angle-bracket depth. Leaves `i` past the comma (or at end).
+fn skip_until_toplevel_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let (skip, default) = skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found `{other}`"),
+        };
+        i += 1;
+        assert!(is_punct(&toks[i], ':'), "serde_derive: expected `:` after field `{name}`");
+        i += 1;
+        skip_until_toplevel_comma(&toks, &mut i);
+        out.push(Field { name, skip, default });
+    }
+    out
+}
+
+/// Arity of a tuple struct/variant body: top-level comma count + 1 (0 when
+/// the parenthesized group is empty), ignoring a trailing comma.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut arity = 0;
+    while i < toks.len() {
+        // Per-element attributes/vis are legal; skip them so a leading
+        // `#[...]` or `pub` doesn't confuse the type scan.
+        let _ = skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_until_toplevel_comma(&toks, &mut i);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let _ = skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let data = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                i += 1;
+                VariantData::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantData::Struct(fields)
+            }
+            _ => VariantData::Unit,
+        };
+        // discriminant (`= expr`) and/or separator
+        skip_until_toplevel_comma(&toks, &mut i);
+        out.push(Variant { name, data });
+    }
+    out
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let _ = skip_attrs_and_vis(&toks, &mut i);
+
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!("serde_derive: expected `struct` or `enum`, found `{}`", toks[i]);
+    };
+    i += 1;
+
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+
+    // generics: collect type-parameter idents at angle depth 1
+    let mut generics = Vec::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        i += 1;
+        let mut depth = 1i32;
+        let mut expect_param = true; // at the start of a parameter chunk
+        while i < toks.len() && depth > 0 {
+            match &toks[i] {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => expect_param = true,
+                    '\'' => panic!(
+                        "serde_derive: lifetime parameters are not supported (type `{name}`)"
+                    ),
+                    _ => {}
+                },
+                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                    let s = id.to_string();
+                    if s == "const" {
+                        panic!("serde_derive: const generics are not supported (type `{name}`)");
+                    }
+                    generics.push(s);
+                    expect_param = false; // bounds (`: Trait`) are skipped
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    // skip an (unsupported-but-tolerated-if-trivial) where clause up to the body
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            t if is_punct(t, ';') => break,
+            t if is_ident(t, "where") => {
+                panic!("serde_derive: where clauses are not supported (type `{name}`)")
+            }
+            _ => i += 1,
+        }
+    }
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Kind::Enum(parse_variants(g.stream()))
+            } else {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert!(!is_enum, "serde_derive: malformed enum body");
+            Kind::Tuple(tuple_arity(g.stream()))
+        }
+        Some(t) if is_punct(t, ';') => Kind::Unit,
+        other => panic!("serde_derive: expected type body, found `{other:?}`"),
+    };
+
+    Input { name, generics, kind }
+}
+
+// ---------------------------------------------------------------------------
+// code generation (string-assembled, parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+impl Input {
+    /// `<P: ::serde::Serialize>` (or empty) for the impl header.
+    fn impl_generics(&self, bound: &str) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            let params: Vec<String> =
+                self.generics.iter().map(|g| format!("{g}: {bound}")).collect();
+            format!("<{}>", params.join(", "))
+        }
+    }
+
+    /// `<P>` (or empty) for the type being implemented.
+    fn type_generics(&self) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generics.join(", "))
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "__fields.push((\"{n}\".to_string(), ::serde::Serialize::serialize(&self.{n})));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}::serde::Value::Object(__fields)"
+            )
+        }
+        Kind::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.data {
+                        VariantData::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                        ),
+                        VariantData::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::serialize(__f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantData::Struct(fields) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(\"{n}\".to_string(), ::serde::Serialize::serialize({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{pushes}]))]),\n",
+                                binds = binds.join(", "),
+                                pushes = pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let code = format!(
+        "impl{ig} ::serde::Serialize for {name}{tg} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        ig = input.impl_generics("::serde::Serialize"),
+        tg = input.type_generics(),
+    );
+    code.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let n = &f.name;
+                    if f.skip {
+                        format!("{n}: ::core::default::Default::default()")
+                    } else if f.default {
+                        format!("{n}: ::serde::de_field_default(__v, \"{n}\")?")
+                    } else {
+                        format!("{n}: ::serde::de_field(__v, \"{n}\")?")
+                    }
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Kind::Tuple(1) => format!("Ok({name}(::serde::Deserialize::deserialize(__v)?))"),
+        Kind::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} => \
+                         Ok({name}({elems})),\n\
+                     _ => Err(::serde::DeError::msg(\
+                         \"{name}: expected array of length {n}\")),\n\
+                 }}",
+                elems = elems.join(", ")
+            )
+        }
+        Kind::Unit => format!(
+            "match __v {{\n\
+                 ::serde::Value::Null => Ok({name}),\n\
+                 _ => Err(::serde::DeError::msg(\"{name}: expected null\")),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.data, VariantData::Unit))
+                .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),\n", vn = v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.data {
+                        VariantData::Unit => None,
+                        VariantData::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::deserialize(__val)?)),\n"
+                        )),
+                        VariantData::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => match __val {{\n\
+                                     ::serde::Value::Array(__items) if __items.len() == {n} => \
+                                         Ok({name}::{vn}({elems})),\n\
+                                     _ => Err(::serde::DeError::msg(\
+                                         \"{name}::{vn}: expected array of length {n}\")),\n\
+                                 }},\n",
+                                elems = elems.join(", ")
+                            ))
+                        }
+                        VariantData::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    let n = &f.name;
+                                    if f.skip {
+                                        format!("{n}: ::core::default::Default::default()")
+                                    } else if f.default {
+                                        format!("{n}: ::serde::de_field_default(__val, \"{n}\")?")
+                                    } else {
+                                        format!("{n}: ::serde::de_field(__val, \"{n}\")?")
+                                    }
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => Err(::serde::DeError::msg(format!(\
+                             \"{name}: unknown unit variant `{{__other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __val) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => Err(::serde::DeError::msg(format!(\
+                                 \"{name}: unknown variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::DeError::msg(\
+                         \"{name}: expected string or single-key object\")),\n\
+                 }}"
+            )
+        }
+    };
+    let code = format!(
+        "impl{ig} ::serde::Deserialize for {name}{tg} {{\n\
+             fn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}",
+        ig = input.impl_generics("::serde::Deserialize"),
+        tg = input.type_generics(),
+    );
+    code.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
