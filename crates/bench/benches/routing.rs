@@ -7,36 +7,48 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbcopilot_core::{DbcRouter, SerializationMode};
 use dbcopilot_eval::{build_method, prepare, CorpusKind, MethodKind, Scale};
 use dbcopilot_graph::{dfs_serialize, IterOrder};
+use dbcopilot_retrieval::SchemaRouter;
+
+/// A deliberately tiny setup: per-query latency does not need a large
+/// corpus or a converged model, and the full quick-scale training used to
+/// make `cargo bench` setup take minutes. One small router is trained once
+/// and reused by both the routing and the decoding benchmark groups.
+fn bench_scale() -> Scale {
+    let mut s = Scale::quick();
+    s.spider = dbcopilot_synth::CorpusSizes { num_databases: 8, train_n: 120, test_n: 10 };
+    s.synth_pairs = 200;
+    s.router.epochs = 2;
+    s.encoder.epochs = 2;
+    s
+}
 
 fn bench_routing(c: &mut Criterion) {
-    let mut scale = Scale::quick();
-    scale.synth_pairs = 800;
-    scale.router.epochs = 3;
+    let scale = bench_scale();
     let prepared = prepare(CorpusKind::Spider, &scale);
     let question = &prepared.corpus.test[0].question;
 
+    // the shared pre-trained router fixture
+    let (mut dbc, _) = DbcRouter::fit(
+        prepared.graph.clone(),
+        &prepared.synth_examples,
+        scale.router.clone(),
+        SerializationMode::Dfs,
+    );
+
     let mut group = c.benchmark_group("route_one_query");
-    for &m in &[
-        MethodKind::Bm25,
-        MethodKind::Sxfmr,
-        MethodKind::CrushBm25,
-        MethodKind::Dtr,
-        MethodKind::DbCopilot,
-    ] {
+    for &m in &[MethodKind::Bm25, MethodKind::Sxfmr, MethodKind::CrushBm25, MethodKind::Dtr] {
         let (router, _) = build_method(m, &prepared, &scale);
         group.bench_with_input(BenchmarkId::from_parameter(m.label()), question, |b, q| {
             b.iter(|| router.route(q, 100))
         });
     }
+    group.bench_with_input(BenchmarkId::from_parameter("DBCopilot"), question, |b, q| {
+        b.iter(|| dbc.route(q, 100))
+    });
     group.finish();
 
-    // constrained vs unconstrained decoding (Table 7 CD ablation cost)
-    let (mut dbc, _) = DbcRouter::fit(
-        prepared.graph.clone(),
-        &prepared.synth_examples[..400],
-        scale.router.clone(),
-        SerializationMode::Dfs,
-    );
+    // constrained vs unconstrained decoding (Table 7 CD ablation cost),
+    // on the same pre-trained fixture
     let mut group = c.benchmark_group("decoding");
     group.bench_function("constrained", |b| b.iter(|| dbc.sequences(question)));
     dbc.decode_opts.constrained = false;

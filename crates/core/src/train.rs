@@ -7,6 +7,20 @@
 //! at each step runs over a *candidate set* — the symbols admissible under
 //! constrained decoding plus sampled negatives — a sampled softmax that
 //! matches the constrained inference distribution.
+//!
+//! # Data parallelism
+//!
+//! Both heavy phases here run on the [`dbcopilot_runtime`] primitives and
+//! are bit-for-bit reproducible at any `DBC_THREADS` value:
+//!
+//! * [`synthesize_training_data`] generates pseudo-questions in parallel,
+//!   one derived RNG per example;
+//! * [`train_router`] shards every minibatch across workers — each example
+//!   gets a private tape, a private RNG derived from `(seed, epoch,
+//!   example index)`, and its own backward pass; shard gradients are merged
+//!   in fixed example order before the single `AdamW` step
+//!   (`ParamStore::merge_grads`), so the updated weights never depend on
+//!   the thread count.
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -15,7 +29,7 @@ use rand::{Rng, SeedableRng};
 use dbcopilot_graph::{
     basic_serialize, dfs_serialize, IterOrder, QuerySchema, SchemaGraph, WalkConfig,
 };
-use dbcopilot_nn::{AdamW, Tape};
+use dbcopilot_nn::{AdamW, GradShard, Tape};
 use dbcopilot_synth::{CorpusMeta, Questioner};
 
 use crate::decode::Constrainer;
@@ -51,22 +65,24 @@ pub fn synthesize_training_data(
     let mut rng = SmallRng::seed_from_u64(seed);
     let walk_cfg = WalkConfig::default();
     let schemata = dbcopilot_graph::sample_covering(graph, &walk_cfg, n, &mut rng);
-    schemata
-        .into_iter()
-        .map(|mut schema| {
-            // Junction-first role order, matching the convention of the
-            // extracted training pairs (questions mention endpoints, the
-            // junction table is implied).
-            if let Some(dbm) = meta.per_db.get(&schema.database) {
-                schema
-                    .tables
-                    .sort_by_key(|t| !dbm.tables.get(t).map(|tm| tm.is_junction).unwrap_or(false));
-            }
-            let (entities, attrs) = dbcopilot_synth::schema_tokens(meta, &schema);
-            let question = questioner.generate(&entities, &attrs, &mut rng);
-            TrainExample { question, schema }
-        })
-        .collect()
+    // Question generation is independent per schema: run it data-parallel
+    // with one RNG per example derived from (seed, index), so the corpus is
+    // identical at any thread count.
+    dbcopilot_runtime::parallel_map(&schemata, |i, schema| {
+        let mut schema = schema.clone();
+        let mut rng = dbcopilot_runtime::derive_rng(seed, i as u64);
+        // Junction-first role order, matching the convention of the
+        // extracted training pairs (questions mention endpoints, the
+        // junction table is implied).
+        if let Some(dbm) = meta.per_db.get(&schema.database) {
+            schema
+                .tables
+                .sort_by_key(|t| !dbm.tables.get(t).map(|tm| tm.is_junction).unwrap_or(false));
+        }
+        let (entities, attrs) = dbcopilot_synth::schema_tokens(meta, &schema);
+        let question = questioner.generate(&entities, &attrs, &mut rng);
+        TrainExample { question, schema }
+    })
 }
 
 /// Convert original corpus instances into training examples (the "OD"/"MD"
@@ -108,7 +124,63 @@ fn target_symbols(
     Some(syms)
 }
 
+/// Forward + backward for one training example on a private tape: the unit
+/// of work of the data-parallel minibatch. Returns the example's mean
+/// step loss and its gradients (full scale; the caller folds in the
+/// `1/batch` factor when merging).
+///
+/// All randomness (target serialization order, sampled negatives) comes
+/// from a private RNG derived from `(seed, stream)`, so the result depends
+/// only on the example — never on which worker ran it.
+#[allow(clippy::too_many_arguments)]
+fn example_shard(
+    model: &RouterModel,
+    graph: &SchemaGraph,
+    vocab: &PieceVocab,
+    constrainer: &Constrainer<'_>,
+    ex: &TrainExample,
+    mode: SerializationMode,
+    negatives: usize,
+    seed: u64,
+    stream: u64,
+) -> Option<(f32, GradShard)> {
+    let mut rng = dbcopilot_runtime::derive_rng(seed, stream);
+    let vocab_len = vocab.len() as Sym;
+    let targets = target_symbols(graph, vocab, &ex.schema, mode, &mut rng)?;
+    let mut tape = Tape::new();
+    let q = model.encode(&mut tape, &ex.question);
+    let mut h = q;
+    let mut state = constrainer.initial();
+    let mut prev = BOS;
+    let mut ex_losses = Vec::with_capacity(targets.len());
+    for &gold in &targets {
+        h = model.step(&mut tape, prev, q, h);
+        let candidates = candidate_set(constrainer, &state, gold, vocab_len, negatives, &mut rng);
+        let gold_idx = candidates.iter().position(|&c| c == gold).expect("gold in candidates");
+        ex_losses.push(model.step_loss(&mut tape, h, &candidates, gold_idx));
+        // advance the constraint state along the gold path; a
+        // basic-serialized target can violate constraints, in
+        // which case negatives fall back to random sampling
+        state = constrainer.advance(&state, gold).unwrap_or(state);
+        prev = gold;
+    }
+    if ex_losses.is_empty() {
+        return None;
+    }
+    let total = tape.sum_scalars(&ex_losses);
+    let mean = tape.scale(total, 1.0 / ex_losses.len() as f32);
+    let loss = tape.value(mean).get(0, 0);
+    tape.backward(mean);
+    Some((loss, tape.take_grads()))
+}
+
 /// Train the router with teacher forcing.
+///
+/// Data-parallel and deterministic: every minibatch is sharded one example
+/// per worker, shard gradients merge in fixed example
+/// order, and a single `AdamW` step applies the batch-mean gradient — so
+/// epoch losses and final weights are bit-identical at any `DBC_THREADS`
+/// value (covered by the crate's determinism test suite).
 pub fn train_router(
     model: &mut RouterModel,
     graph: &SchemaGraph,
@@ -119,64 +191,46 @@ pub fn train_router(
     assert!(!data.is_empty(), "no training data");
     let cfg = model.cfg.clone();
     let constrainer = Constrainer::new(graph, vocab, cfg.max_tables.max(8));
-    let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(101));
+    // The shuffle RNG runs serially between parallel sections; per-example
+    // randomness is derived per (seed, epoch, index) inside the workers.
+    let mut shuffle_rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(101));
     let mut opt = AdamW::new(cfg.lr);
     let mut order: Vec<usize> = (0..data.len()).collect();
-    let vocab_len = vocab.len() as Sym;
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
-    for _epoch in 0..cfg.epochs {
-        order.shuffle(&mut rng);
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut shuffle_rng);
         let mut epoch_loss = 0.0f32;
         let mut counted = 0usize;
         for chunk in order.chunks(cfg.batch) {
-            let mut tape = Tape::new();
-            let mut batch_losses = Vec::new();
-            for &i in chunk {
-                let ex = &data[i];
-                let Some(targets) = target_symbols(graph, vocab, &ex.schema, mode, &mut rng) else {
-                    continue;
-                };
-                let q = model.encode(&mut tape, &ex.question);
-                let mut h = q;
-                let mut state = constrainer.initial();
-                let mut prev = BOS;
-                let mut ex_losses = Vec::with_capacity(targets.len());
-                for &gold in &targets {
-                    h = model.step(&mut tape, prev, q, h);
-                    let candidates = candidate_set(
-                        &constrainer,
-                        &state,
-                        gold,
-                        vocab_len,
-                        cfg.negatives,
-                        &mut rng,
-                    );
-                    let gold_idx =
-                        candidates.iter().position(|&c| c == gold).expect("gold in candidates");
-                    ex_losses.push(model.step_loss(&mut tape, h, &candidates, gold_idx));
-                    // advance the constraint state along the gold path; a
-                    // basic-serialized target can violate constraints, in
-                    // which case negatives fall back to random sampling
-                    state = constrainer.advance(&state, gold).unwrap_or(state);
-                    prev = gold;
-                }
-                if !ex_losses.is_empty() {
-                    let total = tape.sum_scalars(&ex_losses);
-                    let mean = tape.scale(total, 1.0 / ex_losses.len() as f32);
-                    batch_losses.push(mean);
-                    counted += 1;
-                }
-            }
-            if batch_losses.is_empty() {
+            let frozen: &RouterModel = model;
+            let shards = dbcopilot_runtime::parallel_map(chunk, |_, &i| {
+                let stream = epoch as u64 * data.len() as u64 + i as u64;
+                example_shard(
+                    frozen,
+                    graph,
+                    vocab,
+                    &constrainer,
+                    &data[i],
+                    mode,
+                    cfg.negatives,
+                    cfg.seed,
+                    stream,
+                )
+            });
+            let live: Vec<(f32, GradShard)> = shards.into_iter().flatten().collect();
+            if live.is_empty() {
                 continue;
             }
-            let n = batch_losses.len() as f32;
-            let sum = tape.sum_scalars(&batch_losses);
-            let loss = tape.scale(sum, 1.0 / n);
-            epoch_loss += tape.value(loss).get(0, 0) * n;
-            tape.backward(loss);
-            tape.collect_grads(&mut model.store);
+            let n = live.len();
+            counted += n;
+            let inv = 1.0 / n as f32;
+            let mut grads = Vec::with_capacity(n);
+            for (loss, shard) in live {
+                epoch_loss += loss;
+                grads.push(shard);
+            }
+            model.store.merge_grads(grads, inv);
             model.store.clip_grad_norm(5.0);
             opt.step(&mut model.store);
         }

@@ -1,0 +1,138 @@
+//! The determinism contract of data-parallel training: epoch losses, final
+//! weights, and synthesized corpora are bit-identical at any `DBC_THREADS`
+//! value. These tests pin the thread count with
+//! [`dbcopilot_runtime::with_thread_count`] instead of the environment
+//! variable so both sides run inside one process.
+
+use dbcopilot_core::{
+    synthesize_training_data, train_router, PieceVocab, RouterConfig, RouterModel,
+    SerializationMode, TrainExample, TrainStats,
+};
+use dbcopilot_graph::{QuerySchema, SchemaGraph};
+use dbcopilot_runtime::with_thread_count;
+use dbcopilot_sqlengine::{Collection, DataType, DatabaseSchema, TableSchema};
+
+fn collection() -> Collection {
+    let mut c = Collection::new();
+    for (db, tables) in [
+        ("concert_singer", vec!["singer", "concert"]),
+        ("world", vec!["country", "city"]),
+        ("library", vec!["book", "author"]),
+        ("cinema", vec!["movie", "director"]),
+    ] {
+        let mut d = DatabaseSchema::new(db);
+        for t in tables {
+            d.add_table(TableSchema::new(t).column("id", DataType::Int).primary(0));
+        }
+        c.add_database(d);
+    }
+    c
+}
+
+fn examples() -> Vec<TrainExample> {
+    let mut out = Vec::new();
+    for _ in 0..10 {
+        out.push(TrainExample {
+            question: "how many vocalists are there".into(),
+            schema: QuerySchema::new("concert_singer", vec!["singer".into()]),
+        });
+        out.push(TrainExample {
+            question: "list the names of all towns".into(),
+            schema: QuerySchema::new("world", vec!["city".into()]),
+        });
+        out.push(TrainExample {
+            question: "which writer published the most volumes".into(),
+            schema: QuerySchema::new("library", vec!["book".into(), "author".into()]),
+        });
+        out.push(TrainExample {
+            question: "who directed the longest film".into(),
+            schema: QuerySchema::new("cinema", vec!["movie".into(), "director".into()]),
+        });
+    }
+    out
+}
+
+/// Train one router at a pinned thread count; return the stats and every
+/// parameter tensor as exact bit patterns.
+fn train_at(threads: usize) -> (TrainStats, Vec<(String, Vec<u32>)>) {
+    with_thread_count(threads, || {
+        let g = SchemaGraph::build(&collection());
+        let v = PieceVocab::build(&g);
+        let mut model = RouterModel::new(RouterConfig::tiny(), v.len());
+        let stats = train_router(&mut model, &g, &v, &examples(), SerializationMode::Dfs);
+        let weights = model
+            .store
+            .describe()
+            .into_iter()
+            .map(|(name, _)| {
+                let id = model.store.id_of(&name).unwrap();
+                let bits: Vec<u32> =
+                    model.store.value(id).as_slice().iter().map(|v| v.to_bits()).collect();
+                (name, bits)
+            })
+            .collect();
+        (stats, weights)
+    })
+}
+
+#[test]
+fn training_is_bit_identical_across_thread_counts() {
+    let (stats1, weights1) = train_at(1);
+    for threads in [2, 4] {
+        let (stats_n, weights_n) = train_at(threads);
+        let l1: Vec<u32> = stats1.epoch_losses.iter().map(|v| v.to_bits()).collect();
+        let ln: Vec<u32> = stats_n.epoch_losses.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(l1, ln, "epoch losses differ between 1 and {threads} threads");
+        assert_eq!(weights1.len(), weights_n.len());
+        for ((name1, bits1), (name_n, bits_n)) in weights1.iter().zip(&weights_n) {
+            assert_eq!(name1, name_n);
+            assert_eq!(bits1, bits_n, "parameter {name1} differs between 1 and {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn training_loss_still_decreases_in_parallel() {
+    let (stats, _) = train_at(4);
+    let first = stats.epoch_losses[0];
+    let last = *stats.epoch_losses.last().unwrap();
+    assert!(last < first * 0.6, "loss should fall under 4 threads: {first} → {last}");
+}
+
+#[test]
+fn synthesis_is_identical_across_thread_counts() {
+    use dbcopilot_synth::{
+        build_spider_like, questioner_pairs, CorpusSizes, Questioner, QuestionerConfig,
+    };
+    let corpus = build_spider_like(&CorpusSizes { num_databases: 4, train_n: 60, test_n: 5 }, 11);
+    let graph = SchemaGraph::build(&corpus.collection);
+    let questioner = Questioner::train(&questioner_pairs(&corpus), &QuestionerConfig::default());
+    let synth = |threads: usize| {
+        with_thread_count(threads, || {
+            synthesize_training_data(&graph, &corpus.meta, &questioner, 120, 3)
+        })
+    };
+    let a = synth(1);
+    let b = synth(4);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.question, y.question);
+        assert!(x.schema.same_as(&y.schema), "{} vs {}", x.schema, y.schema);
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    // Guards against per-instance iteration-order nondeterminism sneaking
+    // back into the candidate path (the constrainer trie once used HashMap
+    // children, which made two same-process runs drift in late epochs).
+    let (s1, _) = train_at(1);
+    let (s2, _) = train_at(1);
+    assert_eq!(
+        s1.epoch_losses.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        s2.epoch_losses.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "two identical runs diverged: {:?} vs {:?}",
+        s1.epoch_losses,
+        s2.epoch_losses
+    );
+}

@@ -211,31 +211,27 @@ pub fn build_method(
     (router, BuildReport { build_secs: start.elapsed().as_secs_f64(), disk_bytes: disk })
 }
 
-/// Evaluate a router over instances (parallel over question chunks).
+/// Questions per evaluation work unit. Fixed (never derived from the thread
+/// count) so partial-metric merge order — and thus any float accumulation —
+/// is identical on every machine.
+const EVAL_CHUNK: usize = 32;
+
+/// Evaluate a router over instances, data-parallel over fixed-size question
+/// chunks via `dbcopilot-runtime`; partial metrics merge in chunk order.
 pub fn eval_routing(
     router: &(dyn SchemaRouter + Send + Sync),
     instances: &[dbcopilot_synth::Instance],
     top_tables: usize,
 ) -> RoutingMetrics {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
-    let chunk = instances.len().div_ceil(threads).max(1);
-    let mut total = RoutingMetrics::default();
-    let partials: Vec<RoutingMetrics> = std::thread::scope(|s| {
-        let handles: Vec<_> = instances
-            .chunks(chunk)
-            .map(|part| {
-                s.spawn(move || {
-                    let mut m = RoutingMetrics::default();
-                    for inst in part {
-                        let result = router.route(&inst.question, top_tables);
-                        m.add(&result, &inst.schema);
-                    }
-                    m
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("eval worker")).collect()
+    let partials = dbcopilot_runtime::parallel_map_chunks(instances, EVAL_CHUNK, |_, part| {
+        let mut m = RoutingMetrics::default();
+        for inst in part {
+            let result = router.route(&inst.question, top_tables);
+            m.add(&result, &inst.schema);
+        }
+        m
     });
+    let mut total = RoutingMetrics::default();
     for p in &partials {
         total.merge(p);
     }

@@ -7,7 +7,7 @@
 //! name are allowed. This trie is that structure, generic over the payload
 //! attached to complete names.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -16,7 +16,11 @@ pub type Sym = u32;
 
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct TrieNode<P> {
-    children: HashMap<Sym, usize>,
+    /// Ordered map so [`Trie::continuations`] enumerates symbols in a fixed
+    /// (ascending) order: the candidate sets fed to the router's sampled
+    /// softmax must not vary between trie instances, or training loses
+    /// bit-for-bit reproducibility.
+    children: BTreeMap<Sym, usize>,
     /// Payload when a complete name ends here.
     terminal: Option<P>,
 }
@@ -35,7 +39,7 @@ impl<P> Default for Trie<P> {
 
 impl<P> Trie<P> {
     pub fn new() -> Self {
-        Trie { nodes: vec![TrieNode { children: HashMap::new(), terminal: None }] }
+        Trie { nodes: vec![TrieNode { children: BTreeMap::new(), terminal: None }] }
     }
 
     /// Insert a sequence with its payload. Overwrites an existing payload for
@@ -47,7 +51,7 @@ impl<P> Trie<P> {
                 Some(&next) => next,
                 None => {
                     let next = self.nodes.len();
-                    self.nodes.push(TrieNode { children: HashMap::new(), terminal: None });
+                    self.nodes.push(TrieNode { children: BTreeMap::new(), terminal: None });
                     self.nodes[cur].children.insert(s, next);
                     next
                 }

@@ -22,6 +22,6 @@ pub mod tape;
 pub mod tensor;
 
 pub use layers::{Embedding, GruCell, Linear};
-pub use optim::{AdamW, ParamId, ParamStore, Sgd};
+pub use optim::{AdamW, GradShard, ParamId, ParamStore, Sgd};
 pub use tape::{Grad, Tape, ValId};
 pub use tensor::Tensor;

@@ -7,7 +7,7 @@
 //! received no gradient in a step are not touched, which keeps training cost
 //! proportional to the tokens actually used rather than the vocabulary size.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +17,11 @@ use crate::tensor::Tensor;
 /// Identifier of a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ParamId(pub(crate) usize);
+
+/// One worker's gradients, drained from its tape in ascending [`ParamId`]
+/// order (see `Tape::take_grads`). Shards from a data-parallel step are
+/// combined with [`ParamStore::merge_grads`].
+pub type GradShard = Vec<(ParamId, Grad)>;
 
 #[derive(Serialize, Deserialize)]
 struct Param {
@@ -33,12 +38,16 @@ struct Param {
 }
 
 /// Accumulated gradient for one parameter: dense, sparse rows, or absent.
+///
+/// The sparse accumulator is a `BTreeMap` so every iteration over it (norm,
+/// clipping, optimizer updates) runs in row order — float summation order is
+/// part of the training determinism contract.
 #[derive(Default)]
 enum GradAccum {
     #[default]
     None,
     Dense(Tensor),
-    Sparse(HashMap<usize, Vec<f32>>),
+    Sparse(BTreeMap<usize, Vec<f32>>),
 }
 
 /// Owns model parameters, gradients and optimizer state.
@@ -109,7 +118,7 @@ impl ParamStore {
                     let mut dense = t;
                     let cols = dense.cols();
                     let buf = dense.as_mut_slice();
-                    for (r, row) in map.drain() {
+                    for (r, row) in std::mem::take(map) {
                         for (c, v) in row.into_iter().enumerate() {
                             buf[r * cols + c] += v;
                         }
@@ -141,7 +150,7 @@ impl ParamStore {
                     }
                 }
                 GradAccum::None => {
-                    let mut map: HashMap<usize, Vec<f32>> = HashMap::new();
+                    let mut map: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
                     for (r, row) in entries {
                         match map.get_mut(&r) {
                             Some(acc) => {
@@ -157,6 +166,25 @@ impl ParamStore {
                     *slot = GradAccum::Sparse(map);
                 }
             },
+        }
+    }
+
+    /// Merge per-worker gradient shards into the accumulators, scaling every
+    /// contribution by `scale` (e.g. `1/batch` for a batch-mean loss whose
+    /// shards were each seeded with gradient 1).
+    ///
+    /// Shards are folded strictly in iteration order, and entries within a
+    /// shard in their listed (ascending-`ParamId`) order, so the accumulated
+    /// gradient is bit-identical no matter how many threads produced the
+    /// shards — the keystone of deterministic data-parallel training.
+    pub fn merge_grads(&mut self, shards: impl IntoIterator<Item = GradShard>, scale: f32) {
+        for shard in shards {
+            for (pid, mut g) in shard {
+                if scale != 1.0 {
+                    g.scale_in_place(scale);
+                }
+                self.accumulate_grad(pid, g);
+            }
         }
     }
 
@@ -395,6 +423,43 @@ mod tests {
         );
         let g = store.dense_grad(e).unwrap();
         assert_eq!(g.as_slice(), &[2.5, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn merge_grads_matches_sequential_accumulation() {
+        // Two shards merged with a 1/2 scale must equal accumulating the
+        // same contributions serially at half weight.
+        let build = || {
+            let mut s = ParamStore::new();
+            let w = s.add("w", Tensor::zeros(1, 2));
+            let e = s.add("emb", Tensor::zeros(3, 2));
+            (s, w, e)
+        };
+        let shard1: GradShard = vec![
+            (ParamId(0), Grad::Dense(Tensor::from_row(vec![1.0, 2.0]))),
+            (ParamId(1), Grad::SparseRows { rows: 3, cols: 2, entries: vec![(1, vec![4.0, 4.0])] }),
+        ];
+        let shard2: GradShard = vec![(ParamId(0), Grad::Dense(Tensor::from_row(vec![3.0, -1.0])))];
+
+        let (mut merged, w, e) = build();
+        merged.merge_grads(vec![shard1.clone(), shard2.clone()], 0.5);
+
+        let (mut serial, _, _) = build();
+        for shard in [shard1, shard2] {
+            for (pid, mut g) in shard {
+                g.scale_in_place(0.5);
+                serial.accumulate_grad(pid, g);
+            }
+        }
+        assert_eq!(
+            merged.dense_grad(w).unwrap().as_slice(),
+            serial.dense_grad(w).unwrap().as_slice()
+        );
+        assert_eq!(
+            merged.dense_grad(e).unwrap().as_slice(),
+            serial.dense_grad(e).unwrap().as_slice()
+        );
+        assert_eq!(merged.dense_grad(w).unwrap().as_slice(), &[2.0, 0.5]);
     }
 
     #[test]

@@ -52,7 +52,11 @@ impl Grad {
         match (&mut *self, other) {
             (Grad::Dense(a), Grad::Dense(b)) => a.add_scaled_assign(&b, 1.0),
             (Grad::SparseRows { entries, .. }, Grad::SparseRows { entries: more, .. }) => {
+                // Coalesce by row index: an embedding row hit many times in
+                // one graph (e.g. the output table at every decode step) must
+                // not grow the entry list unboundedly.
                 entries.extend(more);
+                coalesce_rows(entries);
             }
             (dense @ Grad::Dense(_), sparse @ Grad::SparseRows { .. }) => {
                 let s = sparse.into_dense();
@@ -68,9 +72,52 @@ impl Grad {
             }
         }
     }
+
+    /// Multiply every gradient value by `s` in place (used when merging
+    /// per-example shards into a batch-mean gradient).
+    pub fn scale_in_place(&mut self, s: f32) {
+        match self {
+            Grad::Dense(t) => {
+                for v in t.as_mut_slice() {
+                    *v *= s;
+                }
+            }
+            Grad::SparseRows { entries, .. } => {
+                for (_, row) in entries {
+                    for v in row {
+                        *v *= s;
+                    }
+                }
+            }
+        }
+    }
 }
 
-type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<(ValId, Grad)>>;
+/// Sort entries by row index (stable, so same-row contributions keep their
+/// arrival order) and sum duplicates into one entry per row.
+fn coalesce_rows(entries: &mut Vec<(usize, Vec<f32>)>) {
+    if entries.len() < 2 {
+        return;
+    }
+    entries.sort_by_key(|(r, _)| *r);
+    let mut write = 0;
+    for read in 1..entries.len() {
+        if entries[read].0 == entries[write].0 {
+            let (head, tail) = entries.split_at_mut(read);
+            for (a, v) in head[write].1.iter_mut().zip(&tail[0].1) {
+                *a += v;
+            }
+        } else {
+            write += 1;
+            entries.swap(write, read);
+        }
+    }
+    entries.truncate(write + 1);
+}
+
+/// Backward closures are `Send` so a whole [`Tape`] can live on a worker
+/// thread (the data-parallel training loop builds one tape per shard).
+type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<(ValId, Grad)> + Send>;
 
 struct Node {
     value: Tensor,
@@ -510,6 +557,21 @@ impl Tape {
             }
         }
     }
+
+    /// Drain parameter-leaf gradients into a shard, in ascending [`ParamId`]
+    /// order. Worker threads return shards to the training loop, which
+    /// merges them in fixed shard order via
+    /// [`ParamStore::merge_grads`](crate::optim::ParamStore::merge_grads) —
+    /// the combination is bit-identical at any thread count.
+    pub fn take_grads(&mut self) -> crate::optim::GradShard {
+        let mut out = Vec::with_capacity(self.param_leaves.len());
+        for (&pid, &vid) in &self.param_leaves {
+            if let Some(g) = self.nodes[vid.0].grad.take() {
+                out.push((pid, g));
+            }
+        }
+        out
+    }
 }
 
 /// Column-wise sum of rows `[m,n] → [1,n]`.
@@ -670,6 +732,70 @@ mod tests {
         let l2 = tape2.leaf(Tensor::from_row(vec![0.2, -0.4, 1.0]));
         let single = tape2.cross_entropy_logits(l2, 2);
         assert!((tape.value(multi).get(0, 0) - tape2.value(single).get(0, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tape_and_grad_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Tape>();
+        assert_send::<Grad>();
+    }
+
+    #[test]
+    fn sparse_accumulate_coalesces_rows() {
+        let mut g = Grad::SparseRows {
+            rows: 4,
+            cols: 2,
+            entries: vec![(2, vec![1.0, 2.0]), (0, vec![0.5, 0.5])],
+        };
+        g.accumulate(Grad::SparseRows {
+            rows: 4,
+            cols: 2,
+            entries: vec![(2, vec![10.0, 20.0]), (3, vec![1.0, 1.0]), (2, vec![100.0, 200.0])],
+        });
+        let Grad::SparseRows { entries, .. } = &g else { panic!("stayed sparse") };
+        assert_eq!(
+            entries,
+            &vec![(0, vec![0.5, 0.5]), (2, vec![111.0, 222.0]), (3, vec![1.0, 1.0]),],
+            "one entry per row, sorted by row index"
+        );
+    }
+
+    #[test]
+    fn sparse_accumulate_stays_bounded() {
+        // Regression: repeated accumulation onto the same rows must not grow
+        // the entry list (it used to append unboundedly).
+        let mut g = Grad::SparseRows { rows: 8, cols: 1, entries: vec![(1, vec![1.0])] };
+        for _ in 0..100 {
+            g.accumulate(Grad::SparseRows {
+                rows: 8,
+                cols: 1,
+                entries: vec![(1, vec![1.0]), (5, vec![2.0])],
+            });
+        }
+        let Grad::SparseRows { entries, .. } = &g else { panic!("stayed sparse") };
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0], (1, vec![101.0]));
+        assert_eq!(entries[1], (5, vec![200.0]));
+    }
+
+    #[test]
+    fn take_grads_orders_by_param_id_and_clears() {
+        let mut store = ParamStore::new();
+        let b = store.add("b", Tensor::zeros(1, 1));
+        let a = store.add("a", Tensor::zeros(1, 1));
+        let mut tape = Tape::new();
+        // touch in reverse registration order: shard order must still be
+        // ascending ParamId
+        let av = tape.param(&store, a);
+        let bv = tape.param(&store, b);
+        let s = tape.mul_elem(av, bv);
+        tape.backward(s);
+        let shard = tape.take_grads();
+        assert_eq!(shard.len(), 2);
+        let ids: Vec<_> = shard.iter().map(|(pid, _)| *pid).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ascending ParamId order: {ids:?}");
+        assert!(tape.take_grads().is_empty(), "grads drained");
     }
 
     #[test]

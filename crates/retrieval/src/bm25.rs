@@ -37,17 +37,29 @@ impl Bm25Index {
 
     /// Build with a custom display label (e.g. "BM25 (ft)").
     pub fn build_labeled(targets: TargetSet, params: Bm25Params, label: &str) -> Self {
+        // Tokenization and term counting dominate the build: run them
+        // data-parallel per document, then fold the postings serially in
+        // document order so every term's postings list stays sorted by
+        // document id (exactly as the serial build produced it).
+        let per_doc: Vec<(u32, Vec<(String, u32)>)> =
+            dbcopilot_runtime::parallel_map(&targets.targets, |_, t| {
+                let toks = tokenize(&t.text);
+                let mut tf: HashMap<&str, u32> = HashMap::new();
+                for tok in &toks {
+                    *tf.entry(tok.as_str()).or_insert(0) += 1;
+                }
+                // within-doc term order is unobservable (postings lists are
+                // ordered by the doc-id fold below), so no sort is needed
+                let tf: Vec<(String, u32)> =
+                    tf.into_iter().map(|(t, f)| (t.to_string(), f)).collect();
+                (toks.len() as u32, tf)
+            });
         let mut postings: HashMap<String, Vec<(TargetId, u32)>> = HashMap::new();
         let mut doc_len = Vec::with_capacity(targets.len());
-        for (id, t) in targets.targets.iter().enumerate() {
-            let toks = tokenize(&t.text);
-            doc_len.push(toks.len() as u32);
-            let mut tf: HashMap<&str, u32> = HashMap::new();
-            for tok in &toks {
-                *tf.entry(tok.as_str()).or_insert(0) += 1;
-            }
+        for (id, (len, tf)) in per_doc.into_iter().enumerate() {
+            doc_len.push(len);
             for (term, f) in tf {
-                postings.entry(term.to_string()).or_default().push((id, f));
+                postings.entry(term).or_default().push((id, f));
             }
         }
         let avg_len = if doc_len.is_empty() {
@@ -114,6 +126,10 @@ impl SchemaRouter for Bm25Index {
 
 /// Grid-search `k1`/`b` on labeled data (the paper's "fine-tuned BM25"):
 /// maximizes table recall@k of the gold tables over the training questions.
+///
+/// Every grid point builds and evaluates its own index, so the search runs
+/// data-parallel over the grid; the winner is picked serially in grid order
+/// (first strict improvement), matching the serial search exactly.
 pub fn tune_bm25(
     targets: &TargetSet,
     train: &[(String, Vec<(String, String)>)],
@@ -121,28 +137,30 @@ pub fn tune_bm25(
 ) -> Bm25Params {
     let k1_grid = [0.6f32, 0.9, 1.2, 1.6, 2.0];
     let b_grid = [0.3f32, 0.5, 0.75, 0.9];
-    let mut best = (Bm25Params::default(), -1.0f32);
-    for &k1 in &k1_grid {
-        for &b in &b_grid {
-            let idx = Bm25Index::build(targets.clone(), Bm25Params { k1, b });
-            let mut recall_sum = 0.0;
-            for (q, gold) in train {
-                let got = idx.search(q, k);
-                let hits = gold
-                    .iter()
-                    .filter(|(gd, gt)| {
-                        got.iter().any(|&(id, _)| {
-                            let t = targets.get(id);
-                            t.database.eq_ignore_ascii_case(gd) && t.table.eq_ignore_ascii_case(gt)
-                        })
+    let grid: Vec<Bm25Params> =
+        k1_grid.iter().flat_map(|&k1| b_grid.iter().map(move |&b| Bm25Params { k1, b })).collect();
+    let recalls = dbcopilot_runtime::parallel_map(&grid, |_, &params| {
+        let idx = Bm25Index::build(targets.clone(), params);
+        let mut recall_sum = 0.0;
+        for (q, gold) in train {
+            let got = idx.search(q, k);
+            let hits = gold
+                .iter()
+                .filter(|(gd, gt)| {
+                    got.iter().any(|&(id, _)| {
+                        let t = targets.get(id);
+                        t.database.eq_ignore_ascii_case(gd) && t.table.eq_ignore_ascii_case(gt)
                     })
-                    .count();
-                recall_sum += hits as f32 / gold.len().max(1) as f32;
-            }
-            let r = recall_sum / train.len().max(1) as f32;
-            if r > best.1 {
-                best = (Bm25Params { k1, b }, r);
-            }
+                })
+                .count();
+            recall_sum += hits as f32 / gold.len().max(1) as f32;
+        }
+        recall_sum / train.len().max(1) as f32
+    });
+    let mut best = (Bm25Params::default(), -1.0f32);
+    for (&params, r) in grid.iter().zip(recalls) {
+        if r > best.1 {
+            best = (params, r);
         }
     }
     best.0

@@ -76,9 +76,18 @@ impl TextEncoder {
 
     /// Contrastive training on positive text pairs with in-batch negatives.
     /// Returns the mean loss of the final epoch.
+    ///
+    /// Feature hashing (tokenization-heavy) is precomputed data-parallel
+    /// over the whole pair list and reused every epoch; the per-batch tape
+    /// stays serial because InfoNCE couples all in-batch examples through
+    /// the shared similarity matrix.
     pub fn train_pairs(&mut self, pairs: &[(String, String)]) -> f32 {
         assert!(!pairs.is_empty(), "no training pairs");
         let cfg = self.cfg.clone();
+        let feats: Vec<(Vec<usize>, Vec<usize>)> =
+            dbcopilot_runtime::parallel_map(pairs, |_, (q, d)| {
+                (hashed_features(q, cfg.buckets), hashed_features(d, cfg.buckets))
+            });
         let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(7));
         let mut opt = AdamW::new(cfg.lr);
         let mut order: Vec<usize> = (0..pairs.len()).collect();
@@ -95,11 +104,9 @@ impl TextEncoder {
                 let mut qs = Vec::with_capacity(chunk.len());
                 let mut ds = Vec::with_capacity(chunk.len());
                 for &i in chunk {
-                    let (q, d) = &pairs[i];
-                    let qf = hashed_features(q, cfg.buckets);
-                    let df = hashed_features(d, cfg.buckets);
-                    let qv = self.emb.forward_bag(&mut tape, &self.store, &qf);
-                    let dv = self.emb.forward_bag(&mut tape, &self.store, &df);
+                    let (qf, df) = &feats[i];
+                    let qv = self.emb.forward_bag(&mut tape, &self.store, qf);
+                    let dv = self.emb.forward_bag(&mut tape, &self.store, df);
                     qs.push(tape.l2_normalize(qv));
                     ds.push(tape.l2_normalize(dv));
                 }
@@ -132,12 +139,13 @@ pub struct DenseRetriever {
 }
 
 impl DenseRetriever {
-    /// Encode and index all targets.
+    /// Encode and index all targets (embedding runs data-parallel; rows are
+    /// assembled in target order).
     pub fn index(encoder: TextEncoder, targets: TargetSet, label: &str) -> Self {
         let dim = encoder.cfg.dim;
+        let rows = dbcopilot_runtime::parallel_map(&targets.targets, |_, t| encoder.embed(&t.text));
         let mut data = Vec::with_capacity(targets.len() * dim);
-        for t in &targets.targets {
-            let v = encoder.embed(&t.text);
+        for v in &rows {
             data.extend_from_slice(v.as_slice());
         }
         let doc_matrix = Tensor::from_vec(targets.len(), dim, data);

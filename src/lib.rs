@@ -106,6 +106,23 @@ impl DbCopilot {
         }
     }
 
+    /// Assemble a pipeline from an already-trained router (e.g. one loaded
+    /// via [`dbcopilot_core::load_router`], or a shared test fixture) and
+    /// the corpus it should answer over.
+    pub fn from_parts(
+        router: DbcRouter,
+        llm_cfg: LlmConfig,
+        collection: dbcopilot_sqlengine::Collection,
+        store: dbcopilot_sqlengine::Store,
+    ) -> Self {
+        DbCopilot {
+            router,
+            llm: CopilotLM::new(llm_cfg),
+            corpus_collection: collection,
+            corpus_store: store,
+        }
+    }
+
     /// Route a question to its best schema.
     pub fn route(&self, question: &str) -> Option<QuerySchema> {
         self.router.best_schema(question)

@@ -1,6 +1,16 @@
 //! Cross-crate integration tests: the full pipeline at small scale.
+//!
+//! Router training dominates this suite's wall time, so the accuracy tests
+//! share two `OnceLock` fixtures: a prepared Spider-like benchmark
+//! ([`prepared`]) and a single router trained once on its synthetic pairs
+//! ([`fixture`]) — train once, assert many.
 
-use dbcopilot::eval::{build_method, eval_routing, prepare, CorpusKind, MethodKind, Scale};
+use std::sync::OnceLock;
+
+use dbcopilot::eval::{
+    build_method, eval_routing, prepare, CorpusKind, MethodKind, Prepared, Scale,
+};
+use dbcopilot::nl2sql::LlmConfig;
 use dbcopilot::{DbCopilot, PipelineConfig};
 use dbcopilot_core::{DbcRouter, SerializationMode};
 use dbcopilot_synth::{build_spider_like, CorpusSizes};
@@ -13,23 +23,46 @@ fn test_scale() -> Scale {
     s
 }
 
+/// Shared prepared benchmark (corpus + graph + synthetic pairs), built once.
+fn prepared() -> &'static Prepared {
+    static PREP: OnceLock<Prepared> = OnceLock::new();
+    PREP.get_or_init(|| prepare(CorpusKind::Spider, &test_scale()))
+}
+
+/// Shared once-trained pipeline around the one fixture router
+/// (`fixture().router` for routing-metric tests, `.ask` for end-to-end).
+/// Separate from [`prepared`] so tests that only need the benchmark don't
+/// pay for training.
+fn fixture() -> &'static DbCopilot {
+    static FIX: OnceLock<DbCopilot> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let p = prepared();
+        let (router, _) = DbcRouter::fit(
+            p.graph.clone(),
+            &p.synth_examples,
+            test_scale().router.clone(),
+            SerializationMode::Dfs,
+        );
+        DbCopilot::from_parts(
+            router,
+            LlmConfig::default(),
+            p.corpus.collection.clone(),
+            p.corpus.store.clone(),
+        )
+    })
+}
+
 #[test]
 fn router_beats_zero_shot_bm25_on_synonym_questions() {
     // The paper's robustness claim (Table 4): lexical retrieval collapses
     // under synonym substitution; the trained router does not.
+    let p = prepared();
     let scale = test_scale();
-    let prepared = prepare(CorpusKind::Spider, &scale);
-    let syn = prepared.corpus.test_syn.as_ref().unwrap();
+    let syn = p.corpus.test_syn.as_ref().unwrap();
 
-    let (bm25, _) = build_method(MethodKind::Bm25, &prepared, &scale);
-    let (dbc, _) = DbcRouter::fit(
-        prepared.graph.clone(),
-        &prepared.synth_examples,
-        scale.router.clone(),
-        SerializationMode::Dfs,
-    );
+    let (bm25, _) = build_method(MethodKind::Bm25, p, &scale);
     let m_bm25 = eval_routing(bm25.as_ref(), syn, 100);
-    let m_dbc = eval_routing(&dbc, syn, 100);
+    let m_dbc = eval_routing(&fixture().router, syn, 100);
     assert!(
         m_dbc.db_r1 > m_bm25.db_r1,
         "router {:.1} should beat BM25 {:.1} on synonym questions",
@@ -41,10 +74,10 @@ fn router_beats_zero_shot_bm25_on_synonym_questions() {
 #[test]
 fn routed_schemata_are_always_valid() {
     // Constrained decoding guarantees every candidate is a valid schema on
-    // the graph, for arbitrary questions (§3.5).
-    let scale = test_scale();
-    let prepared = prepare(CorpusKind::Spider, &scale);
-    let router = DbcRouter::untrained(prepared.graph.clone(), scale.router.clone());
+    // the graph, for arbitrary questions (§3.5) — even for an untrained
+    // model, so this uses the shared benchmark but no trained fixture.
+    let p = prepared();
+    let router = DbcRouter::untrained(p.graph.clone(), test_scale().router.clone());
     for q in [
         "how many things are there",
         "zorgon blaster quux",
@@ -53,7 +86,7 @@ fn routed_schemata_are_always_valid() {
     ] {
         for cand in router.route_schemata(q) {
             assert!(
-                prepared.graph.is_valid_schema(&cand.schema),
+                p.graph.is_valid_schema(&cand.schema),
                 "invalid schema {} for question {q:?}",
                 cand.schema
             );
@@ -94,14 +127,10 @@ fn smoke_quickstart_pipeline() {
 
 #[test]
 fn full_pipeline_answers_questions() {
-    let corpus = build_spider_like(&CorpusSizes { num_databases: 10, train_n: 250, test_n: 25 }, 5);
-    let mut cfg = PipelineConfig::default();
-    cfg.router.epochs = 12;
-    cfg.synth_pairs = 800;
-    let copilot = DbCopilot::fit(&corpus, cfg);
+    let copilot = fixture();
     let mut routed_right = 0;
     let mut executed = 0;
-    for inst in &corpus.test {
+    for inst in &prepared().corpus.test {
         if let Some(ans) = copilot.ask(&inst.question) {
             if ans.schema.database.eq_ignore_ascii_case(&inst.schema.database) {
                 routed_right += 1;
@@ -111,8 +140,9 @@ fn full_pipeline_answers_questions() {
             }
         }
     }
+    let n = prepared().corpus.test.len();
     assert!(routed_right > 0, "no question routed to the right database");
-    assert!(executed > 5, "only {executed} questions executed end to end");
+    assert!(executed > n / 4, "only {executed}/{n} questions executed end to end");
 }
 
 #[test]
