@@ -21,7 +21,10 @@ pub mod vocab;
 
 pub use decode::{beam_search, merge_candidates, Constrainer, DecodeOptions, DecodedSchema};
 pub use model::{RouterConfig, RouterModel};
-pub use persist::{extend_router, load_router, load_router_file, save_router, save_router_file};
+pub use persist::{
+    extend_router, load_router, load_router_file, load_router_slice, router_disk_size, save_router,
+    save_router_as, save_router_file, save_router_file_as, Format, PersistError,
+};
 pub use router::DbcRouter;
 pub use train::{
     examples_from_instances, synthesize_training_data, train_router, SerializationMode,

@@ -188,11 +188,6 @@ impl RouterModel {
         let logits = tape.matmul_nt(h, sub);
         tape.cross_entropy_logits(logits, gold_idx)
     }
-
-    /// Serialized parameter size in bytes (Table 5 "Disk").
-    pub fn size_bytes(&self) -> usize {
-        dbcopilot_nn::serialize::serialized_size(&self.store)
-    }
 }
 
 #[cfg(test)]

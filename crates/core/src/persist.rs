@@ -9,6 +9,16 @@
 //! * [`extend_router`] — register new databases and *fine-tune* on
 //!   synthesized questions for the new schemata only, reusing the existing
 //!   weights (new word pieces get fresh embedding rows).
+//!
+//! The default on-disk form is a `DBC1` binary container (see
+//! [`dbcopilot_nn::codec`]): one section per bundle component, with the
+//! weight section storing raw `f32` bits so a save→load round trip is
+//! bit-exact. JSON remains available behind [`Format::Json`] for human
+//! inspection, and [`load_router`] sniffs the format so either file kind
+//! loads through the same entry point. Every load validates magic, version,
+//! parameter names and tensor shapes against the config and fails with a
+//! typed [`PersistError`] in release builds — corruption is never a
+//! `debug_assert!`.
 
 use std::io::{Read, Write};
 use std::path::Path;
@@ -16,8 +26,11 @@ use std::path::Path;
 use serde::{Deserialize, Serialize};
 
 use dbcopilot_graph::SchemaGraph;
-use dbcopilot_nn::serialize::PersistError;
-use dbcopilot_nn::{ParamStore, Tensor};
+use dbcopilot_nn::codec::{self, Section};
+use dbcopilot_nn::serialize::{ensure_finite, sniff_format};
+pub use dbcopilot_nn::serialize::{Format, PersistError};
+use dbcopilot_nn::ParamStore;
+use dbcopilot_nn::Tensor;
 use dbcopilot_sqlengine::Collection;
 use dbcopilot_synth::Questioner;
 
@@ -27,7 +40,15 @@ use crate::router::DbcRouter;
 use crate::train::{train_router, SerializationMode, TrainExample, TrainStats};
 use crate::vocab::PieceVocab;
 
-/// On-disk router representation.
+/// Router hyper-parameter section (JSON payload).
+const SEC_CONFIG: [u8; 4] = *b"RCFG";
+/// Piece-vocabulary section (JSON payload).
+const SEC_VOCAB: [u8; 4] = *b"VOCB";
+/// Schema-graph section (JSON payload).
+const SEC_GRAPH: [u8; 4] = *b"GRPH";
+
+/// On-disk router representation (the JSON escape hatch; the binary path
+/// writes the same four components as `DBC1` sections).
 #[derive(Serialize, Deserialize)]
 struct SavedRouter {
     store: ParamStore,
@@ -36,26 +57,143 @@ struct SavedRouter {
     cfg: RouterConfig,
 }
 
-/// Serialize a trained router to a writer.
-pub fn save_router<W: Write>(router: &DbcRouter, w: W) -> Result<(), PersistError> {
-    let saved = SavedRouter {
-        store: clone_store(&router.model.store)?,
-        vocab: router.vocab.clone(),
-        graph: router.graph.clone(),
-        cfg: router.model.cfg.clone(),
-    };
-    serde_json::to_writer(w, &saved)?;
-    Ok(())
+/// Borrowed mirror of [`SavedRouter`] for the JSON save path: serializes to
+/// the identical object (same field names and order, so [`SavedRouter`]
+/// deserializes it) without deep-copying the store, vocabulary, or graph.
+/// Hand-implemented because the vendored derive does not support lifetimes.
+struct SavedRouterRef<'a> {
+    store: &'a ParamStore,
+    vocab: &'a PieceVocab,
+    graph: &'a SchemaGraph,
+    cfg: &'a RouterConfig,
 }
 
-/// Deserialize a router from a reader.
-pub fn load_router<R: Read>(r: R) -> Result<DbcRouter, PersistError> {
-    let saved: SavedRouter = serde_json::from_reader(r)?;
+impl Serialize for SavedRouterRef<'_> {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("store".to_string(), self.store.serialize()),
+            ("vocab".to_string(), self.vocab.serialize()),
+            ("graph".to_string(), self.graph.serialize()),
+            ("cfg".to_string(), self.cfg.serialize()),
+        ])
+    }
+}
+
+/// Encode a router as a `DBC1` binary bundle. Weight bits are preserved
+/// exactly; the config/vocab/graph sections are JSON payloads (they hold no
+/// weights and are dwarfed by the parameter section).
+pub fn router_to_vec(router: &DbcRouter) -> Result<Vec<u8>, PersistError> {
+    let sections = vec![
+        Section::new(SEC_CONFIG, serde_json::to_vec(&router.model.cfg)?),
+        Section::new(SEC_VOCAB, serde_json::to_vec(&router.vocab)?),
+        Section::new(SEC_GRAPH, serde_json::to_vec(&router.graph)?),
+        Section::new(codec::SEC_PARAMS, codec::encode_store_section(&router.model.store)),
+    ];
+    Ok(codec::encode_container(&sections))
+}
+
+/// Serialize a trained router to a writer in the given format.
+pub fn save_router_as<W: Write>(
+    router: &DbcRouter,
+    mut w: W,
+    format: Format,
+) -> Result<(), PersistError> {
+    match format {
+        Format::Binary => Ok(w.write_all(&router_to_vec(router)?)?),
+        Format::Json => {
+            ensure_finite(&router.model.store)?;
+            let saved = SavedRouterRef {
+                store: &router.model.store,
+                vocab: &router.vocab,
+                graph: &router.graph,
+                cfg: &router.model.cfg,
+            };
+            serde_json::to_writer(w, &saved)?;
+            Ok(())
+        }
+    }
+}
+
+/// Serialize a trained router to a writer (binary `DBC1`).
+pub fn save_router<W: Write>(router: &DbcRouter, w: W) -> Result<(), PersistError> {
+    save_router_as(router, w, Format::Binary)
+}
+
+/// Deserialize a router from a byte buffer, sniffing the format.
+pub fn load_router_slice(bytes: &[u8]) -> Result<DbcRouter, PersistError> {
+    let saved = match sniff_format(bytes)? {
+        Format::Binary => {
+            let sections = codec::decode_container(bytes)?;
+            let cfg: RouterConfig =
+                serde_json::from_slice(&codec::require_section(&sections, SEC_CONFIG)?.bytes)?;
+            let vocab: PieceVocab =
+                serde_json::from_slice(&codec::require_section(&sections, SEC_VOCAB)?.bytes)?;
+            let graph: SchemaGraph =
+                serde_json::from_slice(&codec::require_section(&sections, SEC_GRAPH)?.bytes)?;
+            let store = codec::decode_store_section(
+                &codec::require_section(&sections, codec::SEC_PARAMS)?.bytes,
+            )?;
+            SavedRouter { store, vocab, graph, cfg }
+        }
+        Format::Json => serde_json::from_slice(bytes)?,
+    };
+    assemble_router(saved)
+}
+
+/// Deserialize a router from a reader, sniffing the format.
+pub fn load_router<R: Read>(mut r: R) -> Result<DbcRouter, PersistError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    load_router_slice(&buf)
+}
+
+/// Save to a file in the given format.
+pub fn save_router_file_as(
+    router: &DbcRouter,
+    path: impl AsRef<Path>,
+    format: Format,
+) -> Result<(), PersistError> {
+    let f = std::fs::File::create(path)?;
+    save_router_as(router, std::io::BufWriter::new(f), format)
+}
+
+/// Save to a file (binary `DBC1`).
+pub fn save_router_file(router: &DbcRouter, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    save_router_file_as(router, path, Format::Binary)
+}
+
+/// Load from a file (either format).
+pub fn load_router_file(path: impl AsRef<Path>) -> Result<DbcRouter, PersistError> {
+    let f = std::fs::File::open(path)?;
+    load_router(std::io::BufReader::new(f))
+}
+
+/// Exact on-disk size in bytes of the binary router bundle — the Table 5
+/// "Disk" number for DBCopilot, measured over the full saved artifact
+/// (weights + vocabulary + graph + config), not just the weights.
+///
+/// Only the three small JSON metadata sections are actually serialized;
+/// the weight section's length is computed arithmetically, so no copy of
+/// the weights is made. Consistency with [`save_router`]'s real output is
+/// pinned by a test.
+pub fn router_disk_size(router: &DbcRouter) -> Result<usize, PersistError> {
+    let cfg = serde_json::to_vec(&router.model.cfg)?.len();
+    let vocab = serde_json::to_vec(&router.vocab)?.len();
+    let graph = serde_json::to_vec(&router.graph)?.len();
+    let store = codec::store_section_len(&router.model.store);
+    Ok(codec::container_len(&[cfg, vocab, graph, store]))
+}
+
+/// Build a serving router from loaded components, verifying the loaded
+/// parameters against the layout the config implies.
+fn assemble_router(saved: SavedRouter) -> Result<DbcRouter, PersistError> {
     let mut model = RouterModel::new(saved.cfg, saved.vocab.len());
+    // The layer structs hold ParamIds bound during `RouterModel::new`; the
+    // loaded store must present the same parameters, in the same order, with
+    // the same shapes, or those ids would silently address the wrong
+    // tensors. Corrupted or truncated files fail here with a typed error.
+    validate_store_layout(&model.store, &saved.store)?;
     model.store = saved.store;
-    // Rebind layer parameter ids by name (layout is deterministic, but
-    // verify to fail loudly on corrupted files).
-    debug_assert!(model.store.id_of("q_emb.weight").is_some());
     let decode_opts = DecodeOptions::from_config(&model.cfg);
     let mut router = DbcRouter {
         model,
@@ -68,21 +206,53 @@ pub fn load_router<R: Read>(r: R) -> Result<DbcRouter, PersistError> {
     Ok(router)
 }
 
-/// Save to a file.
-pub fn save_router_file(router: &DbcRouter, path: impl AsRef<Path>) -> Result<(), PersistError> {
-    let f = std::fs::File::create(path)?;
-    save_router(router, std::io::BufWriter::new(f))
+/// Verify that `loaded` matches the freshly-initialized `expected` layout:
+/// same parameter count, names, registration order, shapes, and a
+/// consistent name table.
+fn validate_store_layout(expected: &ParamStore, loaded: &ParamStore) -> Result<(), PersistError> {
+    if loaded.len() != expected.len() {
+        return Err(PersistError::Corrupt(format!(
+            "parameter count mismatch: file has {}, config implies {}",
+            loaded.len(),
+            expected.len()
+        )));
+    }
+    for (i, ((ename, evalue), (lname, lvalue))) in
+        expected.iter_values().zip(loaded.iter_values()).enumerate()
+    {
+        if ename != lname {
+            return Err(PersistError::Corrupt(format!(
+                "parameter {i} is {lname:?}, expected {ename:?}"
+            )));
+        }
+        if evalue.shape() != lvalue.shape() {
+            return Err(PersistError::Corrupt(format!(
+                "parameter {lname:?} has shape {:?}, config implies {:?}",
+                lvalue.shape(),
+                evalue.shape()
+            )));
+        }
+        if loaded.id_of(lname) != expected.id_of(ename) {
+            return Err(PersistError::Corrupt(format!(
+                "parameter name table is inconsistent for {lname:?}"
+            )));
+        }
+    }
+    Ok(())
 }
 
-/// Load from a file.
-pub fn load_router_file(path: impl AsRef<Path>) -> Result<DbcRouter, PersistError> {
-    let f = std::fs::File::open(path)?;
-    load_router(std::io::BufReader::new(f))
-}
+/// Rejection-sampling attempts allowed per requested example before
+/// [`extend_router`] bails with whatever it has gathered. A new database
+/// that is a `1/r` fraction of the graph needs ~`r` attempts per accepted
+/// sample, so 64 covers realistic update batches while bounding the
+/// pathological case (one tiny database added to a huge graph) to a finite,
+/// fast scan instead of a near-forever spin.
+const EXTEND_ATTEMPTS_PER_EXAMPLE: usize = 64;
+/// Attempt floor so tiny requests still get a fair number of draws.
+const EXTEND_MIN_ATTEMPTS: usize = 4096;
 
-fn clone_store(store: &ParamStore) -> Result<ParamStore, PersistError> {
-    let bytes = serde_json::to_vec(store)?;
-    Ok(serde_json::from_slice(&bytes)?)
+fn extend_attempt_budget(target: usize) -> usize {
+    target.saturating_mul(EXTEND_ATTEMPTS_PER_EXAMPLE).max(EXTEND_MIN_ATTEMPTS)
 }
 
 /// Incrementally extend a trained router with new databases.
@@ -91,6 +261,11 @@ fn clone_store(store: &ParamStore) -> Result<ParamStore, PersistError> {
 /// existing weights (old pieces keep their embeddings; new pieces are
 /// freshly initialized), synthesizes training questions for the *new*
 /// schemata only, and fine-tunes for `epochs`.
+///
+/// Sampling is rejection-based over the whole grown graph and capped: if
+/// the new (or old, for replay) databases are so rare that the attempt
+/// budget runs out, fine-tuning proceeds with the examples gathered so far
+/// rather than spinning indefinitely.
 pub fn extend_router(
     router: &DbcRouter,
     grown: &Collection,
@@ -117,7 +292,9 @@ pub fn extend_router(
         use rand::SeedableRng;
         let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed.wrapping_add(4242));
         let walk_cfg = dbcopilot_graph::WalkConfig::default();
-        while examples.len() < pairs_for_new && !new_db_names.is_empty() {
+        let mut attempts = extend_attempt_budget(pairs_for_new);
+        while examples.len() < pairs_for_new && !new_db_names.is_empty() && attempts > 0 {
+            attempts -= 1;
             let schema = dbcopilot_graph::sample_schema(&new_graph, &walk_cfg, &mut rng);
             if !new_db_names.contains(&schema.database) {
                 continue;
@@ -132,7 +309,9 @@ pub fn extend_router(
         // for the existing databases.
         let replay_target = examples.len();
         let mut replayed = 0;
-        while replayed < replay_target {
+        let mut attempts = extend_attempt_budget(replay_target);
+        while replayed < replay_target && attempts > 0 {
+            attempts -= 1;
             let schema = dbcopilot_graph::sample_schema(&new_graph, &walk_cfg, &mut rng);
             if new_db_names.contains(&schema.database) {
                 continue;
@@ -256,27 +435,152 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn save_load_roundtrip_preserves_routing() {
+    fn trained_router() -> DbcRouter {
         let graph = SchemaGraph::build(&collection(false));
         let mut cfg = RouterConfig::tiny();
         cfg.epochs = 15;
         let (router, _) = DbcRouter::fit(graph, &examples(), cfg, SerializationMode::Dfs);
+        router
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_routing_and_bits() {
+        let router = trained_router();
         let before = router.best_schema("how many vocalists").unwrap();
 
         let mut buf = Vec::new();
         save_router(&router, &mut buf).unwrap();
+        assert_eq!(
+            buf.len(),
+            router_disk_size(&router).unwrap(),
+            "size accounting must match bytes"
+        );
         let loaded = load_router(buf.as_slice()).unwrap();
         let after = loaded.best_schema("how many vocalists").unwrap();
+        assert!(before.same_as(&after), "{before} vs {after}");
+        // bit-exact weights, not merely approximately equal
+        for ((an, av), (bn, bv)) in
+            router.model.store.iter_values().zip(loaded.model.store.iter_values())
+        {
+            assert_eq!(an, bn);
+            for (x, y) in av.as_slice().iter().zip(bv.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{an} drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn json_escape_hatch_roundtrips_through_sniffer() {
+        let router = trained_router();
+        let before = router.best_schema("population of towns").unwrap();
+        let mut buf = Vec::new();
+        save_router_as(&router, &mut buf, Format::Json).unwrap();
+        assert_eq!(buf[0], b'{');
+        let loaded = load_router(buf.as_slice()).unwrap();
+        let after = loaded.best_schema("population of towns").unwrap();
         assert!(before.same_as(&after), "{before} vs {after}");
     }
 
     #[test]
+    fn binary_bundle_is_at_most_40_percent_of_json() {
+        let router = trained_router();
+        let mut json = Vec::new();
+        save_router_as(&router, &mut json, Format::Json).unwrap();
+        let bin = router_disk_size(&router).unwrap();
+        assert!(
+            bin * 100 <= json.len() * 40,
+            "binary {bin} bytes should be ≤ 40% of JSON {} bytes",
+            json.len()
+        );
+    }
+
+    #[test]
+    fn nan_weight_survives_binary_and_is_refused_by_json() {
+        let mut router = trained_router();
+        let id = router.model.store.id_of("q_proj.b").unwrap();
+        let nan = f32::from_bits(0x7fc0_1234);
+        router.model.store.value_mut(id).set(0, 0, nan);
+
+        // regression: the JSON path used to write `null` silently
+        let mut json = Vec::new();
+        match save_router_as(&router, &mut json, Format::Json) {
+            Err(PersistError::NonFinite { param }) => assert!(param.starts_with("q_proj.b")),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+
+        // the binary path preserves the exact NaN payload
+        let mut bin = Vec::new();
+        save_router(&router, &mut bin).unwrap();
+        let loaded = load_router(bin.as_slice()).unwrap();
+        let lid = loaded.model.store.id_of("q_proj.b").unwrap();
+        assert_eq!(loaded.model.store.value(lid).get(0, 0).to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn truncated_and_corrupted_files_fail_loudly() {
+        let router = trained_router();
+        let mut buf = Vec::new();
+        save_router(&router, &mut buf).unwrap();
+
+        // every possible truncation point returns Err — no panic, and no
+        // debug-only check (this test runs in release CI too)
+        for cut in [0, 3, 7, 64, buf.len() / 2, buf.len() - 1] {
+            assert!(load_router_slice(&buf[..cut]).is_err(), "prefix {cut} must fail");
+        }
+        // wrong magic
+        let mut bad = buf.clone();
+        bad[..4].copy_from_slice(b"ELF\x7f");
+        assert!(matches!(load_router_slice(&bad), Err(PersistError::BadMagic { .. })));
+        // wrong version
+        let mut bad = buf.clone();
+        bad[4..6].copy_from_slice(&9u16.to_le_bytes());
+        assert!(matches!(
+            load_router_slice(&bad),
+            Err(PersistError::UnsupportedVersion { found: 9, supported: 1 })
+        ));
+    }
+
+    #[test]
+    fn renamed_parameter_is_corrupt_not_debug_assert() {
+        let router = trained_router();
+        let mut json = Vec::new();
+        save_router_as(&router, &mut json, Format::Json).unwrap();
+        let text = String::from_utf8(json).unwrap();
+        let tampered = text.replace("q_emb.weight", "q_emb.wrong0");
+        match load_router_slice(tampered.as_bytes()) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("q_emb"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_shape_is_corrupt() {
+        let router = trained_router();
+        // craft a binary bundle whose store section holds a mis-shaped tensor
+        let mut store = ParamStore::new();
+        for (name, value) in router.model.store.iter_values() {
+            if name == "q_proj.w" {
+                store.add(name, Tensor::zeros(1, 1));
+            } else {
+                store.add(name, value.clone());
+            }
+        }
+        let sections = vec![
+            Section::new(SEC_CONFIG, serde_json::to_vec(&router.model.cfg).unwrap()),
+            Section::new(SEC_VOCAB, serde_json::to_vec(&router.vocab).unwrap()),
+            Section::new(SEC_GRAPH, serde_json::to_vec(&router.graph).unwrap()),
+            Section::new(codec::SEC_PARAMS, codec::encode_store_section(&store)),
+        ];
+        let bytes = codec::encode_container(&sections);
+        match load_router_slice(&bytes) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("q_proj.w"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn extend_preserves_old_knowledge_and_reaches_new_dbs() {
-        let graph = SchemaGraph::build(&collection(false));
-        let mut cfg = RouterConfig::tiny();
-        cfg.epochs = 15;
-        let (router, _) = DbcRouter::fit(graph, &examples(), cfg, SerializationMode::Dfs);
+        let router = trained_router();
 
         // grow the collection with `library` and fine-tune on synthesized
         // questions for it only
@@ -301,5 +605,32 @@ mod tests {
             cands.iter().any(|c| c.schema.database == "library"),
             "library unreachable: {cands:?}"
         );
+    }
+
+    #[test]
+    fn extend_bails_instead_of_spinning_when_replay_is_unsatisfiable() {
+        // The grown collection drops every old database, so the replay loop
+        // can never accept a sample — before the attempt cap this spun
+        // forever. Now it must return promptly with the examples gathered.
+        let router = trained_router();
+        let mut grown = Collection::new();
+        let mut d = DatabaseSchema::new("library");
+        for t in ["book", "author"] {
+            d.add_table(TableSchema::new(t).column("id", DataType::Int).primary(0));
+        }
+        grown.add_database(d);
+
+        let meta = dbcopilot_synth::CorpusMeta::default();
+        let questioner = Questioner::train(
+            &[dbcopilot_synth::TrainPair {
+                entities: vec!["book".into()],
+                attrs: vec![],
+                question: "list the volumes".into(),
+            }],
+            &dbcopilot_synth::QuestionerConfig::default(),
+        );
+        let (extended, stats) = extend_router(&router, &grown, &meta, &questioner, 6, 1).unwrap();
+        assert!(stats.examples >= 6, "new-db examples still gathered: {}", stats.examples);
+        assert!(extended.graph.database_node("library").is_some());
     }
 }

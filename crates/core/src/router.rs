@@ -9,6 +9,9 @@ use crate::train::{train_router, SerializationMode, TrainExample, TrainStats};
 use crate::vocab::PieceVocab;
 
 /// A trained DBCopilot schema router.
+///
+/// `Debug` prints a summary (label, vocabulary and graph sizes), not the
+/// weights.
 pub struct DbcRouter {
     pub model: RouterModel,
     pub vocab: PieceVocab,
@@ -60,9 +63,25 @@ impl DbcRouter {
         self.sequences(question).into_iter().next().map(|d| d.schema)
     }
 
-    /// Router parameter size in bytes (Table 5 "Disk").
+    /// On-disk size in bytes of the binary-serialized router bundle —
+    /// weights, vocabulary, graph and config (Table 5 "Disk").
+    ///
+    /// # Panics
+    /// Panics if the metadata fails to serialize, which cannot happen for a
+    /// router constructed through this crate; use
+    /// [`crate::persist::router_disk_size`] to handle the error instead.
     pub fn size_bytes(&self) -> usize {
-        self.model.size_bytes()
+        crate::persist::router_disk_size(self).expect("in-memory router must serialize")
+    }
+}
+
+impl std::fmt::Debug for DbcRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbcRouter")
+            .field("label", &self.label)
+            .field("vocab_len", &self.vocab.len())
+            .field("databases", &self.graph.database_nodes().len())
+            .finish_non_exhaustive()
     }
 }
 

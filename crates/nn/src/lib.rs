@@ -11,8 +11,11 @@
 //! * [`optim`] — `ParamStore`, `AdamW` (lazy sparse updates), `Sgd`;
 //! * [`init`] — seeded Xavier initialization;
 //! * [`gradcheck`] — finite-difference validation used across the workspace;
-//! * [`serialize`] — JSON persistence (also used to measure index size).
+//! * [`codec`] — the `DBC1` binary container (compact, versioned, bit-exact);
+//! * [`serialize`] — persistence entry points: binary by default, JSON behind
+//!   a [`serialize::Format::Json`] escape hatch (also measures index size).
 
+pub mod codec;
 pub mod gradcheck;
 pub mod init;
 pub mod layers;

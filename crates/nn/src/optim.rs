@@ -57,6 +57,16 @@ pub struct ParamStore {
     by_name: HashMap<String, usize>,
 }
 
+impl std::fmt::Debug for ParamStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("ParamStore");
+        for p in &self.params {
+            d.field(&p.name, &p.value.shape());
+        }
+        d.finish()
+    }
+}
+
 impl ParamStore {
     pub fn new() -> Self {
         Self::default()
@@ -99,11 +109,6 @@ impl ParamStore {
     /// Total number of scalar parameters.
     pub fn num_scalars(&self) -> usize {
         self.params.iter().map(|p| p.value.len()).sum()
-    }
-
-    /// Approximate in-memory footprint of the parameter values, in bytes.
-    pub fn size_bytes(&self) -> usize {
-        self.num_scalars() * std::mem::size_of::<f32>()
     }
 
     /// Fold a gradient contribution into the accumulator for `id`.
@@ -261,6 +266,11 @@ impl ParamStore {
     /// Iterate over `(name, shape)` pairs (diagnostics).
     pub fn describe(&self) -> Vec<(String, (usize, usize))> {
         self.params.iter().map(|p| (p.name.clone(), p.value.shape())).collect()
+    }
+
+    /// Iterate `(name, value)` pairs in registration ([`ParamId`]) order.
+    pub fn iter_values(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.params.iter().map(|p| (p.name.as_str(), &p.value))
     }
 }
 

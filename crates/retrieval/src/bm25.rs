@@ -74,7 +74,9 @@ impl Bm25Index {
         self.targets.len()
     }
 
-    /// Approximate index memory footprint in bytes (Table 5 "Disk").
+    /// Index disk footprint in bytes (Table 5 "Disk"): term bytes plus 8
+    /// bytes per posting plus 4 per document length — i.e. a binary
+    /// encoding, matching the `DBC1` accounting the learned methods use.
     pub fn size_bytes(&self) -> usize {
         let mut sz = self.doc_len.len() * 4;
         for (term, posts) in &self.postings {

@@ -69,9 +69,11 @@ impl TextEncoder {
         bag.scale(1.0 / n)
     }
 
-    /// Approximate model size in bytes.
+    /// Exact binary-serialized model size in bytes (what the encoder would
+    /// occupy on disk in the `DBC1` codec — the same accounting the router
+    /// uses, so Table 5's "Disk" column compares like with like).
     pub fn size_bytes(&self) -> usize {
-        self.store.size_bytes()
+        dbcopilot_nn::codec::encoded_store_len(&self.store)
     }
 
     /// Contrastive training on positive text pairs with in-batch negatives.
@@ -167,7 +169,8 @@ impl DenseRetriever {
         &self.targets
     }
 
-    /// Index + model footprint in bytes.
+    /// Index + model disk footprint in bytes: the binary-serialized encoder
+    /// plus the document matrix at 4 raw bytes per `f32`.
     pub fn size_bytes(&self) -> usize {
         self.encoder.size_bytes() + self.doc_matrix.len() * 4
     }

@@ -6,6 +6,7 @@
 //! ```
 
 use dbcopilot::{DbCopilot, PipelineConfig};
+use dbcopilot_core::{load_router, save_router_as, Format};
 use dbcopilot_synth::{build_spider_like, CorpusSizes};
 
 fn main() {
@@ -23,6 +24,27 @@ fn main() {
     cfg.router.epochs = 8;
     cfg.synth_pairs = 2500;
     let copilot = DbCopilot::fit(&corpus, cfg);
+
+    // Persistence: the router is the product — save it once, serve forever.
+    // DBC1 binary is the default; JSON stays available for inspection.
+    let mut binary = Vec::new();
+    save_router_as(&copilot.router, &mut binary, Format::Binary).unwrap();
+    let mut json = Vec::new();
+    save_router_as(&copilot.router, &mut json, Format::Json).unwrap();
+    println!(
+        "\nPersistence: DBC1 binary {} KiB vs JSON {} KiB ({:.0}% of JSON)",
+        binary.len() / 1024,
+        json.len() / 1024,
+        100.0 * binary.len() as f64 / json.len() as f64
+    );
+    let reloaded = load_router(binary.as_slice()).expect("saved router must load");
+    let probe = &corpus.test[0].question;
+    assert_eq!(
+        copilot.router.best_schema(probe).map(|s| s.to_string()),
+        reloaded.best_schema(probe).map(|s| s.to_string()),
+        "reloaded router must route identically"
+    );
+    println!("Reloaded router routes identically — serving needs no retraining.");
 
     println!("\nAsking the corpus' own test questions:\n");
     for inst in corpus.test.iter().take(8) {
