@@ -4,6 +4,14 @@
 //! Run with `DBC_SCALE=quick` for a fast smoke pass or leave unset for the
 //! full (paper-shaped) scale. Every binary prints the corresponding paper
 //! table/figure in plain text; EXPERIMENTS.md records paper-vs-measured.
+//!
+//! ```
+//! use dbcopilot_bench::render_routing_rows;
+//! use dbcopilot_eval::RoutingMetrics;
+//!
+//! let table = render_routing_rows("Spider", &[("BM25".into(), RoutingMetrics::default())]);
+//! assert!(table.contains("Spider") && table.contains("BM25"));
+//! ```
 
 use dbcopilot_eval::RoutingMetrics;
 

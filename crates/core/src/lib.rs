@@ -11,6 +11,24 @@
 //!   ablations of Table 7);
 //! * [`router`] — the high-level [`router::DbcRouter`] API, implementing the
 //!   shared `SchemaRouter` trait used by every method in the evaluation.
+//!
+//! ```
+//! use dbcopilot_core::{DbcRouter, RouterConfig};
+//! use dbcopilot_graph::SchemaGraph;
+//! use dbcopilot_sqlengine::{Collection, DataType, DatabaseSchema, TableSchema};
+//!
+//! let mut collection = Collection::new();
+//! let mut db = DatabaseSchema::new("concert_singer");
+//! db.add_table(TableSchema::new("singer").column("id", DataType::Int).primary(0));
+//! collection.add_database(db);
+//!
+//! // Even an untrained router decodes only valid schemata — the graph
+//! // constraint guarantees it ("fit" the real thing with DbcRouter::fit).
+//! let router = DbcRouter::untrained(SchemaGraph::build(&collection), RouterConfig::tiny());
+//! let candidates = router.route_schemata("how many singers are there");
+//! assert!(!candidates.is_empty());
+//! assert_eq!(candidates[0].schema.database, "concert_singer");
+//! ```
 
 pub mod decode;
 pub mod model;

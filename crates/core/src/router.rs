@@ -1,5 +1,7 @@
 //! The public schema-router API: the paper's "copilot model".
 
+use std::sync::Arc;
+
 use dbcopilot_graph::{QuerySchema, SchemaGraph};
 use dbcopilot_retrieval::{RoutingResult, SchemaRouter};
 
@@ -61,6 +63,22 @@ impl DbcRouter {
     /// The single best schema, if any sequence finished.
     pub fn best_schema(&self, question: &str) -> Option<QuerySchema> {
         self.sequences(question).into_iter().next().map(|d| d.schema)
+    }
+
+    /// Share this router read-only across threads (the serving entry
+    /// point): all routing methods take `&self`, and the inference path is
+    /// tape-free, so one trained router can serve any number of concurrent
+    /// callers through the returned [`Arc`].
+    pub fn into_shared(self) -> Arc<DbcRouter> {
+        Arc::new(self)
+    }
+
+    /// Route a batch of questions, data-parallel over the persistent
+    /// worker pool in `dbcopilot-runtime`. Results are in question order
+    /// and bit-for-bit identical at any `DBC_THREADS` value (each question
+    /// routes independently; no state is shared across items).
+    pub fn route_batch(&self, questions: &[String], top_tables: usize) -> Vec<RoutingResult> {
+        dbcopilot_runtime::pooled_map(questions, |_, q| self.route(q, top_tables))
     }
 
     /// On-disk size in bytes of the binary-serialized router bundle —
@@ -179,5 +197,38 @@ mod tests {
         let router = DbcRouter::untrained(graph(), RouterConfig::tiny());
         let out = router.route_schemata("anything at all");
         assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn router_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DbcRouter>();
+
+        let shared = DbcRouter::untrained(graph(), RouterConfig::tiny()).into_shared();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let shared = Arc::clone(&shared);
+                s.spawn(move || {
+                    let r = shared.route("how many vocalists", 10);
+                    assert!(!r.databases.is_empty());
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn route_batch_matches_per_question_routing() {
+        let router = DbcRouter::untrained(graph(), RouterConfig::tiny());
+        let questions: Vec<String> =
+            ["how many vocalists", "population of towns", "how many vocalists"]
+                .map(String::from)
+                .to_vec();
+        let batch = router.route_batch(&questions, 10);
+        assert_eq!(batch.len(), 3);
+        for (q, b) in questions.iter().zip(&batch) {
+            let single = router.route(q, 10);
+            assert_eq!(single.database_names(), b.database_names());
+            assert_eq!(single.tables, b.tables);
+        }
     }
 }

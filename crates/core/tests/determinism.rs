@@ -122,6 +122,34 @@ fn synthesis_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn pooled_route_batch_is_bit_identical_across_thread_counts() {
+    // The serving path: routing through the persistent worker pool
+    // (`DbcRouter::route_batch` → `pooled_map`) must produce bit-identical
+    // rankings and scores at any thread count, same as the scoped path.
+    use dbcopilot_core::DbcRouter;
+
+    let g = SchemaGraph::build(&collection());
+    let mut cfg = RouterConfig::tiny();
+    cfg.epochs = 4;
+    let (router, _) = DbcRouter::fit(g, &examples(), cfg, SerializationMode::Dfs);
+    let questions: Vec<String> = examples().iter().map(|e| e.question.clone()).take(12).collect();
+
+    let route_at =
+        |threads: usize| with_thread_count(threads, || router.route_batch(&questions, 10));
+    let base = route_at(1);
+    for threads in [2, 4] {
+        let got = route_at(threads);
+        assert_eq!(base.len(), got.len());
+        for (i, (a, b)) in base.iter().zip(&got).enumerate() {
+            assert_eq!(a.database_names(), b.database_names(), "question {i}, {threads} threads");
+            let sa: Vec<u32> = a.tables.iter().map(|(_, _, s)| s.to_bits()).collect();
+            let sb: Vec<u32> = b.tables.iter().map(|(_, _, s)| s.to_bits()).collect();
+            assert_eq!(sa, sb, "table scores drifted at {threads} threads (question {i})");
+        }
+    }
+}
+
+#[test]
 fn repeated_runs_are_bit_identical() {
     // Guards against per-instance iteration-order nondeterminism sneaking
     // back into the candidate path (the constrainer trie once used HashMap

@@ -223,13 +223,14 @@ pub fn build_method(
 const EVAL_CHUNK: usize = 32;
 
 /// Evaluate a router over instances, data-parallel over fixed-size question
-/// chunks via `dbcopilot-runtime`; partial metrics merge in chunk order.
+/// chunks on the persistent worker pool in `dbcopilot-runtime`; partial
+/// metrics merge in chunk order.
 pub fn eval_routing(
     router: &(dyn SchemaRouter + Send + Sync),
     instances: &[dbcopilot_synth::Instance],
     top_tables: usize,
 ) -> RoutingMetrics {
-    let partials = dbcopilot_runtime::parallel_map_chunks(instances, EVAL_CHUNK, |_, part| {
+    let partials = dbcopilot_runtime::pooled_map_chunks(instances, EVAL_CHUNK, |_, part| {
         let mut m = RoutingMetrics::default();
         for inst in part {
             let result = router.route(&inst.question, top_tables);
@@ -240,6 +241,27 @@ pub fn eval_routing(
     let mut total = RoutingMetrics::default();
     for p in &partials {
         total.merge(p);
+    }
+    total.finalize()
+}
+
+/// Evaluate through the serving layer: all questions go through
+/// [`RouterService::route_many`] (cache + micro-batch + pool dispatch), so
+/// the measured quality is exactly what a served deployment returns. The
+/// result is deterministic and — because a served route is the same
+/// computation as a direct route — identical to [`eval_routing`] with the
+/// service's `top_tables`.
+///
+/// [`RouterService::route_many`]: dbcopilot_serve::RouterService::route_many
+pub fn eval_routing_served<R: SchemaRouter + Send + Sync + 'static>(
+    service: &dbcopilot_serve::RouterService<R>,
+    instances: &[dbcopilot_synth::Instance],
+) -> RoutingMetrics {
+    let questions: Vec<String> = instances.iter().map(|i| i.question.clone()).collect();
+    let results = service.route_many(&questions);
+    let mut total = RoutingMetrics::default();
+    for (result, inst) in results.iter().zip(instances) {
+        total.add(result, &inst.schema);
     }
     total.finalize()
 }
@@ -273,6 +295,25 @@ mod tests {
         let m = eval_routing(router.as_ref(), &p.corpus.test, 100);
         assert_eq!(m.queries, p.corpus.test.len());
         assert!(m.db_r5 > 0.0, "BM25 should find some databases: {m:?}");
+    }
+
+    #[test]
+    fn served_eval_matches_direct_eval() {
+        use dbcopilot_serve::{RouterService, ServiceConfig};
+        let s = quick();
+        let p = prepare(CorpusKind::Spider, &s);
+        let (router, _) = build_method(MethodKind::Bm25, &p, &s);
+        let direct = eval_routing(router.as_ref(), &p.corpus.test, 100);
+        let cfg = ServiceConfig { top_tables: 100, ..ServiceConfig::default() };
+        let service = RouterService::from_router(router, cfg);
+        let served = eval_routing_served(&service, &p.corpus.test);
+        assert_eq!(direct, served, "serving must not change routing quality");
+        // the duplicate-free test set still exercises the cache via
+        // normalization only; a second pass is all hits
+        let again = eval_routing_served(&service, &p.corpus.test);
+        assert_eq!(direct, again);
+        let stats = service.stats();
+        assert!(stats.cache_hits >= p.corpus.test.len() as u64, "{stats:?}");
     }
 
     #[test]

@@ -9,6 +9,22 @@
 //! * [`resources`] — QPS / build time / index size (Table 5);
 //! * [`figures`] — Figure 7(a/b) and series rendering;
 //! * [`scale`] — `quick`/`full` experiment presets (`DBC_SCALE`).
+//!
+//! ```
+//! use dbcopilot_eval::RoutingMetrics;
+//! use dbcopilot_graph::QuerySchema;
+//! use dbcopilot_retrieval::RoutingResult;
+//!
+//! let result = RoutingResult {
+//!     tables: vec![("world".into(), "city".into(), 1.0)],
+//!     databases: vec![("world".into(), 1.0)],
+//! };
+//! let gold = QuerySchema::new("world", vec!["city".into()]);
+//! let mut metrics = RoutingMetrics::default();
+//! metrics.add(&result, &gold);
+//! // finalize() averages over queries and scales to percentages
+//! assert_eq!(metrics.finalize().db_r1, 100.0);
+//! ```
 
 pub mod ex;
 pub mod figures;
@@ -20,9 +36,9 @@ pub mod scale;
 pub use ex::{eval_ex, ExReport, SchemaSource, Strategy};
 pub use figures::{map_by_db_size, recall_curve, render_series};
 pub use harness::{
-    baseline_train_pairs, build_method, eval_routing, prepare, BuildReport, CorpusKind, MethodKind,
-    Prepared,
+    baseline_train_pairs, build_method, eval_routing, eval_routing_served, prepare, BuildReport,
+    CorpusKind, MethodKind, Prepared,
 };
 pub use metrics::{average_precision, db_recall_at_k, table_recall_at_k, RoutingMetrics};
-pub use resources::{measure_qps, render_table5, report, ResourceReport};
+pub use resources::{measure_qps, measure_served_qps, render_table5, report, ResourceReport};
 pub use scale::Scale;

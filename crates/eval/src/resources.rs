@@ -35,6 +35,37 @@ pub fn measure_qps(
     batch as f64 / secs.max(1e-9)
 }
 
+/// Measure throughput through the serving layer under concurrent load:
+/// `clients` threads issue `total` requests round-robin over `questions`
+/// via [`RouterService::route`], so the number includes cache hits,
+/// micro-batching and pool dispatch — the served counterpart of
+/// [`measure_qps`].
+///
+/// [`RouterService::route`]: dbcopilot_serve::RouterService::route
+pub fn measure_served_qps<R: SchemaRouter + Send + Sync + 'static>(
+    service: &dbcopilot_serve::RouterService<R>,
+    questions: &[String],
+    total: usize,
+    clients: usize,
+) -> f64 {
+    assert!(!questions.is_empty());
+    let clients = clients.max(1);
+    let per_client = total.div_ceil(clients);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for client in 0..clients {
+            s.spawn(move || {
+                for i in 0..per_client {
+                    let q = &questions[(client * per_client + i) % questions.len()];
+                    let _ = service.route(q);
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    (per_client * clients) as f64 / secs.max(1e-9)
+}
+
 /// Assemble a Table 5 row.
 pub fn report(
     method: &str,
@@ -89,6 +120,17 @@ mod tests {
         let qs = vec!["a of t".to_string()];
         let qps = measure_qps(&r, &qs, 16);
         assert!(qps > 0.0);
+    }
+
+    #[test]
+    fn served_qps_positive_and_cache_backed() {
+        use dbcopilot_serve::{RouterService, ServiceConfig};
+        let service = RouterService::from_router(tiny_router(), ServiceConfig::default());
+        let qs = vec!["a of t".to_string(), "b of t".to_string()];
+        let qps = measure_served_qps(&service, &qs, 64, 4);
+        assert!(qps > 0.0);
+        let stats = service.stats();
+        assert!(stats.cache_hits > 0, "repeated questions must hit the cache: {stats:?}");
     }
 
     #[test]

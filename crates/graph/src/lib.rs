@@ -9,6 +9,19 @@
 //!   synthesis;
 //! * [`joinable`] — content-based joinability via Jaccard overlap (§4.1.5);
 //! * [`trie`] — the prefix tree that powers graph-constrained decoding.
+//!
+//! ```
+//! use dbcopilot_graph::SchemaGraph;
+//! use dbcopilot_sqlengine::{Collection, DataType, DatabaseSchema, TableSchema};
+//!
+//! let mut collection = Collection::new();
+//! let mut db = DatabaseSchema::new("world");
+//! db.add_table(TableSchema::new("city").column("id", DataType::Int).primary(0));
+//! collection.add_database(db);
+//!
+//! let graph = SchemaGraph::build(&collection);
+//! assert_eq!(graph.database_nodes().len(), 1);
+//! ```
 
 pub mod graph;
 pub mod joinable;

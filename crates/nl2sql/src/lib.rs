@@ -8,6 +8,15 @@
 //!   schema, base SQL error rate);
 //! * [`cost`] — token estimation and gpt-3.5-turbo-0125 pricing for the "$"
 //!   columns.
+//!
+//! ```
+//! use dbcopilot_nl2sql::{estimate_tokens, parse_intent};
+//!
+//! let question = "How many singers are there?";
+//! assert!(estimate_tokens(question) > 0);
+//! let intent = parse_intent(question).expect("a count question parses");
+//! assert!(format!("{intent:?}").to_lowercase().contains("count"));
+//! ```
 
 pub mod cost;
 pub mod llm;

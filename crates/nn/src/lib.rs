@@ -14,6 +14,14 @@
 //! * [`codec`] — the `DBC1` binary container (compact, versioned, bit-exact);
 //! * [`serialize`] — persistence entry points: binary by default, JSON behind
 //!   a [`serialize::Format::Json`] escape hatch (also measures index size).
+//!
+//! ```
+//! use dbcopilot_nn::tensor::Tensor;
+//!
+//! let t = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+//! assert_eq!(t.shape(), (2, 2));
+//! assert_eq!(t.get(1, 0), 3.0);
+//! ```
 
 pub mod codec;
 pub mod gradcheck;

@@ -10,6 +10,21 @@
 //! * [`targets`] — shared retrieval targets, database vote aggregation, and
 //!   the [`targets::SchemaRouter`] trait every method (including the
 //!   DBCopilot router adapter) implements.
+//!
+//! ```
+//! use dbcopilot_retrieval::{Bm25Index, Bm25Params, SchemaRouter, Target, TargetSet};
+//!
+//! let targets = TargetSet {
+//!     targets: vec![Target {
+//!         database: "world".into(),
+//!         table: "city".into(),
+//!         text: "city name population".into(),
+//!     }],
+//! };
+//! let index = Bm25Index::build(targets, Bm25Params::default());
+//! let result = index.route("population of each city", 10);
+//! assert_eq!(result.database_names()[0], "world");
+//! ```
 
 pub mod bm25;
 pub mod crush;

@@ -134,6 +134,29 @@ pub trait SchemaRouter {
     fn route(&self, question: &str, top_tables: usize) -> RoutingResult;
 }
 
+// Smart-pointer wrappers route through their pointee, so a boxed trait
+// object (the harness) or a shared router (the serving layer) can be used
+// anywhere a concrete method is expected.
+impl<T: SchemaRouter + ?Sized> SchemaRouter for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn route(&self, question: &str, top_tables: usize) -> RoutingResult {
+        (**self).route(question, top_tables)
+    }
+}
+
+impl<T: SchemaRouter + ?Sized> SchemaRouter for std::sync::Arc<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn route(&self, question: &str, top_tables: usize) -> RoutingResult {
+        (**self).route(question, top_tables)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

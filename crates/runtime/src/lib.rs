@@ -33,6 +33,24 @@
 //! [`MAX_DEFAULT_THREADS`]. Inside a parallel worker the count is pinned
 //! to 1, so nested parallel sections run serially instead of
 //! oversubscribing the machine.
+//!
+//! # Persistent pool
+//!
+//! The scoped primitives spawn and join workers on every call — fine for
+//! training-sized work, wasteful for serving-sized work. The [`pool`]
+//! module provides [`WorkerPool`] (long-lived threads, channel work queue,
+//! graceful drain-on-drop) and the drop-in variants [`pooled_map`] /
+//! [`pooled_map_chunks`] on a process-wide shared pool. Both families obey
+//! the same determinism contract, so callers can switch freely:
+//!
+//! ```
+//! use dbcopilot_runtime::{parallel_map, pooled_map, with_thread_count};
+//!
+//! let items: Vec<u64> = (0..100).collect();
+//! let scoped = with_thread_count(4, || parallel_map(&items, |_, &x| x * 2));
+//! let pooled = with_thread_count(4, || pooled_map(&items, |_, &x| x * 2));
+//! assert_eq!(scoped, pooled);
+//! ```
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -41,14 +59,18 @@ use std::sync::OnceLock;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+pub mod pool;
+
+pub use pool::{global_pool, pooled_map, pooled_map_chunks, WorkerPool};
+
 /// Upper bound applied when the thread count comes from hardware detection
 /// (an explicit `DBC_THREADS` is honored as-is).
 pub const MAX_DEFAULT_THREADS: usize = 16;
 
 /// Items per worker dispatch below which spawning threads is never worth it.
-const MIN_PARALLEL_ITEMS: usize = 2;
+pub(crate) const MIN_PARALLEL_ITEMS: usize = 2;
 
-fn env_thread_count() -> usize {
+pub(crate) fn env_thread_count() -> usize {
     static ENV: OnceLock<Option<usize>> = OnceLock::new();
     ENV.get_or_init(|| {
         let raw = std::env::var("DBC_THREADS").ok()?;

@@ -1,0 +1,46 @@
+//! `dbcopilot-serve` — the concurrent serving layer over schema routing.
+//!
+//! DBCopilot's routing is only useful at scale if it can be *served*: many
+//! clients asking questions over one loaded router, concurrently, with
+//! sub-model-call latency for repeated questions. This crate provides that
+//! front:
+//!
+//! * [`RouterService`] — wraps any [`SchemaRouter`] (the trained
+//!   `DbcRouter`, or any baseline) behind an `Arc`, micro-batches
+//!   concurrent requests, deduplicates identical in-flight questions, and
+//!   executes batches on the persistent worker pool from
+//!   `dbcopilot-runtime`;
+//! * [`LruCache`] — the deterministic, capacity-bounded route cache keyed
+//!   on [`normalize_question`], with hit/miss counters;
+//! * [`ServiceConfig`] / [`ServiceStats`] — tuning knobs and observable
+//!   serving counters.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dbcopilot_retrieval::{Bm25Index, Bm25Params, Target, TargetSet};
+//! use dbcopilot_serve::{RouterService, ServiceConfig};
+//!
+//! // Any SchemaRouter can be served; a tiny BM25 index stands in here.
+//! let targets = TargetSet {
+//!     targets: vec![Target {
+//!         database: "concert_singer".into(),
+//!         table: "singer".into(),
+//!         text: "singer name song".into(),
+//!     }],
+//! };
+//! let index = Bm25Index::build(targets, Bm25Params::default());
+//! let service = RouterService::new(Arc::new(index), ServiceConfig::default());
+//!
+//! let first = service.route("How many singers are there?");
+//! let again = service.route("how many singers are there"); // cache hit
+//! assert_eq!(first.database_names(), again.database_names());
+//! assert_eq!(service.stats().cache_hits, 1);
+//! ```
+//!
+//! [`SchemaRouter`]: dbcopilot_retrieval::SchemaRouter
+
+pub mod cache;
+pub mod service;
+
+pub use cache::{normalize_question, LruCache};
+pub use service::{RouterService, ServiceConfig, ServiceStats};

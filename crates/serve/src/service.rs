@@ -1,0 +1,319 @@
+//! `RouterService`: a concurrent serving front for any schema router.
+//!
+//! Three mechanisms stack, each configurable through [`ServiceConfig`]:
+//!
+//! 1. **LRU route cache** ([`crate::LruCache`]) keyed on
+//!    [`crate::normalize_question`] — repeated and surface-variant
+//!    questions are answered without touching the model;
+//! 2. **micro-batching** — a dispatcher thread collects concurrent cache
+//!    misses into batches (flushing at `max_batch` requests or after
+//!    `flush_timeout`), and deduplicates identical in-flight questions so
+//!    one route serves every waiter;
+//! 3. **worker-pool dispatch** — each batch fans out over the persistent
+//!    [`WorkerPool`] from `dbcopilot-runtime` (no per-request thread
+//!    spawns).
+//!
+//! Routing itself stays deterministic: the underlying router is shared
+//! read-only behind an [`Arc`], every question routes to the same result
+//! no matter how requests interleave, and the synchronous
+//! [`RouterService::route_many`] path is bit-for-bit reproducible at any
+//! `DBC_THREADS`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dbcopilot_retrieval::{RoutingResult, SchemaRouter};
+use dbcopilot_runtime::{global_pool, WorkerPool};
+
+use crate::cache::{normalize_question, LruCache};
+
+/// Tuning knobs for a [`RouterService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Flush a batch as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a partial batch after waiting this long for more requests.
+    pub flush_timeout: Duration,
+    /// Route-cache entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// `top_tables` passed to the underlying router on every route.
+    pub top_tables: usize,
+    /// Dedicated pool workers; `0` uses the process-wide shared pool.
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_batch: 16,
+            flush_timeout: Duration::from_millis(1),
+            cache_capacity: 4096,
+            top_tables: 100,
+            workers: 0,
+        }
+    }
+}
+
+/// A snapshot of serving counters (see [`RouterService::stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Cache lookups answered without routing.
+    pub cache_hits: u64,
+    /// Cache lookups that fell through to the router.
+    pub cache_misses: u64,
+    /// Entries currently cached.
+    pub cached: usize,
+    /// Micro-batches executed by the dispatcher.
+    pub batches: u64,
+    /// Questions actually routed (after caching and deduplication).
+    pub routed: u64,
+    /// Largest micro-batch observed (distinct questions).
+    pub max_batch_observed: u64,
+}
+
+/// One queued cache miss: the normalized key, the original question text,
+/// and where to send the result.
+struct Request {
+    key: String,
+    question: String,
+    reply: Sender<Arc<RoutingResult>>,
+}
+
+struct Shared<R> {
+    router: Arc<R>,
+    cfg: ServiceConfig,
+    cache: Mutex<LruCache<Arc<RoutingResult>>>,
+    /// `None` → use the process-wide `global_pool()`.
+    pool: Option<WorkerPool>,
+    batches: AtomicU64,
+    routed: AtomicU64,
+    max_batch_observed: AtomicU64,
+}
+
+impl<R: SchemaRouter + Send + Sync> Shared<R> {
+    fn pool(&self) -> &WorkerPool {
+        self.pool.as_ref().unwrap_or_else(|| global_pool())
+    }
+
+    /// Route a batch of distinct `(key, question)` pairs on the pool and
+    /// publish the results to the cache. Returns results in input order.
+    fn route_unique(&self, unique: &[(String, String)]) -> Vec<Arc<RoutingResult>> {
+        if unique.is_empty() {
+            // all cache hits — no batch to run, no counters to bump
+            return Vec::new();
+        }
+        let results: Vec<Arc<RoutingResult>> = self
+            .pool()
+            .map(unique, |_, (_, q)| Arc::new(self.router.route(q, self.cfg.top_tables)));
+        let mut cache = lock(&self.cache);
+        for ((key, _), result) in unique.iter().zip(&results) {
+            cache.insert(key.clone(), Arc::clone(result));
+        }
+        drop(cache);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.routed.fetch_add(unique.len() as u64, Ordering::Relaxed);
+        self.max_batch_observed.fetch_max(unique.len() as u64, Ordering::Relaxed);
+        results
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A concurrent serving front over a shared read-only router.
+///
+/// Clients call [`route`](RouterService::route) from any number of
+/// threads; cache misses are micro-batched by a dispatcher thread and
+/// executed on a persistent worker pool. Dropping the service is a
+/// graceful shutdown: queued requests are still answered, then the
+/// dispatcher (and any dedicated pool) joins.
+pub struct RouterService<R: SchemaRouter + Send + Sync + 'static> {
+    shared: Arc<Shared<R>>,
+    sender: Option<Sender<Request>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl<R: SchemaRouter + Send + Sync + 'static> RouterService<R> {
+    /// Serve an already-shared router.
+    pub fn new(router: Arc<R>, cfg: ServiceConfig) -> Self {
+        let cfg = ServiceConfig { max_batch: cfg.max_batch.max(1), ..cfg };
+        let shared = Arc::new(Shared {
+            router,
+            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            pool: (cfg.workers > 0).then(|| WorkerPool::new(cfg.workers)),
+            cfg,
+            batches: AtomicU64::new(0),
+            routed: AtomicU64::new(0),
+            max_batch_observed: AtomicU64::new(0),
+        });
+        let (sender, receiver) = channel::<Request>();
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dbc-serve-dispatch".to_string())
+                .spawn(move || dispatch_loop(&shared, &receiver))
+                .expect("failed to spawn service dispatcher")
+        };
+        RouterService { shared, sender: Some(sender), dispatcher: Some(dispatcher) }
+    }
+
+    /// Take ownership of a router and serve it.
+    pub fn from_router(router: R, cfg: ServiceConfig) -> Self {
+        Self::new(Arc::new(router), cfg)
+    }
+
+    /// The served router.
+    pub fn router(&self) -> &Arc<R> {
+        &self.shared.router
+    }
+
+    /// Route one question: answered from the cache when possible,
+    /// otherwise enqueued, micro-batched with concurrent misses, routed on
+    /// the pool, and cached. Blocks until the result is available.
+    pub fn route(&self, question: &str) -> Arc<RoutingResult> {
+        let key = normalize_question(question);
+        if let Some(hit) = lock(&self.shared.cache).get(&key) {
+            return Arc::clone(hit);
+        }
+        let (reply, result) = channel();
+        self.sender
+            .as_ref()
+            .expect("sender alive until drop")
+            .send(Request { key, question: question.to_string(), reply })
+            .expect("dispatcher alive until drop");
+        // A dropped reply sender means the router panicked on this batch
+        // (the dispatcher contained it and kept serving); surface the
+        // failure to the affected caller only.
+        result.recv().unwrap_or_else(|_| {
+            panic!("router panicked while routing the batch containing {question:?}")
+        })
+    }
+
+    /// Route a slice of questions synchronously (no dispatcher, no flush
+    /// timer): each `max_batch`-sized window is cache-checked, deduplicated
+    /// and routed on the pool. Results come back in question order, and the
+    /// whole call is deterministic — ideal for evaluation loops.
+    pub fn route_many(&self, questions: &[String]) -> Vec<Arc<RoutingResult>> {
+        let mut out: Vec<Arc<RoutingResult>> = Vec::with_capacity(questions.len());
+        for window in questions.chunks(self.shared.cfg.max_batch.max(1)) {
+            // out[i] for this window: either a cache hit or an index into
+            // the routed `unique` batch.
+            let mut plan: Vec<Result<Arc<RoutingResult>, usize>> = Vec::with_capacity(window.len());
+            let mut unique: Vec<(String, String)> = Vec::new();
+            let mut seen: HashMap<String, usize> = HashMap::new();
+            {
+                let mut cache = lock(&self.shared.cache);
+                for q in window {
+                    let key = normalize_question(q);
+                    if let Some(hit) = cache.get(&key) {
+                        plan.push(Ok(Arc::clone(hit)));
+                    } else if let Some(&at) = seen.get(&key) {
+                        plan.push(Err(at));
+                    } else {
+                        seen.insert(key.clone(), unique.len());
+                        plan.push(Err(unique.len()));
+                        unique.push((key, q.clone()));
+                    }
+                }
+            }
+            let routed = self.shared.route_unique(&unique);
+            for step in plan {
+                out.push(match step {
+                    Ok(hit) => hit,
+                    Err(at) => Arc::clone(&routed[at]),
+                });
+            }
+        }
+        out
+    }
+
+    /// Pre-seed the cache by routing `questions` (e.g. a known-popular
+    /// workload) before traffic arrives.
+    pub fn warm(&self, questions: &[String]) {
+        let _ = self.route_many(questions);
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServiceStats {
+        let cache = lock(&self.shared.cache);
+        ServiceStats {
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            cached: cache.len(),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            routed: self.shared.routed.load(Ordering::Relaxed),
+            max_batch_observed: self.shared.max_batch_observed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<R: SchemaRouter + Send + Sync + 'static> Drop for RouterService<R> {
+    fn drop(&mut self) {
+        // Closing the channel lets the dispatcher answer everything still
+        // queued, then exit; joining (dispatcher first, then any dedicated
+        // pool via Shared's own drop) completes the graceful shutdown.
+        drop(self.sender.take());
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Dispatcher: collect requests into micro-batches, route each batch once
+/// per distinct question, fan results back out to every waiter.
+fn dispatch_loop<R: SchemaRouter + Send + Sync>(shared: &Shared<R>, receiver: &Receiver<Request>) {
+    while let Ok(first) = receiver.recv() {
+        let mut batch = vec![first];
+        let deadline = Instant::now() + shared.cfg.flush_timeout;
+        while batch.len() < shared.cfg.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match receiver.recv_timeout(deadline - now) {
+                Ok(req) => batch.push(req),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Contain a panicking route: dropping the batch drops its reply
+        // senders, so only the affected waiters fail (their `route` call
+        // re-raises) while the dispatcher survives to serve the next batch.
+        let contained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_batch(shared, batch);
+        }));
+        if contained.is_err() {
+            eprintln!("dbcopilot-serve: router panicked on a batch; service continues");
+        }
+    }
+    // Channel closed: `recv` already drained every queued request, so
+    // nothing is left unanswered.
+}
+
+fn run_batch<R: SchemaRouter + Send + Sync>(shared: &Shared<R>, batch: Vec<Request>) {
+    // Deduplicate by normalized key, preserving first-seen order.
+    let mut unique: Vec<(String, String)> = Vec::new();
+    let mut waiters: Vec<Vec<Sender<Arc<RoutingResult>>>> = Vec::new();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for req in batch {
+        match seen.get(&req.key) {
+            Some(&at) => waiters[at].push(req.reply),
+            None => {
+                seen.insert(req.key.clone(), unique.len());
+                unique.push((req.key, req.question));
+                waiters.push(vec![req.reply]);
+            }
+        }
+    }
+    let results = shared.route_unique(&unique);
+    for (result, senders) in results.into_iter().zip(waiters) {
+        for sender in senders {
+            // A send error just means the client went away; nothing to do.
+            let _ = sender.send(Arc::clone(&result));
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Serving-layer integration: concurrent clients, micro-batch
+//! deduplication, cache behavior under load, graceful shutdown, and
+//! service-vs-direct result equivalence.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dbcopilot_retrieval::{Bm25Index, Bm25Params, SchemaRouter, Target, TargetSet};
+use dbcopilot_serve::{RouterService, ServiceConfig};
+
+fn index() -> Bm25Index {
+    let targets = TargetSet {
+        targets: vec![
+            Target {
+                database: "concert_singer".into(),
+                table: "singer".into(),
+                text: "singer name song age".into(),
+            },
+            Target {
+                database: "concert_singer".into(),
+                table: "concert".into(),
+                text: "concert stadium year".into(),
+            },
+            Target {
+                database: "world".into(),
+                table: "city".into(),
+                text: "city population".into(),
+            },
+            Target {
+                database: "world".into(),
+                table: "country".into(),
+                text: "country code".into(),
+            },
+        ],
+    };
+    Bm25Index::build(targets, Bm25Params::default())
+}
+
+fn questions() -> Vec<String> {
+    vec![
+        "how many singers are there".into(),
+        "population of each city".into(),
+        "which concert happened last year".into(),
+        "country with the largest population".into(),
+    ]
+}
+
+#[test]
+fn served_results_match_direct_routing() {
+    let router = Arc::new(index());
+    let service = RouterService::new(Arc::clone(&router), ServiceConfig::default());
+    for q in &questions() {
+        let served = service.route(q);
+        let direct = router.route(q, 100);
+        assert_eq!(served.database_names(), direct.database_names(), "question {q:?}");
+        assert_eq!(served.tables.len(), direct.tables.len());
+    }
+}
+
+#[test]
+fn concurrent_clients_get_correct_answers_and_share_the_cache() {
+    let service = RouterService::from_router(index(), ServiceConfig::default());
+    let qs = questions();
+    let expected: Vec<Vec<String>> = qs
+        .iter()
+        .map(|q| {
+            service.router().route(q, 100).database_names().iter().map(|s| s.to_string()).collect()
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for client in 0..8 {
+            let (service, qs, expected) = (&service, &qs, &expected);
+            s.spawn(move || {
+                for round in 0..16 {
+                    let i = (client + round) % qs.len();
+                    let got = service.route(&qs[i]);
+                    assert_eq!(got.database_names(), expected[i], "client {client} round {round}");
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    // 8 clients * 16 rounds = 128 lookups over 4 distinct questions: almost
+    // everything is a cache hit, and at most a handful of routes happen
+    // (duplicates can slip past the cache only while a question is in
+    // flight for the first time).
+    assert_eq!(stats.cache_hits + stats.cache_misses, 128);
+    assert!(stats.cache_hits >= 100, "expected mostly hits, got {stats:?}");
+    assert!(stats.routed >= 4, "all distinct questions must route: {stats:?}");
+    assert_eq!(stats.cached, 4);
+}
+
+#[test]
+fn in_flight_duplicates_are_deduplicated_within_a_batch() {
+    // A wide flush window lets all clients land in one micro-batch.
+    let cfg = ServiceConfig {
+        max_batch: 64,
+        flush_timeout: Duration::from_millis(50),
+        cache_capacity: 0, // no cache: dedup must come from batching alone
+        ..ServiceConfig::default()
+    };
+    let service = RouterService::from_router(index(), cfg);
+    std::thread::scope(|s| {
+        for _ in 0..6 {
+            let service = &service;
+            s.spawn(move || {
+                let r = service.route("how many singers are there?");
+                assert_eq!(r.database_names()[0], "concert_singer");
+            });
+        }
+    });
+    let stats = service.stats();
+    assert!(stats.routed < 6, "identical in-flight questions should share a route: {stats:?}");
+}
+
+#[test]
+fn route_many_is_deterministic_and_orders_results() {
+    let service = RouterService::from_router(index(), ServiceConfig::default());
+    let mut qs = questions();
+    qs.extend(questions()); // duplicates exercise cache + dedup
+    let a = service.route_many(&qs);
+    let b = service.route_many(&qs);
+    assert_eq!(a.len(), qs.len());
+    for i in 0..qs.len() {
+        assert_eq!(a[i].database_names(), b[i].database_names());
+        let direct = service.router().route(&qs[i], 100);
+        assert_eq!(a[i].database_names(), direct.database_names(), "question {i}");
+    }
+}
+
+#[test]
+fn normalized_variants_share_one_cache_entry() {
+    let service = RouterService::from_router(index(), ServiceConfig::default());
+    let _ = service.route("How many singers are there?");
+    let _ = service.route("  how   many singers are THERE ");
+    let _ = service.route("how many singers are there!");
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 2, "{stats:?}");
+    assert_eq!(stats.cached, 1);
+    assert_eq!(stats.routed, 1);
+}
+
+#[test]
+fn capacity_zero_service_still_serves() {
+    let cfg = ServiceConfig { cache_capacity: 0, ..ServiceConfig::default() };
+    let service = RouterService::from_router(index(), cfg);
+    for _ in 0..3 {
+        let r = service.route("population of each city");
+        assert_eq!(r.database_names()[0], "world");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.routed, 3);
+}
+
+#[test]
+fn warm_preseeds_the_cache() {
+    let service = RouterService::from_router(index(), ServiceConfig::default());
+    service.warm(&questions());
+    let before = service.stats();
+    assert_eq!(before.cached, 4);
+    let _ = service.route("how many singers are there");
+    service.warm(&questions()); // all hits: no batches, no routes
+    let after = service.stats();
+    assert_eq!(after.routed, before.routed, "warm traffic must not re-route");
+    assert_eq!(after.batches, before.batches, "hit-only windows must not count as batches");
+    assert_eq!(after.cache_hits, before.cache_hits + 1 + 4);
+}
+
+#[test]
+fn router_panic_hits_only_the_affected_caller_and_service_survives() {
+    struct Flaky(Bm25Index);
+    impl SchemaRouter for Flaky {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn route(&self, question: &str, top_tables: usize) -> dbcopilot_retrieval::RoutingResult {
+            assert!(!question.contains("poison"), "poison question");
+            self.0.route(question, top_tables)
+        }
+    }
+
+    let service = RouterService::from_router(Flaky(index()), ServiceConfig::default());
+    let poisoned = std::thread::scope(|s| s.spawn(|| service.route("a poison question")).join());
+    assert!(poisoned.is_err(), "the poisoned caller must see the panic");
+    // ...but the dispatcher survived: unrelated requests still serve.
+    let r = service.route("population of each city");
+    assert_eq!(r.database_names()[0], "world");
+}
+
+#[test]
+fn eviction_under_tiny_capacity_keeps_serving_correctly() {
+    let cfg = ServiceConfig { cache_capacity: 2, ..ServiceConfig::default() };
+    let service = RouterService::from_router(index(), cfg);
+    let qs = questions();
+    for round in 0..3 {
+        for (i, q) in qs.iter().enumerate() {
+            let r = service.route(q);
+            let direct = service.router().route(q, 100);
+            assert_eq!(r.database_names(), direct.database_names(), "round {round} q {i}");
+        }
+    }
+    assert_eq!(service.stats().cached, 2);
+}
+
+#[test]
+fn drop_answers_queued_requests_then_shuts_down() {
+    // Requests enqueued immediately before drop must still be answered:
+    // the dispatcher drains its channel before exiting.
+    let cfg = ServiceConfig {
+        max_batch: 4,
+        flush_timeout: Duration::from_millis(20),
+        ..ServiceConfig::default()
+    };
+    let service = RouterService::from_router(index(), cfg);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let service = &service;
+            handles.push(s.spawn(move || service.route("country with the largest population")));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap().database_names()[0], "world");
+        }
+    });
+    drop(service); // graceful: joins dispatcher (and any dedicated pool)
+}
+
+#[test]
+fn dedicated_pool_configuration_works() {
+    let cfg = ServiceConfig { workers: 2, ..ServiceConfig::default() };
+    let service = RouterService::from_router(index(), cfg);
+    let out = service.route_many(&questions());
+    assert_eq!(out.len(), 4);
+    assert_eq!(out[1].database_names()[0], "world");
+}
+
+#[test]
+fn serves_a_dbc_router_end_to_end() {
+    use dbcopilot_core::{DbcRouter, RouterConfig};
+    use dbcopilot_graph::SchemaGraph;
+    use dbcopilot_sqlengine::{Collection, DataType, DatabaseSchema, TableSchema};
+
+    let mut c = Collection::new();
+    for (db, tables) in
+        [("concert_singer", vec!["singer", "concert"]), ("world", vec!["country", "city"])]
+    {
+        let mut d = DatabaseSchema::new(db);
+        for t in tables {
+            d.add_table(TableSchema::new(t).column("id", DataType::Int).primary(0));
+        }
+        c.add_database(d);
+    }
+    // An untrained router still produces valid, deterministic output, which
+    // is all the serving path needs to be exercised.
+    let router = DbcRouter::untrained(SchemaGraph::build(&c), RouterConfig::tiny());
+    let service = RouterService::from_router(router, ServiceConfig::default());
+    let first = service.route("how many vocalists");
+    assert!(!first.databases.is_empty());
+    let again = service.route("how many vocalists");
+    assert_eq!(first.database_names(), again.database_names());
+    assert_eq!(service.stats().cache_hits, 1);
+}

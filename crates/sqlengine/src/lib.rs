@@ -15,6 +15,23 @@
 //! subqueries, CASE — none are emitted by the workload generator, and a
 //! predicted query using them simply fails execution (EX = 0), exactly as an
 //! invalid query would against SQLite.
+//!
+//! ```
+//! use dbcopilot_sqlengine::{
+//!     execute, DataType, Database, DatabaseSchema, TableSchema, Value,
+//! };
+//!
+//! let mut schema = DatabaseSchema::new("world");
+//! schema.add_table(
+//!     TableSchema::new("city").column("name", DataType::Text).column("pop", DataType::Int),
+//! );
+//! let mut db = Database::from_schema(&schema);
+//! db.insert("city", vec![Value::Text("ulm".into()), Value::Int(126_000)]).unwrap();
+//! db.insert("city", vec![Value::Text("bern".into()), Value::Int(134_000)]).unwrap();
+//!
+//! let rs = execute(&db, "SELECT name FROM city WHERE pop > 130000").unwrap();
+//! assert_eq!(rs.rows.len(), 1);
+//! ```
 
 pub mod ast;
 pub mod compare;

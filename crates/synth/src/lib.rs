@@ -12,6 +12,17 @@
 //! * populated content for joinability detection and execution accuracy.
 //!
 //! See DESIGN.md §2 for the substitution rationale.
+//!
+//! ```
+//! use dbcopilot_synth::{build_spider_like, CorpusSizes};
+//!
+//! let corpus =
+//!     build_spider_like(&CorpusSizes { num_databases: 2, train_n: 12, test_n: 3 }, 7);
+//! assert_eq!(corpus.collection.num_databases(), 2);
+//! assert_eq!(corpus.test.len(), 3);
+//! // every instance pairs a question with its gold query schema
+//! assert!(!corpus.test[0].question.is_empty());
+//! ```
 
 pub mod corpusgen;
 pub mod instances;

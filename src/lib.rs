@@ -29,6 +29,8 @@ pub use dbcopilot_graph as graph;
 pub use dbcopilot_nl2sql as nl2sql;
 pub use dbcopilot_nn as nn;
 pub use dbcopilot_retrieval as retrieval;
+pub use dbcopilot_runtime as runtime;
+pub use dbcopilot_serve as serve;
 pub use dbcopilot_sqlengine as sqlengine;
 pub use dbcopilot_synth as synth;
 

@@ -8,9 +8,18 @@
 //! [`criterion_main!`] macros.
 //!
 //! Measurement is simple: a short warm-up, then `sample_size` samples of an
-//! adaptively chosen number of iterations each; the mean / min / max
-//! per-iteration time is printed to stdout. No statistics beyond that, no
-//! HTML reports, no baseline storage.
+//! adaptively chosen number of iterations each; the mean / p50 / p95 / min
+//! / max per-iteration time is printed to stdout (p50/p95 are
+//! nearest-rank percentiles over the samples, so tail latency is visible
+//! for serving-style benches). No outlier rejection, no HTML reports, no
+//! baseline storage.
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default().sample_size(2);
+//! c.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+//! ```
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -81,17 +90,25 @@ impl Bencher {
         let per_iter: Vec<f64> =
             self.samples.iter().map(|d| d.as_secs_f64() / self.iters_per_sample as f64).collect();
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
-        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        let mut sorted = per_iter.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         println!(
-            "{name:<40} mean {:>12} min {:>12} max {:>12} ({} samples x {} iters)",
+            "{name:<40} mean {:>12} p50 {:>12} p95 {:>12} min {:>12} max {:>12} ({} samples x {} iters)",
             fmt_time(mean),
-            fmt_time(min),
-            fmt_time(max),
+            fmt_time(percentile(&sorted, 0.50)),
+            fmt_time(percentile(&sorted, 0.95)),
+            fmt_time(sorted[0]),
+            fmt_time(sorted[sorted.len() - 1]),
             self.samples.len(),
             self.iters_per_sample,
         );
     }
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty sample list.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -215,6 +232,19 @@ mod tests {
         let mut runs = 0u64;
         c.bench_function("counter", |b| b.iter(|| runs += 1));
         assert!(runs > 3, "closure should run warmup + samples, ran {runs}");
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        // tiny sample lists degrade gracefully
+        assert_eq!(percentile(&[7.5], 0.50), 7.5);
+        assert_eq!(percentile(&[7.5], 0.95), 7.5);
+        assert_eq!(percentile(&[1.0, 2.0], 0.95), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.10), 1.0);
     }
 
     #[test]

@@ -9,6 +9,22 @@
 //! Unlike real proptest there is no shrinking: a failing case reports the
 //! sampled input and panics. Sampling is deterministic (SplitMix64 from a
 //! fixed seed), so failures reproduce across runs.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!     // inside a #[cfg(test)] module you would add #[test] here
+//!     fn doubling_halves_back(x in 0u32..1000) {
+//!         prop_assert_eq!((x * 2) / 2, x);
+//!     }
+//! }
+//! # doubling_halves_back();
+//! ```
+//!
+//! (Each test takes one `binding in strategy` argument — derive several
+//! values from one sampled seed when a case needs more dimensions.)
 
 use std::fmt;
 use std::ops::{Range, RangeInclusive};

@@ -11,6 +11,20 @@
 //! vendored) renders/parses it as JSON text. Maps serialize as arrays of
 //! `[key, value]` pairs so non-string keys (e.g. `HashMap<u32, _>` in the
 //! trie) round-trip losslessly.
+//!
+//! ```
+//! use serde::{Deserialize, Serialize};
+//!
+//! #[derive(Serialize, Deserialize, Debug, PartialEq)]
+//! struct Point {
+//!     x: i64,
+//!     y: i64,
+//! }
+//!
+//! let p = Point { x: 3, y: -4 };
+//! let v = p.serialize();
+//! assert_eq!(Point::deserialize(&v).unwrap(), p);
+//! ```
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -8,6 +8,14 @@
 //! therefore `f32`, which widens losslessly) survives a text round trip
 //! bit-exactly. Non-finite floats serialize as `null` (JSON has no NaN) and
 //! deserialize back as NaN.
+//!
+//! ```
+//! let xs = vec![1u32, 2, 3];
+//! let text = serde_json::to_string(&xs).unwrap();
+//! assert_eq!(text, "[1,2,3]");
+//! let back: Vec<u32> = serde_json::from_str(&text).unwrap();
+//! assert_eq!(back, xs);
+//! ```
 
 use std::fmt;
 use std::io::{Read, Write};
