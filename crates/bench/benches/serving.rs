@@ -101,10 +101,7 @@ fn bench_serving(c: &mut Criterion) {
     // Micro-batched serving throughput: all test questions in one
     // route_many sweep, cache disabled so every question routes.
     let mut group = c.benchmark_group("route_batch");
-    let uncached = RouterService::new(
-        Arc::clone(&router),
-        ServiceConfig { cache_capacity: 0, ..ServiceConfig::default() },
-    );
+    let uncached = RouterService::new(Arc::clone(&router), ServiceConfig::new().cache_capacity(0));
     group.sample_size(10);
     group.bench_function("service_route_many", |b| {
         b.iter(|| uncached.route_many(black_box(&questions)))

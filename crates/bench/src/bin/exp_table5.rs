@@ -5,11 +5,15 @@
 //! commercial LLM; set `DBC_LLM_LATENCY_MS` (default 300) to simulate that
 //! latency for the CRUSH rows, or 0 to disable.
 
+use dbcopilot::{AskOptions, DbCopilot};
+use dbcopilot_core::{save_router, DbcRouter, SerializationMode};
 use dbcopilot_eval::{
-    build_method, measure_served_qps, prepare, render_table5, report, CorpusKind, MethodKind,
-    ResourceReport, Scale,
+    build_method, eval_ask, eval_routing, measure_served_ask_qps, measure_served_qps, prepare,
+    render_ask_table, render_table5, report, BuildReport, CorpusKind, MethodKind, ResourceReport,
+    Scale,
 };
-use dbcopilot_serve::{RouterService, ServiceConfig};
+use dbcopilot_retrieval::SchemaRouter;
+use dbcopilot_serve::{AskService, RouterService, ServiceConfig};
 
 fn main() {
     let scale = Scale::from_env();
@@ -19,8 +23,30 @@ fn main() {
     let questions: Vec<String> =
         prepared.corpus.test.iter().map(|i| i.question.clone()).take(64).collect();
     let mut rows = Vec::new();
+    // The DBCopilot row's trained router is also the end-to-end section's
+    // pipeline; save its (bit-exact) DBC1 bundle instead of training twice.
+    let mut saved_router: Option<Vec<u8>> = None;
     for &method in MethodKind::ALL {
-        let (mut router, build) = build_method(method, &prepared, &scale);
+        let (mut router, build): (Box<dyn SchemaRouter + Send + Sync>, BuildReport) =
+            if method == MethodKind::DbCopilot {
+                let start = std::time::Instant::now();
+                let (r, _) = DbcRouter::fit(
+                    prepared.graph.clone(),
+                    &prepared.synth_examples,
+                    scale.router.clone(),
+                    SerializationMode::Dfs,
+                );
+                let build = BuildReport {
+                    build_secs: start.elapsed().as_secs_f64(),
+                    disk_bytes: r.size_bytes(),
+                };
+                let mut buf = Vec::new();
+                save_router(&r, &mut buf).expect("trained router must serialize");
+                saved_router = Some(buf);
+                (Box::new(r), build)
+            } else {
+                build_method(method, &prepared, &scale)
+            };
         if matches!(method, MethodKind::CrushBm25 | MethodKind::CrushSxfmr) && llm_ms > 0 {
             // simulated commercial-LLM latency (documented in EXPERIMENTS.md)
             router = add_latency(method, &prepared, &scale, llm_ms);
@@ -55,6 +81,72 @@ fn main() {
     println!("{}", render_table5(&rows));
     println!("(CRUSH rows include {llm_ms} ms simulated LLM latency per query;");
     println!(" the served row adds the RouterService cache + worker-pool front)");
+
+    // -----------------------------------------------------------------
+    // End-to-end ask: routing accuracy only bounds what the full
+    // question→SQL→result path delivers. Measure the single-candidate
+    // path against top-3 fallback + execution-feedback repair, then the
+    // same pipeline behind the AskService answer cache.
+    // -----------------------------------------------------------------
+    eprintln!("  measuring end-to-end ask (k=1 vs k=3 + repair)");
+    let saved = saved_router.expect("DbCopilot row always runs");
+    let router = dbcopilot_core::load_router(&saved[..]).expect("saved router must load");
+    let routing = eval_routing(&router, &prepared.corpus.test, 100);
+    let copilot = DbCopilot::from_parts(
+        router,
+        Default::default(),
+        prepared.corpus.collection.clone(),
+        prepared.corpus.store.clone(),
+    );
+    let test = &prepared.corpus.test;
+    let single = eval_ask(&copilot, &prepared.corpus, test, &AskOptions::first_candidate());
+    let fallback =
+        eval_ask(&copilot, &prepared.corpus, test, &AskOptions::new().top_k(3).repair_attempts(1));
+    assert!(
+        fallback.answered >= single.answered,
+        "fallback must never answer fewer questions ({} vs {})",
+        fallback.answered,
+        single.answered,
+    );
+    println!("== End-to-end ask — question → SQL → result ({} questions) ==", test.len());
+    println!("routing DB R@1 {:.1}%  (upper-bounds what k=1 can answer)", routing.db_r1);
+    println!(
+        "{}",
+        render_ask_table(&[
+            ("k=1 (no fallback)".to_string(), single),
+            ("k=3 + 1 repair".to_string(), fallback.clone()),
+        ])
+    );
+
+    eprintln!("  measuring DBC ask (served)");
+    let ask_questions: Vec<String> = test.iter().map(|i| i.question.clone()).take(64).collect();
+    let service = AskService::from_pipeline(
+        copilot,
+        AskOptions::new().top_k(3).repair_attempts(1),
+        ServiceConfig::default(),
+    );
+    let qps = measure_served_ask_qps(&service, &ask_questions, 256, 4);
+    let stats = service.stats();
+    println!(
+        "AskService (k=3 + repair): {qps:.1} answers/s over 4 clients \
+         ({} cache hits / {} pipeline runs)",
+        stats.cache_hits, stats.computed
+    );
+    // Served answers are the same computation: check outcome identity
+    // against the direct pooled batch path, question by question.
+    let served = service.ask_many(&ask_questions);
+    let direct = service.pipeline().ask_batch(&ask_questions, service.options());
+    for ((s, d), q) in served.iter().zip(&direct).zip(&ask_questions) {
+        let identical = match (s.as_ref(), d) {
+            (Ok(s), Ok(d)) => s.answer == d.answer && s.chosen == d.chosen,
+            (Err(s), Err(d)) => s == d,
+            _ => false,
+        };
+        assert!(identical, "served and direct ask disagree on {q:?}");
+    }
+    println!(
+        "(served ask outcomes identical to direct ask — cache and pool are quality-invisible)"
+    );
 }
 
 fn add_latency(

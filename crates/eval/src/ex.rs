@@ -209,12 +209,14 @@ mod tests {
         let mut s = Scale::quick();
         s.spider = dbcopilot_synth::CorpusSizes { num_databases: 10, train_n: 200, test_n: 120 };
         let p = prepare(CorpusKind::Spider, &s);
-        let llm = CopilotLM::new(LlmConfig {
-            seed: 3,
-            distraction_per_table: 0.01,
-            synonym_resolution: 0.95,
-            base_error: 0.05,
-        });
+        let llm = CopilotLM::new(
+            LlmConfig::new()
+                .seed(3)
+                .distraction_per_table(0.01)
+                .synonym_resolution(0.95)
+                .base_error(0.05)
+                .malformed_sql(0.02),
+        );
         (p, llm)
     }
 

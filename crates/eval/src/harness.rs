@@ -304,7 +304,7 @@ mod tests {
         let p = prepare(CorpusKind::Spider, &s);
         let (router, _) = build_method(MethodKind::Bm25, &p, &s);
         let direct = eval_routing(router.as_ref(), &p.corpus.test, 100);
-        let cfg = ServiceConfig { top_tables: 100, ..ServiceConfig::default() };
+        let cfg = ServiceConfig::new().top_tables(100);
         let service = RouterService::from_router(router, cfg);
         let served = eval_routing_served(&service, &p.corpus.test);
         assert_eq!(direct, served, "serving must not change routing quality");

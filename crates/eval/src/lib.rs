@@ -6,6 +6,9 @@
 //!   baselines + DBCopilot]), parallel routing evaluation;
 //! * [`ex`] — end-to-end execution accuracy and cost (Table 6), including
 //!   the oracle tests and human-in-the-loop selection;
+//! * [`ask`] — end-to-end evaluation of any `QueryPipeline` (the facade's
+//!   staged ask path): answered rate, EX vs gold, per-stage failure
+//!   counts, fallback/repair recoveries;
 //! * [`resources`] — QPS / build time / index size (Table 5);
 //! * [`figures`] — Figure 7(a/b) and series rendering;
 //! * [`scale`] — `quick`/`full` experiment presets (`DBC_SCALE`).
@@ -26,6 +29,7 @@
 //! assert_eq!(metrics.finalize().db_r1, 100.0);
 //! ```
 
+pub mod ask;
 pub mod ex;
 pub mod figures;
 pub mod harness;
@@ -33,6 +37,7 @@ pub mod metrics;
 pub mod resources;
 pub mod scale;
 
+pub use ask::{eval_ask, render_ask_table, AskAccuracy};
 pub use ex::{eval_ex, ExReport, SchemaSource, Strategy};
 pub use figures::{map_by_db_size, recall_curve, render_series};
 pub use harness::{
@@ -40,5 +45,7 @@ pub use harness::{
     CorpusKind, MethodKind, Prepared,
 };
 pub use metrics::{average_precision, db_recall_at_k, table_recall_at_k, RoutingMetrics};
-pub use resources::{measure_qps, measure_served_qps, render_table5, report, ResourceReport};
+pub use resources::{
+    measure_qps, measure_served_ask_qps, measure_served_qps, render_table5, report, ResourceReport,
+};
 pub use scale::Scale;

@@ -35,6 +35,34 @@ pub fn measure_qps(
     batch as f64 / secs.max(1e-9)
 }
 
+/// The shared concurrent-load driver behind [`measure_served_qps`] and
+/// [`measure_served_ask_qps`]: `clients` threads issue `total` requests
+/// round-robin over `questions` through `serve_one`, returning requests
+/// per second.
+fn measure_concurrent(
+    questions: &[String],
+    total: usize,
+    clients: usize,
+    serve_one: impl Fn(&str) + Sync,
+) -> f64 {
+    assert!(!questions.is_empty());
+    let clients = clients.max(1);
+    let per_client = total.div_ceil(clients);
+    let serve_one = &serve_one;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for client in 0..clients {
+            s.spawn(move || {
+                for i in 0..per_client {
+                    serve_one(&questions[(client * per_client + i) % questions.len()]);
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    (per_client * clients) as f64 / secs.max(1e-9)
+}
+
 /// Measure throughput through the serving layer under concurrent load:
 /// `clients` threads issue `total` requests round-robin over `questions`
 /// via [`RouterService::route`], so the number includes cache hits,
@@ -48,22 +76,27 @@ pub fn measure_served_qps<R: SchemaRouter + Send + Sync + 'static>(
     total: usize,
     clients: usize,
 ) -> f64 {
-    assert!(!questions.is_empty());
-    let clients = clients.max(1);
-    let per_client = total.div_ceil(clients);
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        for client in 0..clients {
-            s.spawn(move || {
-                for i in 0..per_client {
-                    let q = &questions[(client * per_client + i) % questions.len()];
-                    let _ = service.route(q);
-                }
-            });
-        }
-    });
-    let secs = start.elapsed().as_secs_f64();
-    (per_client * clients) as f64 / secs.max(1e-9)
+    measure_concurrent(questions, total, clients, |q| {
+        let _ = service.route(q);
+    })
+}
+
+/// Measure end-to-end ask throughput through [`AskService`] under
+/// concurrent load: `clients` threads issue `total` asks round-robin over
+/// `questions`, so the number includes answer caching, micro-batching and
+/// pool dispatch — the question→SQL→result counterpart of
+/// [`measure_served_qps`].
+///
+/// [`AskService`]: dbcopilot_serve::AskService
+pub fn measure_served_ask_qps<P: dbcopilot_serve::QueryPipeline + 'static>(
+    service: &dbcopilot_serve::AskService<P>,
+    questions: &[String],
+    total: usize,
+    clients: usize,
+) -> f64 {
+    measure_concurrent(questions, total, clients, |q| {
+        let _ = service.ask(q);
+    })
 }
 
 /// Assemble a Table 5 row.

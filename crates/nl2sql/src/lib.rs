@@ -25,5 +25,6 @@ pub mod prompts;
 pub use cost::{estimate_tokens, CostLedger, CostModel};
 pub use llm::{parse_intent, CopilotLM, Intent, LlmConfig, LlmOutput};
 pub use prompts::{
-    basic_prompt, cot_selection_prompt, multiple_prompt, Prompt, PromptSchema, PromptStrategy,
+    basic_prompt, cot_selection_prompt, multiple_prompt, repair_prompt, Prompt, PromptSchema,
+    PromptStrategy,
 };

@@ -20,14 +20,22 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use dbcopilot_sqlengine::Value;
+use dbcopilot_sqlengine::{EngineError, Value};
 use dbcopilot_synth::lexicon::{display_form, singularize, Lexicon};
 use dbcopilot_synth::templates::{render_sql, AggKind, CmpOp, QuestionSpec, TemplateKind};
 
 use crate::prompts::{Prompt, PromptSchema};
 
-/// Noise/capability knobs.
+/// Noise/capability knobs. Builder-style so adding a knob is not a
+/// breaking change:
+///
+/// ```
+/// use dbcopilot_nl2sql::LlmConfig;
+/// let cfg = LlmConfig::new().seed(7).base_error(0.0).malformed_sql(0.0);
+/// assert_eq!(cfg.seed, 7);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct LlmConfig {
     pub seed: u64,
     /// Per-irrelevant-table probability of a table mix-up.
@@ -37,6 +45,10 @@ pub struct LlmConfig {
     /// Base probability of a generic SQL slip (wrong direction, wrong
     /// aggregate) even with a perfect schema.
     pub base_error: f64,
+    /// Probability the emitted SQL is syntactically broken (truncated
+    /// mid-query) — the slip real LLMs make that only *execution* catches,
+    /// and that an execution-feedback repair turn recovers.
+    pub malformed_sql: f64,
 }
 
 impl Default for LlmConfig {
@@ -46,7 +58,49 @@ impl Default for LlmConfig {
             distraction_per_table: 0.01,
             synonym_resolution: 0.93,
             base_error: 0.08,
+            malformed_sql: 0.03,
         }
+    }
+}
+
+impl LlmConfig {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A noiseless model: every knob off, grounding always succeeds when
+    /// the schema allows it. The oracle upper bound for tests.
+    pub fn perfect() -> Self {
+        Self::new()
+            .distraction_per_table(0.0)
+            .synonym_resolution(1.0)
+            .base_error(0.0)
+            .malformed_sql(0.0)
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn distraction_per_table(mut self, p: f64) -> Self {
+        self.distraction_per_table = p;
+        self
+    }
+
+    pub fn synonym_resolution(mut self, p: f64) -> Self {
+        self.synonym_resolution = p;
+        self
+    }
+
+    pub fn base_error(mut self, p: f64) -> Self {
+        self.base_error = p;
+        self
+    }
+
+    pub fn malformed_sql(mut self, p: f64) -> Self {
+        self.malformed_sql = p;
+        self
     }
 }
 
@@ -83,21 +137,70 @@ impl CopilotLM {
     /// Generate SQL for a question given a rendered prompt.
     pub fn generate_sql(&self, prompt: &Prompt, question: &str) -> LlmOutput {
         let mut rng = self.rng_for(question);
+        self.generate_with_rng(&prompt.schemas, question, &mut rng)
+    }
+
+    /// The repair turn: regenerate after `failed_sql` produced `error` at
+    /// execution, on repair round `round` (1-based). Two mechanisms model
+    /// what a real LLM does with execution feedback:
+    ///
+    /// * the noise stream is re-derived from the failed attempt *and the
+    ///   round*, so a careless slip (truncation, distraction, a corrupt
+    ///   literal) rarely repeats once called out — and a repeated
+    ///   identical failure still gets a fresh roll on the next round;
+    /// * any identifier the engine rejected by name (unknown/ambiguous
+    ///   table or column) is dropped from the schema before re-grounding
+    ///   (callers accumulate prior rejections by passing an
+    ///   already-pruned prompt).
+    ///
+    /// Deterministic: a pure function of `(seed, question, failed_sql,
+    /// error, round)`.
+    pub fn generate_sql_with_feedback(
+        &self,
+        prompt: &Prompt,
+        question: &str,
+        failed_sql: &str,
+        error: &EngineError,
+        round: usize,
+    ) -> LlmOutput {
+        use dbcopilot_retrieval::text::fnv1a;
+        let mut rng = SmallRng::seed_from_u64(
+            fnv1a(question)
+                ^ fnv1a(failed_sql).rotate_left(13)
+                ^ fnv1a(&error.to_string()).rotate_left(29)
+                ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ self.cfg.seed,
+        );
+        match error.offending_identifier() {
+            Some(ident) => {
+                let schemas: Vec<PromptSchema> =
+                    prompt.schemas.iter().map(|s| s.without_identifier(ident)).collect();
+                self.generate_with_rng(&schemas, question, &mut rng)
+            }
+            None => self.generate_with_rng(&prompt.schemas, question, &mut rng),
+        }
+    }
+
+    fn generate_with_rng(
+        &self,
+        schemas: &[PromptSchema],
+        question: &str,
+        rng: &mut SmallRng,
+    ) -> LlmOutput {
         let Some(intent) = parse_intent(question) else {
             return LlmOutput { sql: None, output_tokens: 2 };
         };
-        let Some(mut spec) = self.ground(&intent, &prompt.schemas, &mut rng) else {
+        let Some(mut spec) = self.ground(&intent, schemas, rng) else {
             return LlmOutput { sql: None, output_tokens: 2 };
         };
 
         // Distraction: each irrelevant prompt table independently risks a
         // mix-up; on failure one role is replaced with a random table.
-        let total_tables: usize = prompt.schemas.iter().map(PromptSchema::num_tables).sum();
+        let total_tables: usize = schemas.iter().map(PromptSchema::num_tables).sum();
         let extra = total_tables.saturating_sub(spec.tables.len());
         let p_distract = 1.0 - (1.0 - self.cfg.distraction_per_table).powi(extra as i32);
         if extra > 0 && rng.gen_bool(p_distract.clamp(0.0, 1.0)) {
-            let pool: Vec<&str> = prompt
-                .schemas
+            let pool: Vec<&str> = schemas
                 .iter()
                 .flat_map(|s| s.tables.iter().map(|(t, _)| t.as_str()))
                 .filter(|t| !spec.tables.iter().any(|x| x == t))
@@ -110,10 +213,15 @@ impl CopilotLM {
 
         // Base SQL slips.
         if rng.gen_bool(self.cfg.base_error) {
-            corrupt_spec(&mut spec, &mut rng);
+            corrupt_spec(&mut spec, rng);
         }
 
-        let sql = render_sql(&spec);
+        let mut sql = render_sql(&spec);
+        // Syntax slips: truncate mid-query. Only execution catches these,
+        // which is exactly what the repair loop feeds back.
+        if self.cfg.malformed_sql > 0.0 && rng.gen_bool(self.cfg.malformed_sql.clamp(0.0, 1.0)) {
+            truncate_malformed(&mut sql, rng);
+        }
         let tokens = sql.len() / 4 + 1;
         LlmOutput { sql: Some(sql), output_tokens: tokens }
     }
@@ -410,6 +518,26 @@ impl CopilotLM {
         spec.entities = spec.tables.clone();
         spec.aligned = spec.tables.clone();
         Some(spec)
+    }
+}
+
+/// A syntax slip: cut the tail of the query off inside a string literal,
+/// keeping at least the leading `SELECT ` so the output still looks like
+/// SQL. The dangling quote guarantees the result never lexes — a plain
+/// tail cut can accidentally leave valid SQL (e.g. dropping exactly
+/// ` LIMIT 1`), which would turn the "syntax slip" into a silent wrong
+/// answer instead of the execution error the repair loop feeds on.
+fn truncate_malformed(sql: &mut String, rng: &mut SmallRng) {
+    let cut = rng.gen_range(3..9);
+    let mut keep = sql.len().saturating_sub(cut).max("SELECT ".len());
+    while keep < sql.len() && !sql.is_char_boundary(keep) {
+        keep += 1;
+    }
+    sql.truncate(keep);
+    // An odd quote count is an unterminated literal, which never lexes;
+    // when the cut itself landed inside a literal the count is already odd.
+    if sql.matches('\'').count().is_multiple_of(2) {
+        sql.push('\'');
     }
 }
 
@@ -729,12 +857,7 @@ mod tests {
     }
 
     fn perfect_llm() -> CopilotLM {
-        CopilotLM::new(LlmConfig {
-            seed: 1,
-            distraction_per_table: 0.0,
-            synonym_resolution: 1.0,
-            base_error: 0.0,
-        })
+        CopilotLM::new(LlmConfig::perfect().seed(1))
     }
 
     #[test]
@@ -822,12 +945,11 @@ mod tests {
 
     #[test]
     fn distraction_grows_with_prompt_width() {
-        let cfg = LlmConfig {
-            distraction_per_table: 0.05,
-            base_error: 0.0,
-            synonym_resolution: 1.0,
-            ..LlmConfig::default()
-        };
+        let cfg = LlmConfig::new()
+            .distraction_per_table(0.05)
+            .base_error(0.0)
+            .synonym_resolution(1.0)
+            .malformed_sql(0.0);
         let llm = CopilotLM::new(cfg);
         // wide prompt: singer + 30 irrelevant tables
         let mut wide = singer_schema();
@@ -858,6 +980,67 @@ mod tests {
         let p = basic_prompt(&singer_schema(), q);
         let a = llm.generate_sql(&p, q).sql;
         let b = llm.generate_sql(&p, q).sql;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_slips_happen_and_repair_recovers_them() {
+        // Force the syntax slip: every first-shot query is truncated.
+        let llm = CopilotLM::new(LlmConfig::perfect().seed(1).malformed_sql(1.0));
+        let q = "How many singers are there?";
+        let p = basic_prompt(&singer_schema(), q);
+        let broken = llm.generate_sql(&p, q).sql.unwrap();
+        assert_ne!(broken, "SELECT COUNT(*) FROM singer");
+        assert!(broken.starts_with("SELECT"), "{broken}");
+
+        // A model that slips 60% of the time: feed the execution error
+        // back; the re-derived noise stream re-rolls the slip, so repeated
+        // repair turns converge on well-formed SQL.
+        let llm = CopilotLM::new(LlmConfig::perfect().seed(1).malformed_sql(0.6));
+        let mut recovered = 0;
+        for i in 0..40 {
+            let q = format!("What are the names of singers whose age is greater than {i}?");
+            let p = basic_prompt(&singer_schema(), &q);
+            let first = llm.generate_sql(&p, &q).sql.unwrap();
+            let want = format!("SELECT name FROM singer WHERE age > {i}");
+            if first == want {
+                continue; // no slip on this question
+            }
+            let err = EngineError::Parse { message: "unexpected end of input".into() };
+            let rp = crate::prompts::repair_prompt(&singer_schema(), &q, &first, "parse");
+            let fixed = llm.generate_sql_with_feedback(&rp, &q, &first, &err, 1).sql.unwrap();
+            if fixed == want {
+                recovered += 1;
+            }
+        }
+        assert!(recovered > 0, "repair must recover some malformed slips");
+    }
+
+    #[test]
+    fn feedback_avoids_the_offending_identifier() {
+        let llm = perfect_llm();
+        // The prompt contains a decoy `singer_data` table the engine does
+        // not actually have; a hallucinated reference errors at execution.
+        let mut schema = singer_schema();
+        schema.tables.insert(0, ("singer_data".into(), vec!["singer_id".into(), "payload".into()]));
+        let q = "How many singers are there?";
+        let p = basic_prompt(&schema, q);
+        let err = EngineError::UnknownTable { table: "singer_data".into() };
+        let out = llm
+            .generate_sql_with_feedback(&p, q, "SELECT COUNT(*) FROM singer_data", &err, 1)
+            .sql
+            .unwrap();
+        assert_eq!(out, "SELECT COUNT(*) FROM singer", "repair must avoid the rejected table");
+    }
+
+    #[test]
+    fn feedback_is_deterministic() {
+        let llm = CopilotLM::default();
+        let q = "How many singers are there?";
+        let p = basic_prompt(&singer_schema(), q);
+        let err = EngineError::Eval { message: "boom".into() };
+        let a = llm.generate_sql_with_feedback(&p, q, "SELECT COUNT(*", &err, 1).sql;
+        let b = llm.generate_sql_with_feedback(&p, q, "SELECT COUNT(*", &err, 1).sql;
         assert_eq!(a, b);
     }
 

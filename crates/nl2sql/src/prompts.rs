@@ -15,6 +15,9 @@ pub enum PromptStrategy {
     MultipleSchema,
     /// Two-turn chain of thought: select a schema, then generate (Figure 6).
     MultipleSchemaCot,
+    /// Execution-feedback repair: the failed SQL and its engine error are
+    /// shown so the model can correct its query.
+    Repair,
 }
 
 /// A schema as it appears in a prompt: table names with their columns.
@@ -56,6 +59,17 @@ impl PromptSchema {
         self.tables.len()
     }
 
+    /// Drop a table (by name) or a column (everywhere) from the schema —
+    /// how a repair turn avoids an identifier the engine rejected.
+    pub fn without_identifier(&self, ident: &str) -> Self {
+        let mut out = self.clone();
+        out.tables.retain(|(t, _)| !t.eq_ignore_ascii_case(ident));
+        for (_, cols) in &mut out.tables {
+            cols.retain(|c| !c.eq_ignore_ascii_case(ident));
+        }
+        out
+    }
+
     fn render_tables(&self, out: &mut String) {
         for (t, cols) in &self.tables {
             out.push_str(&format!("# {}({})\n", t, cols.join(", ")));
@@ -95,6 +109,29 @@ pub fn multiple_prompt(schemas: &[PromptSchema], question: &str) -> Prompt {
     }
     text.push_str(&format!("#\n### {question}\nSELECT"));
     Prompt { text, schemas: schemas.to_vec(), strategy: PromptStrategy::MultipleSchema }
+}
+
+/// Execution-feedback repair prompt: the basic prompt plus the failed SQL
+/// and the engine error it produced, asking the model to fix its query
+/// (the recovery turn of agentic NL-DB loops).
+pub fn repair_prompt(
+    schema: &PromptSchema,
+    question: &str,
+    failed_sql: &str,
+    error: &str,
+) -> Prompt {
+    let mut text = String::from(
+        "### Complete sqlite SQL query only and with no explanation\n\
+         ### Sqlite SQL tables, with their properties:\n#\n",
+    );
+    schema.render_tables(&mut text);
+    text.push_str(&format!(
+        "#\n### {question}\n\
+         ### A previous attempt failed; fix the query.\n\
+         # Failed SQL: {failed_sql}\n\
+         # Error: {error}\nSELECT",
+    ));
+    Prompt { text, schemas: vec![schema.clone()], strategy: PromptStrategy::Repair }
 }
 
 /// Figure 6 turn 1: the chain-of-thought schema-selection prompt.
@@ -177,6 +214,31 @@ mod tests {
         let p = cot_selection_prompt(&[s1.clone(), s1], "q");
         assert!(p.text.contains("[1] world"));
         assert!(p.text.contains("[2] world"));
+    }
+
+    #[test]
+    fn repair_prompt_includes_failure_context() {
+        let c = collection();
+        let s = PromptSchema::resolve(&c, &QuerySchema::new("world", vec!["country".into()]));
+        let p = repair_prompt(&s, "How many countries?", "SELECT COUNT(*) FRO", "parse error");
+        assert_eq!(p.strategy, PromptStrategy::Repair);
+        assert!(p.text.contains("Failed SQL: SELECT COUNT(*) FRO"));
+        assert!(p.text.contains("Error: parse error"));
+        assert!(p.text.ends_with("SELECT"));
+    }
+
+    #[test]
+    fn without_identifier_drops_tables_and_columns() {
+        let c = collection();
+        let s = PromptSchema::resolve(
+            &c,
+            &QuerySchema::new("world", vec!["country".into(), "countrylanguage".into()]),
+        );
+        let no_table = s.without_identifier("countrylanguage");
+        assert_eq!(no_table.num_tables(), 1);
+        let no_col = s.without_identifier("continent");
+        assert!(no_col.tables.iter().all(|(_, cols)| !cols.iter().any(|c| c == "continent")));
+        assert_eq!(no_col.num_tables(), 2);
     }
 
     #[test]

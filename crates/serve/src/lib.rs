@@ -1,19 +1,28 @@
-//! `dbcopilot-serve` — the concurrent serving layer over schema routing.
+//! `dbcopilot-serve` — the concurrent serving layer over schema routing
+//! *and* the full question→SQL pipeline.
 //!
-//! DBCopilot's routing is only useful at scale if it can be *served*: many
-//! clients asking questions over one loaded router, concurrently, with
-//! sub-model-call latency for repeated questions. This crate provides that
-//! front:
+//! DBCopilot is only useful at scale if it can be *served*: many clients
+//! asking questions over one loaded model, concurrently, with
+//! sub-model-call latency for repeated questions. This crate provides
+//! that front, plus the end-to-end pipeline contract it serves:
 //!
+//! * [`QueryPipeline`] — the question→SQL→result trait (implemented by
+//!   the facade's `DbCopilot`), with [`AskOptions`] (top-k candidate
+//!   fallback, execution-feedback repair budget, trace verbosity), the
+//!   staged [`AskError`] taxonomy (every variant a typed
+//!   [`std::error::Error`]) and the introspectable [`AskReport`] trace;
 //! * [`RouterService`] — wraps any [`SchemaRouter`] (the trained
 //!   `DbcRouter`, or any baseline) behind an `Arc`, micro-batches
 //!   concurrent requests, deduplicates identical in-flight questions, and
 //!   executes batches on the persistent worker pool from
 //!   `dbcopilot-runtime`;
-//! * [`LruCache`] — the deterministic, capacity-bounded route cache keyed
-//!   on [`normalize_question`], with hit/miss counters;
-//! * [`ServiceConfig`] / [`ServiceStats`] — tuning knobs and observable
-//!   serving counters.
+//! * [`AskService`] — the same machinery fronting a full
+//!   [`QueryPipeline`], so the LRU cache holds complete answers (and
+//!   typed failures), not just routes;
+//! * [`LruCache`] — the deterministic, capacity-bounded cache keyed on
+//!   [`normalize_question`], with hit/miss counters;
+//! * [`ServiceConfig`] / [`ServiceStats`] — tuning knobs (builder-style)
+//!   and observable serving counters.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -39,8 +48,16 @@
 //!
 //! [`SchemaRouter`]: dbcopilot_retrieval::SchemaRouter
 
+pub mod ask;
 pub mod cache;
+pub mod pipeline;
 pub mod service;
 
+pub use ask::AskService;
 pub use cache::{normalize_question, LruCache};
+pub use pipeline::{
+    Answer, AskError, AskOptions, AskOutcome, AskReport, AttemptOutcome, ExecutionError,
+    GenerationError, PromptError, QueryPipeline, RoutingError, ScoredCandidate, SqlAttempt,
+    StageTimings, TraceLevel,
+};
 pub use service::{RouterService, ServiceConfig, ServiceStats};

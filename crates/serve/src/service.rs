@@ -1,23 +1,25 @@
-//! `RouterService`: a concurrent serving front for any schema router.
+//! The shared serving engine and [`RouterService`], its routing front.
 //!
 //! Three mechanisms stack, each configurable through [`ServiceConfig`]:
 //!
-//! 1. **LRU route cache** ([`crate::LruCache`]) keyed on
+//! 1. **LRU cache** ([`crate::LruCache`]) keyed on
 //!    [`crate::normalize_question`] — repeated and surface-variant
 //!    questions are answered without touching the model;
 //! 2. **micro-batching** — a dispatcher thread collects concurrent cache
 //!    misses into batches (flushing at `max_batch` requests or after
 //!    `flush_timeout`), and deduplicates identical in-flight questions so
-//!    one route serves every waiter;
+//!    one computation serves every waiter;
 //! 3. **worker-pool dispatch** — each batch fans out over the persistent
 //!    [`WorkerPool`] from `dbcopilot-runtime` (no per-request thread
 //!    spawns).
 //!
-//! Routing itself stays deterministic: the underlying router is shared
-//! read-only behind an [`Arc`], every question routes to the same result
-//! no matter how requests interleave, and the synchronous
-//! [`RouterService::route_many`] path is bit-for-bit reproducible at any
-//! `DBC_THREADS`.
+//! The machinery is generic over a crate-internal `Backend` (question in, value out):
+//! [`RouterService`] instantiates it with a schema router
+//! (question → [`RoutingResult`]), and [`crate::AskService`] with a full
+//! [`crate::QueryPipeline`] (question → answer report), so the cache
+//! fronts *answers*, not just routes. Backends are pure functions of the
+//! question, which is what keeps served results identical to direct calls
+//! no matter how requests interleave.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,16 +33,26 @@ use dbcopilot_runtime::{global_pool, WorkerPool};
 
 use crate::cache::{normalize_question, LruCache};
 
-/// Tuning knobs for a [`RouterService`].
+/// Tuning knobs for a serving front ([`RouterService`] /
+/// [`crate::AskService`]). Builder-style so adding a knob is not a
+/// breaking change:
+///
+/// ```
+/// use dbcopilot_serve::ServiceConfig;
+/// let cfg = ServiceConfig::new().max_batch(32).cache_capacity(1024);
+/// assert_eq!(cfg.max_batch, 32);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ServiceConfig {
     /// Flush a batch as soon as it holds this many requests.
     pub max_batch: usize,
     /// Flush a partial batch after waiting this long for more requests.
     pub flush_timeout: Duration,
-    /// Route-cache entries (`0` disables caching).
+    /// Cache entries (`0` disables caching).
     pub cache_capacity: usize,
-    /// `top_tables` passed to the underlying router on every route.
+    /// `top_tables` passed to the underlying router on every route
+    /// (routing fronts only).
     pub top_tables: usize,
     /// Dedicated pool workers; `0` uses the process-wide shared pool.
     pub workers: usize,
@@ -58,64 +70,108 @@ impl Default for ServiceConfig {
     }
 }
 
+impl ServiceConfig {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
+    }
+
+    pub fn flush_timeout(mut self, d: Duration) -> Self {
+        self.flush_timeout = d;
+        self
+    }
+
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n;
+        self
+    }
+
+    pub fn top_tables(mut self, n: usize) -> Self {
+        self.top_tables = n;
+        self
+    }
+
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+}
+
 /// A snapshot of serving counters (see [`RouterService::stats`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// Cache lookups answered without routing.
+    /// Cache lookups answered without computing.
     pub cache_hits: u64,
-    /// Cache lookups that fell through to the router.
+    /// Cache lookups that fell through to the backend.
     pub cache_misses: u64,
     /// Entries currently cached.
     pub cached: usize,
     /// Micro-batches executed by the dispatcher.
     pub batches: u64,
-    /// Questions actually routed (after caching and deduplication).
-    pub routed: u64,
+    /// Questions actually computed (after caching and deduplication).
+    pub computed: u64,
     /// Largest micro-batch observed (distinct questions).
     pub max_batch_observed: u64,
 }
 
-/// One queued cache miss: the normalized key, the original question text,
-/// and where to send the result.
-struct Request {
-    key: String,
-    question: String,
-    reply: Sender<Arc<RoutingResult>>,
+/// What the serving engine fronts: a pure, thread-safe map from question
+/// text to a value. Crate-internal — services expose typed wrappers.
+pub(crate) trait Backend: Send + Sync + 'static {
+    type Out: Send + Sync + 'static;
+
+    /// Compute the value for one question. Must be a pure function of the
+    /// question (no interior mutation visible to callers), which is what
+    /// makes caching and deduplication invisible to quality.
+    fn compute(&self, question: &str) -> Self::Out;
+
+    /// Dispatcher thread name.
+    fn thread_label() -> &'static str;
 }
 
-struct Shared<R> {
-    router: Arc<R>,
+/// One queued cache miss: the normalized key, the original question text,
+/// and where to send the result.
+struct Request<T> {
+    key: String,
+    question: String,
+    reply: Sender<Arc<T>>,
+}
+
+struct Shared<B: Backend> {
+    backend: B,
     cfg: ServiceConfig,
-    cache: Mutex<LruCache<Arc<RoutingResult>>>,
+    cache: Mutex<LruCache<Arc<B::Out>>>,
     /// `None` → use the process-wide `global_pool()`.
     pool: Option<WorkerPool>,
     batches: AtomicU64,
-    routed: AtomicU64,
+    computed: AtomicU64,
     max_batch_observed: AtomicU64,
 }
 
-impl<R: SchemaRouter + Send + Sync> Shared<R> {
+impl<B: Backend> Shared<B> {
     fn pool(&self) -> &WorkerPool {
         self.pool.as_ref().unwrap_or_else(|| global_pool())
     }
 
-    /// Route a batch of distinct `(key, question)` pairs on the pool and
+    /// Compute a batch of distinct `(key, question)` pairs on the pool and
     /// publish the results to the cache. Returns results in input order.
-    fn route_unique(&self, unique: &[(String, String)]) -> Vec<Arc<RoutingResult>> {
+    fn compute_unique(&self, unique: &[(String, String)]) -> Vec<Arc<B::Out>> {
         if unique.is_empty() {
             // all cache hits — no batch to run, no counters to bump
             return Vec::new();
         }
-        let results: Vec<Arc<RoutingResult>> = self
-            .pool()
-            .map(unique, |_, (_, q)| Arc::new(self.router.route(q, self.cfg.top_tables)));
+        let results: Vec<Arc<B::Out>> =
+            self.pool().map(unique, |_, (_, q)| Arc::new(self.backend.compute(q)));
         let mut cache = lock(&self.cache);
         for ((key, _), result) in unique.iter().zip(&results) {
             cache.insert(key.clone(), Arc::clone(result));
         }
         drop(cache);
         self.batches.fetch_add(1, Ordering::Relaxed);
-        self.routed.fetch_add(unique.len() as u64, Ordering::Relaxed);
+        self.computed.fetch_add(unique.len() as u64, Ordering::Relaxed);
         self.max_batch_observed.fetch_max(unique.len() as u64, Ordering::Relaxed);
         results
     }
@@ -125,57 +181,50 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// A concurrent serving front over a shared read-only router.
-///
-/// Clients call [`route`](RouterService::route) from any number of
-/// threads; cache misses are micro-batched by a dispatcher thread and
-/// executed on a persistent worker pool. Dropping the service is a
-/// graceful shutdown: queued requests are still answered, then the
-/// dispatcher (and any dedicated pool) joins.
-pub struct RouterService<R: SchemaRouter + Send + Sync + 'static> {
-    shared: Arc<Shared<R>>,
-    sender: Option<Sender<Request>>,
+/// The generic serving core: cache fast path, dispatcher micro-batching,
+/// pool fan-out, graceful drop. [`RouterService`] and
+/// [`crate::AskService`] are thin typed fronts over one of these.
+pub(crate) struct Engine<B: Backend> {
+    shared: Arc<Shared<B>>,
+    sender: Option<Sender<Request<B::Out>>>,
     dispatcher: Option<JoinHandle<()>>,
 }
 
-impl<R: SchemaRouter + Send + Sync + 'static> RouterService<R> {
-    /// Serve an already-shared router.
-    pub fn new(router: Arc<R>, cfg: ServiceConfig) -> Self {
-        let cfg = ServiceConfig { max_batch: cfg.max_batch.max(1), ..cfg };
+impl<B: Backend> Engine<B> {
+    pub(crate) fn new(backend: B, cfg: ServiceConfig) -> Self {
+        let cfg = {
+            let mut cfg = cfg;
+            cfg.max_batch = cfg.max_batch.max(1);
+            cfg
+        };
         let shared = Arc::new(Shared {
-            router,
+            backend,
             cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
             pool: (cfg.workers > 0).then(|| WorkerPool::new(cfg.workers)),
             cfg,
             batches: AtomicU64::new(0),
-            routed: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
             max_batch_observed: AtomicU64::new(0),
         });
-        let (sender, receiver) = channel::<Request>();
+        let (sender, receiver) = channel::<Request<B::Out>>();
         let dispatcher = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
-                .name("dbc-serve-dispatch".to_string())
+                .name(B::thread_label().to_string())
                 .spawn(move || dispatch_loop(&shared, &receiver))
                 .expect("failed to spawn service dispatcher")
         };
-        RouterService { shared, sender: Some(sender), dispatcher: Some(dispatcher) }
+        Engine { shared, sender: Some(sender), dispatcher: Some(dispatcher) }
     }
 
-    /// Take ownership of a router and serve it.
-    pub fn from_router(router: R, cfg: ServiceConfig) -> Self {
-        Self::new(Arc::new(router), cfg)
+    pub(crate) fn backend(&self) -> &B {
+        &self.shared.backend
     }
 
-    /// The served router.
-    pub fn router(&self) -> &Arc<R> {
-        &self.shared.router
-    }
-
-    /// Route one question: answered from the cache when possible,
-    /// otherwise enqueued, micro-batched with concurrent misses, routed on
-    /// the pool, and cached. Blocks until the result is available.
-    pub fn route(&self, question: &str) -> Arc<RoutingResult> {
+    /// Serve one question: answered from the cache when possible,
+    /// otherwise enqueued, micro-batched with concurrent misses, computed
+    /// on the pool, and cached. Blocks until the result is available.
+    pub(crate) fn submit(&self, question: &str) -> Arc<B::Out> {
         let key = normalize_question(question);
         if let Some(hit) = lock(&self.shared.cache).get(&key) {
             return Arc::clone(hit);
@@ -186,24 +235,24 @@ impl<R: SchemaRouter + Send + Sync + 'static> RouterService<R> {
             .expect("sender alive until drop")
             .send(Request { key, question: question.to_string(), reply })
             .expect("dispatcher alive until drop");
-        // A dropped reply sender means the router panicked on this batch
+        // A dropped reply sender means the backend panicked on this batch
         // (the dispatcher contained it and kept serving); surface the
         // failure to the affected caller only.
         result.recv().unwrap_or_else(|_| {
-            panic!("router panicked while routing the batch containing {question:?}")
+            panic!("serving backend panicked on the batch containing {question:?}")
         })
     }
 
-    /// Route a slice of questions synchronously (no dispatcher, no flush
-    /// timer): each `max_batch`-sized window is cache-checked, deduplicated
-    /// and routed on the pool. Results come back in question order, and the
-    /// whole call is deterministic — ideal for evaluation loops.
-    pub fn route_many(&self, questions: &[String]) -> Vec<Arc<RoutingResult>> {
-        let mut out: Vec<Arc<RoutingResult>> = Vec::with_capacity(questions.len());
+    /// Serve a slice of questions synchronously (no dispatcher, no flush
+    /// timer): each `max_batch`-sized window is cache-checked,
+    /// deduplicated and computed on the pool. Results come back in
+    /// question order, and the whole call is deterministic.
+    pub(crate) fn submit_many(&self, questions: &[String]) -> Vec<Arc<B::Out>> {
+        let mut out: Vec<Arc<B::Out>> = Vec::with_capacity(questions.len());
         for window in questions.chunks(self.shared.cfg.max_batch.max(1)) {
             // out[i] for this window: either a cache hit or an index into
-            // the routed `unique` batch.
-            let mut plan: Vec<Result<Arc<RoutingResult>, usize>> = Vec::with_capacity(window.len());
+            // the computed `unique` batch.
+            let mut plan: Vec<Result<Arc<B::Out>, usize>> = Vec::with_capacity(window.len());
             let mut unique: Vec<(String, String)> = Vec::new();
             let mut seen: HashMap<String, usize> = HashMap::new();
             {
@@ -221,38 +270,31 @@ impl<R: SchemaRouter + Send + Sync + 'static> RouterService<R> {
                     }
                 }
             }
-            let routed = self.shared.route_unique(&unique);
+            let computed = self.shared.compute_unique(&unique);
             for step in plan {
                 out.push(match step {
                     Ok(hit) => hit,
-                    Err(at) => Arc::clone(&routed[at]),
+                    Err(at) => Arc::clone(&computed[at]),
                 });
             }
         }
         out
     }
 
-    /// Pre-seed the cache by routing `questions` (e.g. a known-popular
-    /// workload) before traffic arrives.
-    pub fn warm(&self, questions: &[String]) {
-        let _ = self.route_many(questions);
-    }
-
-    /// Current serving counters.
-    pub fn stats(&self) -> ServiceStats {
+    pub(crate) fn stats(&self) -> ServiceStats {
         let cache = lock(&self.shared.cache);
         ServiceStats {
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
             cached: cache.len(),
             batches: self.shared.batches.load(Ordering::Relaxed),
-            routed: self.shared.routed.load(Ordering::Relaxed),
+            computed: self.shared.computed.load(Ordering::Relaxed),
             max_batch_observed: self.shared.max_batch_observed.load(Ordering::Relaxed),
         }
     }
 }
 
-impl<R: SchemaRouter + Send + Sync + 'static> Drop for RouterService<R> {
+impl<B: Backend> Drop for Engine<B> {
     fn drop(&mut self) {
         // Closing the channel lets the dispatcher answer everything still
         // queued, then exit; joining (dispatcher first, then any dedicated
@@ -264,9 +306,9 @@ impl<R: SchemaRouter + Send + Sync + 'static> Drop for RouterService<R> {
     }
 }
 
-/// Dispatcher: collect requests into micro-batches, route each batch once
-/// per distinct question, fan results back out to every waiter.
-fn dispatch_loop<R: SchemaRouter + Send + Sync>(shared: &Shared<R>, receiver: &Receiver<Request>) {
+/// Dispatcher: collect requests into micro-batches, compute each batch
+/// once per distinct question, fan results back out to every waiter.
+fn dispatch_loop<B: Backend>(shared: &Shared<B>, receiver: &Receiver<Request<B::Out>>) {
     while let Ok(first) = receiver.recv() {
         let mut batch = vec![first];
         let deadline = Instant::now() + shared.cfg.flush_timeout;
@@ -280,24 +322,24 @@ fn dispatch_loop<R: SchemaRouter + Send + Sync>(shared: &Shared<R>, receiver: &R
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        // Contain a panicking route: dropping the batch drops its reply
-        // senders, so only the affected waiters fail (their `route` call
+        // Contain a panicking backend: dropping the batch drops its reply
+        // senders, so only the affected waiters fail (their blocking call
         // re-raises) while the dispatcher survives to serve the next batch.
         let contained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_batch(shared, batch);
         }));
         if contained.is_err() {
-            eprintln!("dbcopilot-serve: router panicked on a batch; service continues");
+            eprintln!("dbcopilot-serve: backend panicked on a batch; service continues");
         }
     }
     // Channel closed: `recv` already drained every queued request, so
     // nothing is left unanswered.
 }
 
-fn run_batch<R: SchemaRouter + Send + Sync>(shared: &Shared<R>, batch: Vec<Request>) {
+fn run_batch<B: Backend>(shared: &Shared<B>, batch: Vec<Request<B::Out>>) {
     // Deduplicate by normalized key, preserving first-seen order.
     let mut unique: Vec<(String, String)> = Vec::new();
-    let mut waiters: Vec<Vec<Sender<Arc<RoutingResult>>>> = Vec::new();
+    let mut waiters: Vec<Vec<Sender<Arc<B::Out>>>> = Vec::new();
     let mut seen: HashMap<String, usize> = HashMap::new();
     for req in batch {
         match seen.get(&req.key) {
@@ -309,11 +351,87 @@ fn run_batch<R: SchemaRouter + Send + Sync>(shared: &Shared<R>, batch: Vec<Reque
             }
         }
     }
-    let results = shared.route_unique(&unique);
+    let results = shared.compute_unique(&unique);
     for (result, senders) in results.into_iter().zip(waiters) {
         for sender in senders {
             // A send error just means the client went away; nothing to do.
             let _ = sender.send(Arc::clone(&result));
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// the routing front
+// ---------------------------------------------------------------------
+
+pub(crate) struct RouteBackend<R> {
+    router: Arc<R>,
+    top_tables: usize,
+}
+
+impl<R: SchemaRouter + Send + Sync + 'static> Backend for RouteBackend<R> {
+    type Out = RoutingResult;
+
+    fn compute(&self, question: &str) -> RoutingResult {
+        self.router.route(question, self.top_tables)
+    }
+
+    fn thread_label() -> &'static str {
+        "dbc-serve-dispatch"
+    }
+}
+
+/// A concurrent serving front over a shared read-only router.
+///
+/// Clients call [`route`](RouterService::route) from any number of
+/// threads; cache misses are micro-batched by a dispatcher thread and
+/// executed on a persistent worker pool. Dropping the service is a
+/// graceful shutdown: queued requests are still answered, then the
+/// dispatcher (and any dedicated pool) joins.
+pub struct RouterService<R: SchemaRouter + Send + Sync + 'static> {
+    engine: Engine<RouteBackend<R>>,
+}
+
+impl<R: SchemaRouter + Send + Sync + 'static> RouterService<R> {
+    /// Serve an already-shared router.
+    pub fn new(router: Arc<R>, cfg: ServiceConfig) -> Self {
+        let backend = RouteBackend { router, top_tables: cfg.top_tables };
+        RouterService { engine: Engine::new(backend, cfg) }
+    }
+
+    /// Take ownership of a router and serve it.
+    pub fn from_router(router: R, cfg: ServiceConfig) -> Self {
+        Self::new(Arc::new(router), cfg)
+    }
+
+    /// The served router.
+    pub fn router(&self) -> &Arc<R> {
+        &self.engine.backend().router
+    }
+
+    /// Route one question: answered from the cache when possible,
+    /// otherwise enqueued, micro-batched with concurrent misses, routed on
+    /// the pool, and cached. Blocks until the result is available.
+    pub fn route(&self, question: &str) -> Arc<RoutingResult> {
+        self.engine.submit(question)
+    }
+
+    /// Route a slice of questions synchronously (no dispatcher, no flush
+    /// timer): each `max_batch`-sized window is cache-checked, deduplicated
+    /// and routed on the pool. Results come back in question order, and the
+    /// whole call is deterministic — ideal for evaluation loops.
+    pub fn route_many(&self, questions: &[String]) -> Vec<Arc<RoutingResult>> {
+        self.engine.submit_many(questions)
+    }
+
+    /// Pre-seed the cache by routing `questions` (e.g. a known-popular
+    /// workload) before traffic arrives.
+    pub fn warm(&self, questions: &[String]) {
+        let _ = self.route_many(questions);
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.engine.stats()
     }
 }

@@ -1,0 +1,161 @@
+//! AskService over a deterministic mock pipeline: answer caching (success
+//! *and* typed failure), in-flight dedup, ordering, and parity with
+//! direct pipeline calls.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dbcopilot_graph::QuerySchema;
+use dbcopilot_serve::{
+    Answer, AskError, AskOptions, AskReport, AskService, ExecutionError, QueryPipeline,
+    ScoredCandidate, ServiceConfig, SqlAttempt, StageTimings, TraceLevel,
+};
+use dbcopilot_sqlengine::{EngineError, ResultSet};
+
+/// A pipeline that deterministically answers, fails on questions
+/// containing "broken", and counts how many times it actually ran.
+struct MockPipeline {
+    calls: AtomicU64,
+}
+
+impl MockPipeline {
+    fn new() -> Self {
+        MockPipeline { calls: AtomicU64::new(0) }
+    }
+
+    fn calls(&self) -> u64 {
+        self.calls.load(Ordering::SeqCst)
+    }
+}
+
+impl QueryPipeline for MockPipeline {
+    fn ask_with(&self, question: &str, _opts: &AskOptions) -> Result<AskReport, AskError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        if question.contains("broken") {
+            let last = EngineError::Parse { message: format!("bad sql for {question:?}") };
+            return Err(AskError::Execution(ExecutionError {
+                attempts: vec![SqlAttempt {
+                    candidate: 0,
+                    database: "world".into(),
+                    repair: 0,
+                    prompt: None,
+                    sql: Some("SELECT".into()),
+                    outcome: dbcopilot_serve::AttemptOutcome::ExecutionError(last.clone()),
+                }],
+                last,
+            }));
+        }
+        let schema = QuerySchema::new("world", vec!["city".into()]);
+        let sql = format!("SELECT COUNT(*) FROM city -- {}", question.trim().to_lowercase());
+        Ok(AskReport {
+            question: question.to_string(),
+            answer: Answer {
+                schema: schema.clone(),
+                sql,
+                result: ResultSet::empty(),
+                recovered_errors: Vec::new(),
+            },
+            candidates: vec![ScoredCandidate { schema, logp: -0.1 }],
+            chosen: 0,
+            attempts: Vec::new(),
+            timings: StageTimings::default(),
+        })
+    }
+}
+
+#[test]
+fn served_answers_match_direct_pipeline_calls() {
+    let pipeline = Arc::new(MockPipeline::new());
+    let opts = AskOptions::new().top_k(3).trace(TraceLevel::Stages);
+    let service = AskService::new(Arc::clone(&pipeline), opts.clone(), ServiceConfig::default());
+    for q in ["how many cities", "a broken question", "population of each city"] {
+        let served = service.ask(q);
+        let direct = pipeline.ask_with(q, &opts);
+        match (served.as_ref(), &direct) {
+            (Ok(s), Ok(d)) => assert_eq!(s.answer, d.answer, "question {q:?}"),
+            (Err(s), Err(d)) => assert_eq!(s, d, "question {q:?}"),
+            (s, d) => panic!("served {s:?} vs direct {d:?} disagree for {q:?}"),
+        }
+    }
+}
+
+#[test]
+fn answers_and_failures_are_both_cached() {
+    let pipeline = Arc::new(MockPipeline::new());
+    let service =
+        AskService::new(Arc::clone(&pipeline), AskOptions::default(), ServiceConfig::default());
+    let first = service.ask("how many cities?");
+    let again = service.ask("How  many CITIES"); // normalized variant
+    assert_eq!(first.as_ref().as_ref().unwrap().answer, again.as_ref().as_ref().unwrap().answer);
+
+    let fail_first = service.ask("a broken question");
+    let fail_again = service.ask("a broken question");
+    assert!(fail_first.is_err() && fail_again.is_err());
+
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits, 2, "{stats:?}");
+    assert_eq!(stats.computed, 2, "one ask per distinct question: {stats:?}");
+    // the pipeline itself ran exactly once per distinct question — the
+    // cache fronts full outcomes, success and typed failure alike
+    assert_eq!(pipeline.calls(), 2);
+}
+
+#[test]
+fn ask_many_orders_results_and_dedups() {
+    let pipeline = Arc::new(MockPipeline::new());
+    let service =
+        AskService::new(Arc::clone(&pipeline), AskOptions::default(), ServiceConfig::default());
+    let questions: Vec<String> = [
+        "how many cities",
+        "a broken question",
+        "how many cities", // duplicate
+        "population of each city",
+    ]
+    .map(String::from)
+    .to_vec();
+    let out = service.ask_many(&questions);
+    assert_eq!(out.len(), 4);
+    assert!(out[0].is_ok() && out[2].is_ok());
+    assert!(out[1].is_err());
+    assert_eq!(out[0].as_ref().as_ref().unwrap().answer, out[2].as_ref().as_ref().unwrap().answer);
+    assert_eq!(pipeline.calls(), 3, "duplicate must not recompute");
+}
+
+#[test]
+fn concurrent_clients_share_one_pipeline_run_per_question() {
+    let pipeline = Arc::new(MockPipeline::new());
+    let service =
+        AskService::new(Arc::clone(&pipeline), AskOptions::default(), ServiceConfig::default());
+    std::thread::scope(|s| {
+        for client in 0..8 {
+            let service = &service;
+            s.spawn(move || {
+                for round in 0..8 {
+                    let q = format!("question number {}", (client + round) % 4);
+                    let out = service.ask(&q);
+                    assert!(out.is_ok(), "client {client} round {round}");
+                }
+            });
+        }
+    });
+    // 4 distinct questions; dedup + cache keep pipeline runs near-minimal
+    // (a duplicate can slip past the cache only while in flight).
+    assert!(pipeline.calls() <= 12, "expected ~4 runs, got {}", pipeline.calls());
+    let stats = service.stats();
+    assert_eq!(stats.cache_hits + stats.cache_misses, 64);
+}
+
+#[test]
+fn error_outcome_exposes_stage_and_source_chain() {
+    let service = AskService::from_pipeline(
+        MockPipeline::new(),
+        AskOptions::default(),
+        ServiceConfig::default(),
+    );
+    let outcome = service.ask("totally broken");
+    let err = outcome.as_ref().as_ref().expect_err("mock fails on broken questions");
+    assert_eq!(err.stage(), "execution");
+    let dynerr: &dyn std::error::Error = err;
+    let engine = dynerr.source().and_then(|s| s.source()).expect("chains to EngineError");
+    assert!(engine.to_string().contains("parse error"), "{engine}");
+}

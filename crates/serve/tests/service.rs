@@ -88,19 +88,18 @@ fn concurrent_clients_get_correct_answers_and_share_the_cache() {
     // flight for the first time).
     assert_eq!(stats.cache_hits + stats.cache_misses, 128);
     assert!(stats.cache_hits >= 100, "expected mostly hits, got {stats:?}");
-    assert!(stats.routed >= 4, "all distinct questions must route: {stats:?}");
+    assert!(stats.computed >= 4, "all distinct questions must route: {stats:?}");
     assert_eq!(stats.cached, 4);
 }
 
 #[test]
 fn in_flight_duplicates_are_deduplicated_within_a_batch() {
     // A wide flush window lets all clients land in one micro-batch.
-    let cfg = ServiceConfig {
-        max_batch: 64,
-        flush_timeout: Duration::from_millis(50),
-        cache_capacity: 0, // no cache: dedup must come from batching alone
-        ..ServiceConfig::default()
-    };
+    // no cache: dedup must come from batching alone
+    let cfg = ServiceConfig::new()
+        .max_batch(64)
+        .flush_timeout(Duration::from_millis(50))
+        .cache_capacity(0);
     let service = RouterService::from_router(index(), cfg);
     std::thread::scope(|s| {
         for _ in 0..6 {
@@ -112,7 +111,7 @@ fn in_flight_duplicates_are_deduplicated_within_a_batch() {
         }
     });
     let stats = service.stats();
-    assert!(stats.routed < 6, "identical in-flight questions should share a route: {stats:?}");
+    assert!(stats.computed < 6, "identical in-flight questions should share a route: {stats:?}");
 }
 
 #[test]
@@ -139,12 +138,12 @@ fn normalized_variants_share_one_cache_entry() {
     let stats = service.stats();
     assert_eq!(stats.cache_hits, 2, "{stats:?}");
     assert_eq!(stats.cached, 1);
-    assert_eq!(stats.routed, 1);
+    assert_eq!(stats.computed, 1);
 }
 
 #[test]
 fn capacity_zero_service_still_serves() {
-    let cfg = ServiceConfig { cache_capacity: 0, ..ServiceConfig::default() };
+    let cfg = ServiceConfig::new().cache_capacity(0);
     let service = RouterService::from_router(index(), cfg);
     for _ in 0..3 {
         let r = service.route("population of each city");
@@ -152,7 +151,7 @@ fn capacity_zero_service_still_serves() {
     }
     let stats = service.stats();
     assert_eq!(stats.cache_hits, 0);
-    assert_eq!(stats.routed, 3);
+    assert_eq!(stats.computed, 3);
 }
 
 #[test]
@@ -164,7 +163,7 @@ fn warm_preseeds_the_cache() {
     let _ = service.route("how many singers are there");
     service.warm(&questions()); // all hits: no batches, no routes
     let after = service.stats();
-    assert_eq!(after.routed, before.routed, "warm traffic must not re-route");
+    assert_eq!(after.computed, before.computed, "warm traffic must not re-route");
     assert_eq!(after.batches, before.batches, "hit-only windows must not count as batches");
     assert_eq!(after.cache_hits, before.cache_hits + 1 + 4);
 }
@@ -192,7 +191,7 @@ fn router_panic_hits_only_the_affected_caller_and_service_survives() {
 
 #[test]
 fn eviction_under_tiny_capacity_keeps_serving_correctly() {
-    let cfg = ServiceConfig { cache_capacity: 2, ..ServiceConfig::default() };
+    let cfg = ServiceConfig::new().cache_capacity(2);
     let service = RouterService::from_router(index(), cfg);
     let qs = questions();
     for round in 0..3 {
@@ -209,11 +208,7 @@ fn eviction_under_tiny_capacity_keeps_serving_correctly() {
 fn drop_answers_queued_requests_then_shuts_down() {
     // Requests enqueued immediately before drop must still be answered:
     // the dispatcher drains its channel before exiting.
-    let cfg = ServiceConfig {
-        max_batch: 4,
-        flush_timeout: Duration::from_millis(20),
-        ..ServiceConfig::default()
-    };
+    let cfg = ServiceConfig::new().max_batch(4).flush_timeout(Duration::from_millis(20));
     let service = RouterService::from_router(index(), cfg);
     std::thread::scope(|s| {
         let mut handles = Vec::new();
@@ -230,7 +225,7 @@ fn drop_answers_queued_requests_then_shuts_down() {
 
 #[test]
 fn dedicated_pool_configuration_works() {
-    let cfg = ServiceConfig { workers: 2, ..ServiceConfig::default() };
+    let cfg = ServiceConfig::new().workers(2);
     let service = RouterService::from_router(index(), cfg);
     let out = service.route_many(&questions());
     assert_eq!(out.len(), 4);

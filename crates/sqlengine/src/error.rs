@@ -29,6 +29,20 @@ pub enum EngineError {
     WrongDatabase { expected: String, got: String },
 }
 
+impl EngineError {
+    /// The table/column identifier this error calls out, if any — what an
+    /// execution-feedback repair prompt tells the generator to avoid.
+    pub fn offending_identifier(&self) -> Option<&str> {
+        match self {
+            EngineError::UnknownTable { table } => Some(table),
+            EngineError::UnknownColumn { column } | EngineError::AmbiguousColumn { column } => {
+                Some(column)
+            }
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -15,7 +15,7 @@ use crate::storage::Database;
 use crate::value::Value;
 
 /// A query result: named columns and rows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResultSet {
     pub columns: Vec<String>,
     pub rows: Vec<Vec<Value>>,

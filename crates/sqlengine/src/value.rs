@@ -26,7 +26,10 @@ impl fmt::Display for DataType {
 }
 
 /// A runtime SQL value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` is strict structural equality (NULL == NULL, no numeric
+/// coercion) — use [`Value::sql_cmp`] for SQL comparison semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Value {
     Null,
     Int(i64),

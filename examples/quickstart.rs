@@ -1,11 +1,12 @@
 //! Quickstart: build a small multi-database corpus, train the DBCopilot
-//! pipeline, and ask schema-agnostic questions.
+//! pipeline, and ask schema-agnostic questions — with candidate fallback,
+//! execution-feedback repair, and the full pipeline trace.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use dbcopilot::{DbCopilot, PipelineConfig};
+use dbcopilot::{AskOptions, AttemptOutcome, DbCopilot, PipelineConfig, TraceLevel};
 use dbcopilot_core::{load_router, save_router_as, Format};
 use dbcopilot_synth::{build_spider_like, CorpusSizes};
 
@@ -46,28 +47,57 @@ fn main() {
     );
     println!("Reloaded router routes identically — serving needs no retraining.");
 
-    println!("\nAsking the corpus' own test questions:\n");
+    // Ask with the full trace: top-3 candidate fallback + one
+    // execution-feedback repair attempt per candidate.
+    let opts = AskOptions::new().top_k(3).repair_attempts(1).trace(TraceLevel::Stages);
+    println!("\nAsking the corpus' own test questions (top-3 fallback, 1 repair):\n");
+    let mut answered = 0;
+    let mut recovered = 0;
     for inst in corpus.test.iter().take(8) {
         println!("Q: {}", inst.question);
-        match copilot.ask(&inst.question) {
-            Some(ans) => {
-                println!("  routed → {}", ans.schema);
+        match copilot.ask_with(&inst.question, &opts) {
+            Ok(report) => {
+                answered += 1;
+                let ans = &report.answer;
+                println!("  routed → {} (candidate #{})", ans.schema, report.chosen + 1);
                 println!("  gold   → {}", inst.schema);
-                if let Some(sql) = &ans.sql {
-                    println!("  SQL    → {sql}");
-                }
-                if let Some(rs) = &ans.result {
-                    let preview: Vec<String> = rs
-                        .rows
-                        .iter()
-                        .take(3)
-                        .map(|r| r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "))
-                        .collect();
-                    println!("  rows   → {} ({})", rs.rows.len(), preview.join(" | "));
+                println!("  SQL    → {}", ans.sql);
+                let preview: Vec<String> = ans
+                    .result
+                    .rows
+                    .iter()
+                    .take(3)
+                    .map(|r| r.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", "))
+                    .collect();
+                println!("  rows   → {} ({})", ans.result.rows.len(), preview.join(" | "));
+                if report.recovered() {
+                    recovered += 1;
+                    for a in &report.attempts {
+                        if let AttemptOutcome::ExecutionError(e) = &a.outcome {
+                            println!(
+                                "  recovered: candidate #{} repair {} failed with `{e}`",
+                                a.candidate + 1,
+                                a.repair
+                            );
+                        }
+                    }
                 }
             }
-            None => println!("  (no schema decoded)"),
+            Err(e) => println!("  ✗ failed at the {} stage: {e}", e.stage()),
         }
         println!();
     }
+    println!(
+        "{answered}/8 answered end to end ({recovered} needed the fallback/repair machinery)."
+    );
+
+    // The old single-candidate behavior remains one builder call away.
+    let strict = AskOptions::first_candidate();
+    let single: usize = corpus
+        .test
+        .iter()
+        .take(8)
+        .filter(|i| copilot.ask_with(&i.question, &strict).is_ok())
+        .count();
+    println!("Single-candidate (no fallback) answers the same questions: {single}/8.");
 }

@@ -1,11 +1,15 @@
-//! Serving: one trained router, many concurrent clients.
+//! Serving: one trained model, many concurrent clients — routing *and*
+//! full question→SQL→result answers.
 //!
 //! Trains a router over a small corpus, puts it behind the
 //! `RouterService` (LRU cache + micro-batching + persistent worker pool),
 //! then drives it with N concurrent client threads replaying a skewed
 //! workload — a few questions are popular, the rest form a long tail, the
 //! shape real traffic has. Prints served throughput against the unserved
-//! per-call baseline, plus the cache and batching counters.
+//! per-call baseline, plus the cache and batching counters. Then lifts
+//! the same machinery to end-to-end serving: the `AskService` caches
+//! complete answers (SQL + result + trace), so repeated questions skip
+//! routing, prompting, generation *and* execution.
 //!
 //! ```sh
 //! cargo run --release --example serving
@@ -15,9 +19,10 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use dbcopilot::{AskOptions, DbCopilot, QueryPipeline};
 use dbcopilot_core::{DbcRouter, SerializationMode};
 use dbcopilot_retrieval::SchemaRouter;
-use dbcopilot_serve::{RouterService, ServiceConfig};
+use dbcopilot_serve::{AskService, RouterService, ServiceConfig};
 use dbcopilot_synth::{build_spider_like, CorpusSizes};
 
 fn main() {
@@ -58,10 +63,7 @@ fn main() {
     println!("  {:.1} req/s", total_requests as f64 / base_secs);
 
     // Served: shared Arc'd router behind cache + micro-batching + pool.
-    let service = RouterService::new(
-        Arc::clone(&router),
-        ServiceConfig { max_batch: 16, ..ServiceConfig::default() },
-    );
+    let service = RouterService::new(Arc::clone(&router), ServiceConfig::new().max_batch(16));
     println!("\nServing the same workload to {clients} concurrent clients …");
     let start = Instant::now();
     std::thread::scope(|s| {
@@ -94,7 +96,7 @@ fn main() {
     );
     println!(
         "  batching: {} micro-batches, {} routed questions, largest batch {}",
-        stats.batches, stats.routed, stats.max_batch_observed
+        stats.batches, stats.computed, stats.max_batch_observed
     );
 
     // Same-answer sanity check: serving never changes routing results.
@@ -107,4 +109,58 @@ fn main() {
     println!(
         "\nServed results match direct routing — the cache and the pool are invisible to quality."
     );
+    drop(service);
+
+    // -----------------------------------------------------------------
+    // End-to-end serving: the cache fronts complete answers, not routes.
+    // -----------------------------------------------------------------
+    println!("\nLifting to end-to-end serving (question → SQL → result) …");
+    let copilot = DbCopilot::from_parts(
+        Arc::into_inner(router).expect("router service dropped"),
+        Default::default(),
+        corpus.collection.clone(),
+        corpus.store.clone(),
+    );
+
+    // Unserved baseline: every request runs the full pipeline.
+    let opts = AskOptions::new().top_k(3).repair_attempts(1);
+    let start = Instant::now();
+    for i in 0..total_requests {
+        let _ = copilot.ask_with(&workload[i % workload.len()], &opts);
+    }
+    let ask_base_secs = start.elapsed().as_secs_f64();
+    println!("  unserved: {:.1} answers/s", total_requests as f64 / ask_base_secs);
+
+    let ask_service = AskService::from_pipeline(copilot, opts.clone(), ServiceConfig::new());
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for client in 0..clients {
+            let (ask_service, workload) = (&ask_service, &workload);
+            s.spawn(move || {
+                for round in 0..rounds_per_client {
+                    let i = client * rounds_per_client + round;
+                    let _ = ask_service.ask(&workload[i % workload.len()]);
+                }
+            });
+        }
+    });
+    let ask_secs = start.elapsed().as_secs_f64();
+    let stats = ask_service.stats();
+    println!(
+        "  served:   {:.1} answers/s ({:.1}x) — {} cache hits, {} pipeline runs",
+        total_requests as f64 / ask_secs,
+        ask_base_secs / ask_secs,
+        stats.cache_hits,
+        stats.computed
+    );
+
+    // Answer parity: a served answer is the direct answer, errors included.
+    let served = ask_service.ask(probe);
+    let direct = ask_service.pipeline().ask_with(probe, &opts);
+    match (served.as_ref(), &direct) {
+        (Ok(s), Ok(d)) => assert_eq!(s.answer, d.answer, "served answers must match direct"),
+        (Err(s), Err(d)) => assert_eq!(s, d, "served failures must match direct"),
+        _ => panic!("served and direct ask disagree"),
+    }
+    println!("\nServed answers match direct asks — end-to-end serving is quality-invisible.");
 }

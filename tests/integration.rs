@@ -11,7 +11,7 @@ use dbcopilot::eval::{
     build_method, eval_routing, prepare, CorpusKind, MethodKind, Prepared, Scale,
 };
 use dbcopilot::nl2sql::LlmConfig;
-use dbcopilot::{DbCopilot, PipelineConfig};
+use dbcopilot::{AskOptions, DbCopilot, PipelineConfig};
 use dbcopilot_core::{DbcRouter, SerializationMode};
 use dbcopilot_synth::{build_spider_like, CorpusSizes};
 
@@ -109,13 +109,11 @@ fn smoke_quickstart_pipeline() {
     let mut routed_nonempty = false;
     let mut executed = false;
     for inst in &corpus.test {
-        if let Some(ans) = copilot.ask(&inst.question) {
+        if let Ok(ans) = copilot.ask(&inst.question) {
             if !ans.schema.database.is_empty() && !ans.schema.tables.is_empty() {
                 routed_nonempty = true;
             }
-            if ans.result.is_some() {
-                executed = true;
-            }
+            executed = true; // Ok means the SQL executed to a ResultSet
         }
         if routed_nonempty && executed {
             break;
@@ -131,18 +129,72 @@ fn full_pipeline_answers_questions() {
     let mut routed_right = 0;
     let mut executed = 0;
     for inst in &prepared().corpus.test {
-        if let Some(ans) = copilot.ask(&inst.question) {
+        if let Ok(ans) = copilot.ask(&inst.question) {
             if ans.schema.database.eq_ignore_ascii_case(&inst.schema.database) {
                 routed_right += 1;
             }
-            if ans.result.is_some() {
-                executed += 1;
-            }
+            executed += 1;
         }
     }
     let n = prepared().corpus.test.len();
     assert!(routed_right > 0, "no question routed to the right database");
     assert!(executed > n / 4, "only {executed}/{n} questions executed end to end");
+}
+
+#[test]
+fn topk_fallback_with_repair_answers_strictly_more_questions() {
+    // The redesign's acceptance criterion: walking the router's top-3
+    // candidates with one execution-feedback repair answers strictly more
+    // test questions end to end than the old single-candidate path — and
+    // never loses one (the fallback loop starts from the same candidate).
+    let copilot = fixture();
+    let single_opts = AskOptions::first_candidate();
+    let fallback_opts = AskOptions::new().top_k(3).repair_attempts(1);
+    let mut single = 0usize;
+    let mut fallback = 0usize;
+    let mut regressions = Vec::new();
+    for inst in &prepared().corpus.test {
+        let s = copilot.ask_with(&inst.question, &single_opts).is_ok();
+        let f = copilot.ask_with(&inst.question, &fallback_opts).is_ok();
+        single += s as usize;
+        fallback += f as usize;
+        if s && !f {
+            regressions.push(inst.question.clone());
+        }
+    }
+    assert!(regressions.is_empty(), "fallback lost answers: {regressions:?}");
+    assert!(
+        fallback > single,
+        "top-3 + repair ({fallback}) must answer strictly more than single-candidate ({single})"
+    );
+}
+
+#[test]
+fn recovered_answers_surface_their_execution_errors() {
+    // Satellite of the redesign: execution errors are never dropped — an
+    // answer that needed the fallback machinery reports what failed, and a
+    // terminal failure carries the typed engine error chain.
+    let copilot = fixture();
+    let opts = AskOptions::new().top_k(3).repair_attempts(1);
+    let mut saw_recovered_error = false;
+    for inst in &prepared().corpus.test {
+        match copilot.ask_with(&inst.question, &opts) {
+            Ok(report) => {
+                for err in &report.answer.recovered_errors {
+                    saw_recovered_error = true;
+                    assert!(!err.to_string().is_empty());
+                }
+            }
+            Err(dbcopilot::AskError::Execution(e)) => {
+                saw_recovered_error = true;
+                assert!(!e.attempts.is_empty(), "execution failure must carry its attempts");
+            }
+            Err(_) => {}
+        }
+    }
+    // With the default 3% malformed-SQL rate over 60 questions × up to 3
+    // candidates, at least one execution error must have surfaced.
+    assert!(saw_recovered_error, "no execution error surfaced anywhere in the corpus");
 }
 
 #[test]
