@@ -1,13 +1,19 @@
 //! Routing micro-benchmarks: per-query latency of every method (the basis
 //! of Table 5's QPS column), constrained vs unconstrained decoding, DFS
-//! serialization, and index construction.
+//! serialization, index construction, and the f32 vs i8 quantized hot
+//! path (both the raw matvec kernel and end-to-end routing).
+//!
+//! CI runs this bench in `--compare` mode against the committed baseline
+//! at `benches/baselines/routing.json`; refresh it with
+//! `cargo bench --bench routing -- --save-baseline benches/baselines/routing.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use dbcopilot_core::{load_router, save_router_as, DbcRouter, Format, SerializationMode};
 use dbcopilot_eval::{build_method, prepare, CorpusKind, MethodKind, Scale};
 use dbcopilot_graph::{dfs_serialize, IterOrder};
-use dbcopilot_retrieval::SchemaRouter;
+use dbcopilot_nn::{QuantizedMatrix, QuantizedVec, Tensor};
+use dbcopilot_retrieval::{PrecisionSwitch, RoutePrecision, SchemaRouter};
 
 /// A deliberately tiny setup: per-query latency does not need a large
 /// corpus or a converged model, and the full quick-scale training used to
@@ -100,9 +106,64 @@ fn bench_routing(c: &mut Criterion) {
     group.finish();
 }
 
+/// The quantized hot path vs the f32 reference, at two levels: the raw
+/// matvec kernel that dominates scoring, and a full `route()` call through
+/// the precision knob. The i8 rows are the ones the perf-regression gate
+/// most cares about — a change that silently de-quantizes the hot loop
+/// shows up here as a large delta.
+fn bench_quantized(c: &mut Criterion) {
+    // kernel: [512 x 256] matvec, roughly the q_proj shape at paper scale
+    let (rows, cols) = (512, 256);
+    let w = Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|i| ((i * 2_654_435_761) % 1000) as f32 / 500.0 - 1.0).collect(),
+    );
+    let x: Vec<f32> = (0..cols).map(|i| (i as f32 / cols as f32) - 0.5).collect();
+    let qw = QuantizedMatrix::from_tensor(&w);
+    let qx = QuantizedVec::quantize(&x);
+
+    let mut group = c.benchmark_group("quant_matvec");
+    let mut out = vec![0.0f32; rows];
+    group.bench_function("f32", |b| {
+        b.iter(|| {
+            for (r, o) in out.iter_mut().enumerate() {
+                let row = w.row(r);
+                *o = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+            }
+            black_box(out[rows - 1])
+        })
+    });
+    let mut qout = Vec::with_capacity(rows);
+    group.bench_function("i8", |b| {
+        b.iter(|| {
+            qw.matvec_into(&qx, &mut qout);
+            black_box(qout[rows - 1])
+        })
+    });
+    group.finish();
+
+    // route level: the same trained fixture served at both precisions
+    let scale = bench_scale();
+    let prepared = prepare(CorpusKind::Spider, &scale);
+    let question = &prepared.corpus.test[0].question;
+    let (mut dbc, _) = DbcRouter::fit(
+        prepared.graph.clone(),
+        &prepared.synth_examples,
+        scale.router.clone(),
+        SerializationMode::Dfs,
+    );
+
+    let mut group = c.benchmark_group("quant_route");
+    group.bench_function("f32", |b| b.iter(|| dbc.route(question, 100)));
+    dbc.set_precision(RoutePrecision::I8);
+    group.bench_function("i8", |b| b.iter(|| dbc.route(question, 100)));
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_routing
+    targets = bench_routing, bench_quantized
 }
 criterion_main!(benches);

@@ -8,11 +8,11 @@
 use dbcopilot::{AskOptions, DbCopilot};
 use dbcopilot_core::{save_router, DbcRouter, SerializationMode};
 use dbcopilot_eval::{
-    build_method, eval_ask, eval_routing, measure_served_ask_qps, measure_served_qps, prepare,
-    render_ask_table, render_table5, report, BuildReport, CorpusKind, MethodKind, ResourceReport,
-    Scale,
+    build_method, eval_ask, eval_routing, measure_latency_us, measure_served_ask_qps,
+    measure_served_qps, prepare, render_ask_table, render_precision_table, render_table5, report,
+    BuildReport, CorpusKind, MethodKind, PrecisionRow, ResourceReport, Scale,
 };
-use dbcopilot_retrieval::SchemaRouter;
+use dbcopilot_retrieval::{PrecisionSwitch, RoutePrecision, SchemaRouter};
 use dbcopilot_serve::{AskService, RouterService, ServiceConfig};
 
 fn main() {
@@ -83,14 +83,38 @@ fn main() {
     println!(" the served row adds the RouterService cache + worker-pool front)");
 
     // -----------------------------------------------------------------
+    // Quantized routing: the same trained bundle scored at f32 and i8.
+    // Recall is measured at both precisions, not asserted — at quick
+    // scale quantization noise should leave it unchanged, and printing
+    // both makes any drift visible in the experiment log.
+    // -----------------------------------------------------------------
+    eprintln!("  measuring quantized routing (f32 vs i8)");
+    let saved = saved_router.expect("DbCopilot row always runs");
+    let mut router = dbcopilot_core::load_router(&saved[..]).expect("saved router must load");
+    let mut precision_rows = Vec::new();
+    for (label, precision) in [("f32", RoutePrecision::F32), ("i8", RoutePrecision::I8)] {
+        router.set_precision(precision);
+        let m = eval_routing(&router, &prepared.corpus.test, 100);
+        let latency_us = measure_latency_us(&router, &questions, 64);
+        precision_rows.push(PrecisionRow {
+            precision: label.to_string(),
+            latency_us,
+            db_r1: m.db_r1,
+            db_r5: m.db_r5,
+        });
+    }
+    println!("== Quantized routing — f32 vs i8 (same router) ==");
+    println!("{}", render_precision_table(&precision_rows));
+
+    // -----------------------------------------------------------------
     // End-to-end ask: routing accuracy only bounds what the full
     // question→SQL→result path delivers. Measure the single-candidate
     // path against top-3 fallback + execution-feedback repair, then the
     // same pipeline behind the AskService answer cache.
     // -----------------------------------------------------------------
     eprintln!("  measuring end-to-end ask (k=1 vs k=3 + repair)");
-    let saved = saved_router.expect("DbCopilot row always runs");
-    let router = dbcopilot_core::load_router(&saved[..]).expect("saved router must load");
+    // back to the f32 reference path for the end-to-end section
+    router.set_precision(RoutePrecision::F32);
     let routing = eval_routing(&router, &prepared.corpus.test, 100);
     let copilot = DbCopilot::from_parts(
         router,

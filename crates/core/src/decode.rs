@@ -236,7 +236,46 @@ struct Beam {
     logp: f32,
 }
 
-/// Run (diverse) beam search for one question.
+/// The per-step model interface beam search drives. One implementation per
+/// scoring precision: the exact f32 path below, and the i8 path in
+/// [`crate::qmodel`]. `beam_search_with` is monomorphized per scorer, so the
+/// f32 path compiles to exactly the pre-trait code.
+pub(crate) trait StepScorer {
+    /// Encode the question into the initial hidden state `[1, hidden]`.
+    /// Called once per search; the scorer retains whatever per-question
+    /// state its `step` needs (the f32 path keeps the question tensor).
+    fn encode(&mut self, question: &str) -> Tensor;
+
+    /// One decoder step: previous symbol + hidden → next hidden.
+    fn step(&mut self, prev: Sym, h: &Tensor) -> Tensor;
+
+    /// Log-probabilities over `candidates` given `h` (softmax over the
+    /// candidate subset).
+    fn logprobs(&mut self, h: &Tensor, candidates: &[Sym]) -> Vec<f32>;
+}
+
+/// The reference scorer: exact f32 heap-tensor inference.
+struct F32Scorer<'m> {
+    model: &'m RouterModel,
+    q: Tensor,
+}
+
+impl StepScorer for F32Scorer<'_> {
+    fn encode(&mut self, question: &str) -> Tensor {
+        self.q = self.model.encode_infer(question);
+        self.q.clone()
+    }
+
+    fn step(&mut self, prev: Sym, h: &Tensor) -> Tensor {
+        self.model.step_infer(prev, &self.q, h)
+    }
+
+    fn logprobs(&mut self, h: &Tensor, candidates: &[Sym]) -> Vec<f32> {
+        self.model.logprobs_infer(h, candidates)
+    }
+}
+
+/// Run (diverse) beam search for one question at f32 precision.
 pub fn beam_search(
     model: &RouterModel,
     constrainer: &Constrainer<'_>,
@@ -244,7 +283,19 @@ pub fn beam_search(
     question: &str,
     opts: &DecodeOptions,
 ) -> Vec<DecodedSchema> {
-    let q = model.encode_infer(question);
+    let mut scorer = F32Scorer { model, q: Tensor::zeros(1, 1) };
+    beam_search_with(&mut scorer, constrainer, vocab_len, question, opts)
+}
+
+/// Run (diverse) beam search with an explicit scorer (precision dispatch).
+pub(crate) fn beam_search_with<S: StepScorer>(
+    scorer: &mut S,
+    constrainer: &Constrainer<'_>,
+    vocab_len: usize,
+    question: &str,
+    opts: &DecodeOptions,
+) -> Vec<DecodedSchema> {
+    let q = scorer.encode(question);
     let groups = if opts.diverse { opts.groups.max(1) } else { 1 };
     let beams_per_group = (opts.beams / groups).max(1);
     let init = Beam { state: constrainer.initial(), h: q.clone(), prev: BOS, logp: 0.0 };
@@ -270,8 +321,8 @@ pub fn beam_search(
                     continue;
                 }
                 // advance hidden state once per beam
-                let h_next = model.step_infer(beam.prev, &q, &beam.h);
-                let lps = model.logprobs_infer(&h_next, &allowed);
+                let h_next = scorer.step(beam.prev, &beam.h);
+                let lps = scorer.logprobs(&h_next, &allowed);
                 for (i, &sym) in allowed.iter().enumerate() {
                     let penalty = opts.diversity_penalty * used.get(&sym).copied().unwrap_or(0.0);
                     let score = beam.logp + lps[i] - penalty;

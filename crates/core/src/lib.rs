@@ -9,6 +9,8 @@
 //! * [`train`] — Figure 2: random-walk schema sampling + reverse question
 //!   generation + teacher-forced training (with the serialization and data
 //!   ablations of Table 7);
+//! * [`qmodel`] — the frozen i8 twin of the model backing the
+//!   `RoutePrecision::I8` scoring path;
 //! * [`router`] — the high-level [`router::DbcRouter`] API, implementing the
 //!   shared `SchemaRouter` trait used by every method in the evaluation.
 //!
@@ -33,9 +35,12 @@
 pub mod decode;
 pub mod model;
 pub mod persist;
+pub mod qmodel;
 pub mod router;
 pub mod train;
 pub mod vocab;
+
+pub use dbcopilot_retrieval::{PrecisionSwitch, RoutePrecision};
 
 pub use decode::{beam_search, merge_candidates, Constrainer, DecodeOptions, DecodedSchema};
 pub use model::{RouterConfig, RouterModel};
@@ -43,6 +48,7 @@ pub use persist::{
     extend_router, load_router, load_router_file, load_router_slice, router_disk_size, save_router,
     save_router_as, save_router_file, save_router_file_as, Format, PersistError,
 };
+pub use qmodel::QuantRouterModel;
 pub use router::DbcRouter;
 pub use train::{
     examples_from_instances, synthesize_training_data, train_router, SerializationMode,

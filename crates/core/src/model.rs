@@ -89,6 +89,10 @@ pub struct RouterModel {
     pub gru: GruCell,
     pub out_emb: Embedding,
     pub cfg: RouterConfig,
+    /// Frozen i8 weights for the `RoutePrecision::I8` hot path; `None`
+    /// until [`RouterModel::freeze_quant`] (or a `QNT8` codec load)
+    /// attaches them.
+    pub quant: Option<crate::qmodel::QuantRouterModel>,
     /// World knowledge of the pretrained backbone (T5 in the paper): used
     /// only to canonicalize question tokens into extra input features.
     lex: Lexicon,
@@ -103,7 +107,25 @@ impl RouterModel {
         let dec_emb = Embedding::new(&mut store, "dec_emb", vocab_size, cfg.dim, &mut rng);
         let gru = GruCell::new(&mut store, "gru", cfg.dim + cfg.hidden, cfg.hidden, &mut rng);
         let out_emb = Embedding::new(&mut store, "out_emb", vocab_size, cfg.hidden, &mut rng);
-        RouterModel { store, q_emb, q_proj, dec_emb, gru, out_emb, cfg, lex: Lexicon::new() }
+        RouterModel {
+            store,
+            q_emb,
+            q_proj,
+            dec_emb,
+            gru,
+            out_emb,
+            cfg,
+            quant: None,
+            lex: Lexicon::new(),
+        }
+    }
+
+    /// Freeze the current f32 weights into the i8 store the
+    /// `RoutePrecision::I8` hot path scores against. Re-freezing replaces
+    /// any previous quantized weights (e.g. after fine-tuning).
+    pub fn freeze_quant(&mut self) {
+        let frozen = crate::qmodel::QuantRouterModel::freeze(self);
+        self.quant = Some(frozen);
     }
 
     /// Question features: hashed bag of words plus canonicalized-concept

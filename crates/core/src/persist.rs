@@ -30,7 +30,9 @@ use dbcopilot_nn::codec::{self, Section};
 use dbcopilot_nn::serialize::{ensure_finite, sniff_format};
 pub use dbcopilot_nn::serialize::{Format, PersistError};
 use dbcopilot_nn::ParamStore;
+use dbcopilot_nn::QuantizedStore;
 use dbcopilot_nn::Tensor;
+use dbcopilot_retrieval::RoutePrecision;
 use dbcopilot_sqlengine::Collection;
 use dbcopilot_synth::Questioner;
 
@@ -83,12 +85,18 @@ impl Serialize for SavedRouterRef<'_> {
 /// exactly; the config/vocab/graph sections are JSON payloads (they hold no
 /// weights and are dwarfed by the parameter section).
 pub fn router_to_vec(router: &DbcRouter) -> Result<Vec<u8>, PersistError> {
-    let sections = vec![
+    let mut sections = vec![
         Section::new(SEC_CONFIG, serde_json::to_vec(&router.model.cfg)?),
         Section::new(SEC_VOCAB, serde_json::to_vec(&router.vocab)?),
         Section::new(SEC_GRAPH, serde_json::to_vec(&router.graph)?),
         Section::new(codec::SEC_PARAMS, codec::encode_store_section(&router.model.store)),
     ];
+    // Frozen quantized weights ride along in an optional `QNT8` section so
+    // the loaded bundle serves at I8 with zero re-quantization. Pre-QNT8
+    // readers skip unknown sections; pre-QNT8 bundles simply lack it.
+    if let Some(qm) = &router.model.quant {
+        sections.push(Section::new(codec::SEC_QUANT, codec::encode_quant_section(qm.store())));
+    }
     Ok(codec::encode_container(&sections))
 }
 
@@ -121,7 +129,7 @@ pub fn save_router<W: Write>(router: &DbcRouter, w: W) -> Result<(), PersistErro
 
 /// Deserialize a router from a byte buffer, sniffing the format.
 pub fn load_router_slice(bytes: &[u8]) -> Result<DbcRouter, PersistError> {
-    let saved = match sniff_format(bytes)? {
+    let (saved, quant) = match sniff_format(bytes)? {
         Format::Binary => {
             let sections = codec::decode_container(bytes)?;
             let cfg: RouterConfig =
@@ -133,11 +141,19 @@ pub fn load_router_slice(bytes: &[u8]) -> Result<DbcRouter, PersistError> {
             let store = codec::decode_store_section(
                 &codec::require_section(&sections, codec::SEC_PARAMS)?.bytes,
             )?;
-            SavedRouter { store, vocab, graph, cfg }
+            // `QNT8` is optional: pre-quantization bundles load fine and
+            // serve at F32 (I8 re-freezes from the f32 weights on demand).
+            let quant = match codec::find_section(&sections, codec::SEC_QUANT)? {
+                Some(sec) => Some(codec::decode_quant_section(&sec.bytes)?),
+                None => None,
+            };
+            (SavedRouter { store, vocab, graph, cfg }, quant)
         }
-        Format::Json => serde_json::from_slice(bytes)?,
+        // The JSON escape hatch never carries quantized weights: it exists
+        // for human inspection of the f32 bundle.
+        Format::Json => (serde_json::from_slice(bytes)?, None),
     };
-    assemble_router(saved)
+    assemble_router(saved, quant)
 }
 
 /// Deserialize a router from a reader, sniffing the format.
@@ -181,12 +197,19 @@ pub fn router_disk_size(router: &DbcRouter) -> Result<usize, PersistError> {
     let vocab = serde_json::to_vec(&router.vocab)?.len();
     let graph = serde_json::to_vec(&router.graph)?.len();
     let store = codec::store_section_len(&router.model.store);
-    Ok(codec::container_len(&[cfg, vocab, graph, store]))
+    let mut lens = vec![cfg, vocab, graph, store];
+    if let Some(qm) = &router.model.quant {
+        lens.push(codec::quant_section_len(qm.store()));
+    }
+    Ok(codec::container_len(&lens))
 }
 
 /// Build a serving router from loaded components, verifying the loaded
 /// parameters against the layout the config implies.
-fn assemble_router(saved: SavedRouter) -> Result<DbcRouter, PersistError> {
+fn assemble_router(
+    saved: SavedRouter,
+    quant: Option<QuantizedStore>,
+) -> Result<DbcRouter, PersistError> {
     let mut model = RouterModel::new(saved.cfg, saved.vocab.len());
     // The layer structs hold ParamIds bound during `RouterModel::new`; the
     // loaded store must present the same parameters, in the same order, with
@@ -194,6 +217,14 @@ fn assemble_router(saved: SavedRouter) -> Result<DbcRouter, PersistError> {
     // tensors. Corrupted or truncated files fail here with a typed error.
     validate_store_layout(&model.store, &saved.store)?;
     model.store = saved.store;
+    if let Some(qs) = quant {
+        // The quantized store is addressed by the same ParamIds, so it must
+        // mirror the f32 layout entry for entry — including the transposed
+        // orientation the scorer assumes for matvec weights.
+        validate_quant_layout(&model.store, &qs)?;
+        let attached = crate::qmodel::QuantRouterModel::attach(&model, qs);
+        model.quant = Some(attached);
+    }
     let decode_opts = DecodeOptions::from_config(&model.cfg);
     let mut router = DbcRouter {
         model,
@@ -201,6 +232,7 @@ fn assemble_router(saved: SavedRouter) -> Result<DbcRouter, PersistError> {
         graph: saved.graph,
         decode_opts,
         label: String::new(),
+        precision: RoutePrecision::F32,
     };
     router.set_label("DBCopilot");
     Ok(router)
@@ -235,6 +267,44 @@ fn validate_store_layout(expected: &ParamStore, loaded: &ParamStore) -> Result<(
         if loaded.id_of(lname) != expected.id_of(ename) {
             return Err(PersistError::Corrupt(format!(
                 "parameter name table is inconsistent for {lname:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Verify that a loaded `QNT8` store mirrors the f32 store: same entries in
+/// the same order, each with the orientation the quant scorer assumes and
+/// the shape that orientation implies.
+fn validate_quant_layout(store: &ParamStore, qs: &QuantizedStore) -> Result<(), PersistError> {
+    if qs.len() != store.len() {
+        return Err(PersistError::Corrupt(format!(
+            "quantized store has {} entries, f32 store has {}",
+            qs.len(),
+            store.len()
+        )));
+    }
+    for ((name, value), entry) in store.iter_values().zip(qs.entries()) {
+        if entry.name != name {
+            return Err(PersistError::Corrupt(format!(
+                "quantized entry {:?} out of order, expected {name:?}",
+                entry.name
+            )));
+        }
+        let want_t = crate::qmodel::stored_transposed(name);
+        if entry.transposed != want_t {
+            return Err(PersistError::Corrupt(format!(
+                "quantized entry {name:?} transposed={}, scorer expects {want_t}",
+                entry.transposed
+            )));
+        }
+        let (rows, cols) = value.shape();
+        let want = if want_t { (cols, rows) } else { (rows, cols) };
+        if (entry.matrix.rows(), entry.matrix.cols()) != want {
+            return Err(PersistError::Corrupt(format!(
+                "quantized entry {name:?} has shape ({}, {}), expected {want:?}",
+                entry.matrix.rows(),
+                entry.matrix.cols()
             )));
         }
     }
@@ -328,8 +398,14 @@ pub fn extend_router(
         train_router(&mut model, &new_graph, &new_vocab, &examples, SerializationMode::Dfs)
     };
     let decode_opts = DecodeOptions::from_config(&model.cfg);
-    let mut out =
-        DbcRouter { model, vocab: new_vocab, graph: new_graph, decode_opts, label: String::new() };
+    let mut out = DbcRouter {
+        model,
+        vocab: new_vocab,
+        graph: new_graph,
+        decode_opts,
+        label: String::new(),
+        precision: RoutePrecision::F32,
+    };
     out.set_label("DBCopilot");
     Ok((out, stats))
 }
@@ -466,6 +542,71 @@ mod tests {
             for (x, y) in av.as_slice().iter().zip(bv.as_slice()) {
                 assert_eq!(x.to_bits(), y.to_bits(), "{an} drifted");
             }
+        }
+    }
+
+    #[test]
+    fn quantized_bundle_roundtrips_bit_exactly_and_sizes_match() {
+        use dbcopilot_retrieval::{PrecisionSwitch, RoutePrecision};
+        let mut router = trained_router();
+        router.set_precision(RoutePrecision::I8);
+        let before = router.best_schema("how many vocalists").unwrap();
+
+        let mut buf = Vec::new();
+        save_router(&router, &mut buf).unwrap();
+        assert_eq!(
+            buf.len(),
+            router_disk_size(&router).unwrap(),
+            "size accounting must include the QNT8 section"
+        );
+
+        let mut loaded = load_router(buf.as_slice()).unwrap();
+        let qm = loaded.model.quant.as_ref().expect("QNT8 section must load");
+        let orig = router.model.quant.as_ref().unwrap();
+        assert_eq!(qm.store(), orig.store(), "quantized weights must round-trip bit-exactly");
+
+        // The loaded bundle serves at I8 with identical decisions — zero
+        // re-quantization means zero drift.
+        loaded.set_precision(RoutePrecision::I8);
+        let after = loaded.best_schema("how many vocalists").unwrap();
+        assert!(before.same_as(&after), "{before} vs {after}");
+    }
+
+    #[test]
+    fn pre_qnt8_bundle_still_loads() {
+        // A bundle saved before quantization existed has only the four
+        // original sections; it must load and serve (forward compat), with
+        // no quantized weights attached.
+        let router = trained_router();
+        assert!(router.model.quant.is_none());
+        let mut buf = Vec::new();
+        save_router(&router, &mut buf).unwrap();
+        let loaded = load_router(buf.as_slice()).unwrap();
+        assert!(loaded.model.quant.is_none());
+        assert!(loaded.best_schema("how many vocalists").is_some());
+    }
+
+    #[test]
+    fn qnt8_with_wrong_orientation_is_corrupt() {
+        use dbcopilot_nn::QuantizedStore;
+        let mut router = trained_router();
+        router.model.freeze_quant();
+        // Re-freeze with every entry untransposed: shapes stay valid f32
+        // shapes but the matvec weights no longer match the scorer's layout.
+        let bad = QuantizedStore::freeze(&router.model.store, |_| false);
+        let sections = vec![
+            Section::new(SEC_CONFIG, serde_json::to_vec(&router.model.cfg).unwrap()),
+            Section::new(SEC_VOCAB, serde_json::to_vec(&router.vocab).unwrap()),
+            Section::new(SEC_GRAPH, serde_json::to_vec(&router.graph).unwrap()),
+            Section::new(codec::SEC_PARAMS, codec::encode_store_section(&router.model.store)),
+            Section::new(codec::SEC_QUANT, codec::encode_quant_section(&bad)),
+        ];
+        let bytes = codec::encode_container(&sections);
+        match load_router_slice(&bytes) {
+            Err(PersistError::Corrupt(msg)) => {
+                assert!(msg.contains("transposed"), "{msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
         }
     }
 

@@ -3,10 +3,13 @@
 use std::sync::Arc;
 
 use dbcopilot_graph::{QuerySchema, SchemaGraph};
-use dbcopilot_retrieval::{RoutingResult, SchemaRouter};
+use dbcopilot_retrieval::{PrecisionSwitch, RoutePrecision, RoutingResult, SchemaRouter};
 
-use crate::decode::{beam_search, merge_candidates, Constrainer, DecodeOptions, DecodedSchema};
+use crate::decode::{
+    beam_search, beam_search_with, merge_candidates, Constrainer, DecodeOptions, DecodedSchema,
+};
 use crate::model::{RouterConfig, RouterModel};
+use crate::qmodel::QuantScorer;
 use crate::train::{train_router, SerializationMode, TrainExample, TrainStats};
 use crate::vocab::PieceVocab;
 
@@ -20,6 +23,10 @@ pub struct DbcRouter {
     pub graph: SchemaGraph,
     pub decode_opts: DecodeOptions,
     pub(crate) label: String,
+    /// Scoring precision of `sequences`/`route`; switched via
+    /// [`PrecisionSwitch::set_precision`], which freezes quantized weights
+    /// on first use.
+    pub(crate) precision: RoutePrecision,
 }
 
 impl DbcRouter {
@@ -34,7 +41,17 @@ impl DbcRouter {
         let mut model = RouterModel::new(cfg, vocab.len());
         let stats = train_router(&mut model, &graph, &vocab, data, mode);
         let decode_opts = DecodeOptions::from_config(&model.cfg);
-        (DbcRouter { model, vocab, graph, decode_opts, label: "DBCopilot".to_string() }, stats)
+        (
+            DbcRouter {
+                model,
+                vocab,
+                graph,
+                decode_opts,
+                label: "DBCopilot".to_string(),
+                precision: RoutePrecision::F32,
+            },
+            stats,
+        )
     }
 
     /// Build an untrained router (tests, decoding benchmarks).
@@ -42,17 +59,47 @@ impl DbcRouter {
         let vocab = PieceVocab::build(&graph);
         let model = RouterModel::new(cfg, vocab.len());
         let decode_opts = DecodeOptions::from_config(&model.cfg);
-        DbcRouter { model, vocab, graph, decode_opts, label: "DBCopilot".to_string() }
+        DbcRouter {
+            model,
+            vocab,
+            graph,
+            decode_opts,
+            label: "DBCopilot".to_string(),
+            precision: RoutePrecision::F32,
+        }
     }
 
     pub fn set_label(&mut self, label: &str) {
         self.label = label.to_string();
     }
 
-    /// Raw candidate sequences (best first).
+    /// Raw candidate sequences (best first), scored at the selected
+    /// precision.
     pub fn sequences(&self, question: &str) -> Vec<DecodedSchema> {
         let constrainer = Constrainer::new(&self.graph, &self.vocab, self.model.cfg.max_tables);
-        beam_search(&self.model, &constrainer, self.vocab.len(), question, &self.decode_opts)
+        match self.precision {
+            RoutePrecision::F32 => beam_search(
+                &self.model,
+                &constrainer,
+                self.vocab.len(),
+                question,
+                &self.decode_opts,
+            ),
+            RoutePrecision::I8 => {
+                let qm = self.model.quant.as_ref().expect(
+                    "RoutePrecision::I8 requires frozen quantized weights; \
+                     set_precision freezes them — do not clear model.quant while I8 is selected",
+                );
+                let mut scorer = QuantScorer::new(&self.model, qm);
+                beam_search_with(
+                    &mut scorer,
+                    &constrainer,
+                    self.vocab.len(),
+                    question,
+                    &self.decode_opts,
+                )
+            }
+        }
     }
 
     /// Candidate schemata with per-database table union (paper §3.5).
@@ -100,6 +147,22 @@ impl std::fmt::Debug for DbcRouter {
             .field("vocab_len", &self.vocab.len())
             .field("databases", &self.graph.database_nodes().len())
             .finish_non_exhaustive()
+    }
+}
+
+impl PrecisionSwitch for DbcRouter {
+    /// Select the scoring precision. Switching to I8 freezes the current
+    /// f32 weights on first use (a no-op when a quantized store is already
+    /// attached — e.g. loaded from a `QNT8` bundle section).
+    fn set_precision(&mut self, precision: RoutePrecision) {
+        if precision == RoutePrecision::I8 && self.model.quant.is_none() {
+            self.model.freeze_quant();
+        }
+        self.precision = precision;
+    }
+
+    fn precision(&self) -> RoutePrecision {
+        self.precision
     }
 }
 
@@ -197,6 +260,30 @@ mod tests {
         let router = DbcRouter::untrained(graph(), RouterConfig::tiny());
         let out = router.route_schemata("anything at all");
         assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn i8_precision_routes_like_f32_and_switches_back_exactly() {
+        let mut cfg = RouterConfig::tiny();
+        cfg.epochs = 20;
+        let (mut router, _) = DbcRouter::fit(graph(), &examples(), cfg, SerializationMode::Dfs);
+        let exact = router.route("how many vocalists", 10);
+
+        router.set_precision(RoutePrecision::I8);
+        assert_eq!(router.precision(), RoutePrecision::I8);
+        assert!(router.model.quant.is_some(), "switching to I8 must freeze weights");
+        let quant = router.route("how many vocalists", 10);
+        assert_eq!(
+            exact.database_names()[0],
+            quant.database_names()[0],
+            "trained top-1 database must survive quantization"
+        );
+
+        // Switching back is exact: the f32 weights were never touched.
+        router.set_precision(RoutePrecision::F32);
+        let back = router.route("how many vocalists", 10);
+        assert_eq!(back.database_names(), exact.database_names());
+        assert_eq!(back.tables, exact.tables);
     }
 
     #[test]

@@ -113,6 +113,45 @@ pub fn report(
     ResourceReport { method: method.to_string(), qps, build_secs, disk_mb, ram_mb: disk_mb }
 }
 
+/// One precision's routing latency and recall (the f32-vs-i8 comparison
+/// printed under Table 5).
+#[derive(Debug, Clone)]
+pub struct PrecisionRow {
+    pub precision: String,
+    /// Mean per-query routing latency in microseconds.
+    pub latency_us: f64,
+    pub db_r1: f64,
+    pub db_r5: f64,
+}
+
+/// Measure mean per-query routing latency in microseconds (the reciprocal
+/// view of [`measure_qps`], for the latency column).
+pub fn measure_latency_us(
+    router: &(dyn SchemaRouter + Send + Sync),
+    questions: &[String],
+    batch: usize,
+) -> f64 {
+    1e6 / measure_qps(router, questions, batch)
+}
+
+/// Render the f32-vs-i8 precision comparison. Recall is measured, not
+/// asserted: quantization noise at quick scale should leave it unchanged,
+/// and printing both lets a drift show up in the experiment log.
+pub fn render_precision_table(rows: &[PrecisionRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>16} {:>9} {:>9}\n",
+        "Precision", "Latency (µs/q)", "DB R@1", "DB R@5"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>16.1} {:>8.1}% {:>8.1}%\n",
+            r.precision, r.latency_us, r.db_r1, r.db_r5
+        ));
+    }
+    out
+}
+
 /// Render Table 5.
 pub fn render_table5(rows: &[ResourceReport]) -> String {
     let mut out = String::new();
@@ -164,6 +203,21 @@ mod tests {
         assert!(qps > 0.0);
         let stats = service.stats();
         assert!(stats.cache_hits > 0, "repeated questions must hit the cache: {stats:?}");
+    }
+
+    #[test]
+    fn latency_is_reciprocal_of_qps_and_precision_table_renders() {
+        let r = tiny_router();
+        let qs = vec!["a of t".to_string()];
+        let lat = measure_latency_us(&r, &qs, 16);
+        assert!(lat > 0.0 && lat.is_finite());
+        let text = render_precision_table(&[
+            PrecisionRow { precision: "f32".into(), latency_us: 812.5, db_r1: 91.0, db_r5: 98.0 },
+            PrecisionRow { precision: "i8".into(), latency_us: 401.2, db_r1: 91.0, db_r5: 98.0 },
+        ]);
+        assert!(text.contains("f32") && text.contains("i8"));
+        assert!(text.contains("Latency"));
+        assert!(text.contains("DB R@1"));
     }
 
     #[test]

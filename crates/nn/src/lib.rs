@@ -11,6 +11,8 @@
 //! * [`optim`] — `ParamStore`, `AdamW` (lazy sparse updates), `Sgd`;
 //! * [`init`] — seeded Xavier initialization;
 //! * [`gradcheck`] — finite-difference validation used across the workspace;
+//! * [`quant`] — read-only per-row i8 quantization of a frozen `ParamStore`
+//!   with i32-accumulating dot/matvec kernels for the serving hot path;
 //! * [`codec`] — the `DBC1` binary container (compact, versioned, bit-exact);
 //! * [`serialize`] — persistence entry points: binary by default, JSON behind
 //!   a [`serialize::Format::Json`] escape hatch (also measures index size).
@@ -28,11 +30,13 @@ pub mod gradcheck;
 pub mod init;
 pub mod layers;
 pub mod optim;
+pub mod quant;
 pub mod serialize;
 pub mod tape;
 pub mod tensor;
 
 pub use layers::{Embedding, GruCell, Linear};
 pub use optim::{AdamW, GradShard, ParamId, ParamStore, Sgd};
+pub use quant::{QuantEntry, QuantizedMatrix, QuantizedStore, QuantizedVec};
 pub use tape::{Grad, Tape, ValId};
 pub use tensor::Tensor;

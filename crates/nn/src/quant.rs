@@ -1,0 +1,413 @@
+//! Read-only i8 quantization for the inference hot path.
+//!
+//! Training stays f32; serving freezes the trained [`ParamStore`] into
+//! per-row symmetrically quantized matrices ([`QuantizedStore::freeze`]) and
+//! scores with i8 dot products accumulated in i32. The layout is chosen for
+//! the read side: a [`QuantizedMatrix`] stores its reduction dimension
+//! contiguously, so a matrix–vector product walks both operands with unit
+//! stride and no heap allocation.
+//!
+//! Per-row symmetric scheme: for each row, `scale = max_abs / 127` (floored
+//! at [`f32::MIN_POSITIVE`] for nonzero rows so the reciprocal stays finite)
+//! and `q = round(x / scale)` clamped to `[-127, 127]`. The dequantized
+//! value `scale * q` is within `scale / 2` of the original — the bound the
+//! property tests in `tests/quant.rs` hold the implementation to. All-zero
+//! rows get `scale = 0` and all-zero codes.
+
+use crate::optim::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Quantize `src` into `dst`, returning the per-row scale.
+///
+/// # Panics
+/// Panics if `dst.len() != src.len()`.
+pub fn quantize_row_into(src: &[f32], dst: &mut [i8]) -> f32 {
+    assert_eq!(src.len(), dst.len(), "quantize_row_into length mismatch");
+    let max = src.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if max == 0.0 {
+        dst.fill(0);
+        return 0.0;
+    }
+    // Floor the scale at the smallest normal so `1/scale` is finite even for
+    // rows of subnormals; the scale/2 error bound still holds (codes just
+    // use less of the i8 range).
+    let scale = (max / 127.0).max(f32::MIN_POSITIVE);
+    let inv = 1.0 / scale;
+    for (d, &v) in dst.iter_mut().zip(src) {
+        *d = (v * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+/// i8 dot product with i32 accumulation.
+///
+/// Each product is at most `127 * 127 = 16129`, so the accumulator is exact
+/// for any vector shorter than ~133k elements — far beyond every dimension
+/// in this workspace (the widest reduction is `buckets = 8192`). On x86-64
+/// with AVX2 the reduction runs through a `vpmaddwd` kernel; integer
+/// arithmetic is exact, so the SIMD and scalar paths return bit-identical
+/// results and determinism is unaffected by which machine runs the model.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { x86::dot_i8_avx2(a, b) };
+    }
+    dot_i8_scalar(a, b)
+}
+
+#[inline]
+fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x as i32 * y as i32;
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// `dot_i8` over AVX2: 16 lanes per iteration, sign-extended to i16 and
+    /// reduced pairwise into i32 by `vpmaddwd` (exact — every product fits
+    /// i16 headroom and every pair sum fits i32).
+    ///
+    /// # Safety
+    /// Requires AVX2; callers must check `is_x86_feature_detected!("avx2")`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+        let n = a.len().min(b.len());
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 16 <= n {
+            let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(i) as *const __m128i));
+            let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(i) as *const __m128i));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+            i += 16;
+        }
+        let quad = _mm_add_epi32(_mm256_castsi256_si128(acc), _mm256_extracti128_si256(acc, 1));
+        let pair = _mm_add_epi32(quad, _mm_shuffle_epi32(quad, 0b01_00_11_10));
+        let one = _mm_add_epi32(pair, _mm_shuffle_epi32(pair, 0b00_00_00_01));
+        let mut total = _mm_cvtsi128_si32(one);
+        while i < n {
+            total += a[i] as i32 * b[i] as i32;
+            i += 1;
+        }
+        total
+    }
+}
+
+/// A quantized vector: one scale plus i8 codes, with a reusable buffer so
+/// per-step activation quantization allocates nothing after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct QuantizedVec {
+    pub scale: f32,
+    pub data: Vec<i8>,
+}
+
+impl QuantizedVec {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quantize a fresh vector.
+    pub fn quantize(src: &[f32]) -> Self {
+        let mut q = Self::new();
+        q.quantize_into(src);
+        q
+    }
+
+    /// Re-quantize in place, reusing the code buffer.
+    pub fn quantize_into(&mut self, src: &[f32]) {
+        self.data.resize(src.len(), 0);
+        self.scale = quantize_row_into(src, &mut self.data);
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A per-row symmetrically quantized matrix: `scales[r]` dequantizes row `r`
+/// of the contiguous i8 `data`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    scales: Vec<f32>,
+    data: Vec<i8>,
+}
+
+impl QuantizedMatrix {
+    /// Quantize a tensor row by row, keeping its layout.
+    pub fn from_tensor(t: &Tensor) -> Self {
+        let (rows, cols) = t.shape();
+        let mut scales = Vec::with_capacity(rows);
+        let mut data = vec![0i8; rows * cols];
+        for r in 0..rows {
+            scales.push(quantize_row_into(t.row(r), &mut data[r * cols..(r + 1) * cols]));
+        }
+        QuantizedMatrix { rows, cols, scales, data }
+    }
+
+    /// Quantize the *transpose* of a tensor, row by row.
+    ///
+    /// A linear map stored as `W: [in, out]` becomes `[out, in]` with one
+    /// scale per output unit, so `y[j]` reduces over a contiguous row.
+    pub fn from_tensor_transposed(t: &Tensor) -> Self {
+        Self::from_tensor(&t.transpose())
+    }
+
+    /// Rebuild from raw parts (codec load path).
+    ///
+    /// # Panics
+    /// Panics if the buffer lengths disagree with the shape; the codec
+    /// validates before calling this.
+    pub fn from_raw(rows: usize, cols: usize, scales: Vec<f32>, data: Vec<i8>) -> Self {
+        assert_eq!(scales.len(), rows, "scale count mismatch");
+        assert_eq!(data.len(), rows * cols, "code count mismatch");
+        QuantizedMatrix { rows, cols, scales, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// Row `r` of the i8 codes.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Dequantized f32 value of row `r`, column `c`.
+    pub fn dequantized_row(&self, r: usize) -> Vec<f32> {
+        let s = self.scales[r];
+        self.row(r).iter().map(|&q| s * q as f32).collect()
+    }
+
+    /// Full dequantization back to a tensor (same layout as stored).
+    pub fn dequantize(&self) -> Tensor {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            let s = self.scales[r];
+            out.extend(self.row(r).iter().map(|&q| s * q as f32));
+        }
+        Tensor::from_vec(self.rows, self.cols, out)
+    }
+
+    /// `scales[r] * x.scale * dot_i8(row r, x)`.
+    #[inline]
+    pub fn dot_row(&self, r: usize, x: &QuantizedVec) -> f32 {
+        self.scales[r] * x.scale * dot_i8(self.row(r), &x.data) as f32
+    }
+
+    /// Matrix–vector product into a reusable output buffer:
+    /// `out[r] = scales[r] * x.scale * dot_i8(row r, x)`.
+    ///
+    /// The CPU-feature dispatch is hoisted out of the row loop, so the hot
+    /// path is one contiguous pass over `data` with no per-row branching.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec_into(&self, x: &QuantizedVec, out: &mut Vec<f32>) {
+        assert_eq!(x.len(), self.cols, "matvec length mismatch");
+        out.clear();
+        out.reserve(self.rows);
+        if self.cols == 0 {
+            out.resize(self.rows, 0.0);
+            return;
+        }
+        let xs = x.scale;
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            for (row, &s) in self.data.chunks_exact(self.cols).zip(&self.scales) {
+                // SAFETY: AVX2 support was just verified at runtime.
+                let d = unsafe { x86::dot_i8_avx2(row, &x.data) };
+                out.push(s * xs * d as f32);
+            }
+            return;
+        }
+        for (row, &s) in self.data.chunks_exact(self.cols).zip(&self.scales) {
+            out.push(s * xs * dot_i8_scalar(row, &x.data) as f32);
+        }
+    }
+}
+
+/// One frozen parameter: the quantized matrix plus whether it was stored
+/// transposed relative to the f32 original (true for linear-map weights, so
+/// matvec reduces along contiguous rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantEntry {
+    pub name: String,
+    pub transposed: bool,
+    pub matrix: QuantizedMatrix,
+}
+
+/// All parameters of a model frozen to i8, indexed by [`ParamId`] in
+/// registration order — the same order [`ParamStore::iter_values`] walks, so
+/// the ids handed out at model construction address both stores.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuantizedStore {
+    entries: Vec<QuantEntry>,
+}
+
+impl QuantizedStore {
+    /// Freeze every parameter of `store`. Parameters for which `transpose`
+    /// returns true (by name) are stored transposed.
+    pub fn freeze(store: &ParamStore, transpose: impl Fn(&str) -> bool) -> Self {
+        let entries = store
+            .iter_values()
+            .map(|(name, value)| {
+                let t = transpose(name);
+                QuantEntry {
+                    name: name.to_string(),
+                    transposed: t,
+                    matrix: if t {
+                        QuantizedMatrix::from_tensor_transposed(value)
+                    } else {
+                        QuantizedMatrix::from_tensor(value)
+                    },
+                }
+            })
+            .collect();
+        QuantizedStore { entries }
+    }
+
+    /// Rebuild from decoded entries (codec load path).
+    pub fn from_entries(entries: Vec<QuantEntry>) -> Self {
+        QuantizedStore { entries }
+    }
+
+    /// The entry for a parameter id handed out by the matching [`ParamStore`].
+    #[inline]
+    pub fn get(&self, id: ParamId) -> &QuantEntry {
+        &self.entries[id.0]
+    }
+
+    pub fn entries(&self) -> &[QuantEntry] {
+        &self.entries
+    }
+
+    pub fn by_name(&self, name: &str) -> Option<&QuantEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Heap bytes of codes + scales (index-size accounting).
+    pub fn num_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| e.matrix.data.len() + e.matrix.scales.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_within_half_scale() {
+        let t = Tensor::from_vec(2, 3, vec![1.0, -2.5, 0.3, 100.0, -0.001, 42.0]);
+        let q = QuantizedMatrix::from_tensor(&t);
+        let d = q.dequantize();
+        for r in 0..2 {
+            for (orig, deq) in t.row(r).iter().zip(d.row(r)) {
+                assert!(
+                    (orig - deq).abs() <= q.scale(r) * 0.5 + 1e-12,
+                    "row {r}: {orig} vs {deq} (scale {})",
+                    q.scale(r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_get_zero_scale_and_codes() {
+        let t = Tensor::zeros(3, 4);
+        let q = QuantizedMatrix::from_tensor(&t);
+        assert!(q.scales().iter().all(|&s| s == 0.0));
+        assert!(q.data().iter().all(|&v| v == 0));
+        assert!(q.dequantize().approx_eq(&t, 0.0));
+    }
+
+    #[test]
+    fn transposed_layout_matches_matmul() {
+        // y = x · W  must equal the transposed-quantized matvec up to the
+        // quantization error bound.
+        let w = Tensor::from_vec(3, 2, vec![0.5, -1.0, 0.25, 2.0, -0.75, 0.125]);
+        let x = vec![1.0f32, -2.0, 0.5];
+        let exact = Tensor::from_row(x.clone()).matmul(&w);
+
+        let qw = QuantizedMatrix::from_tensor_transposed(&w);
+        assert_eq!((qw.rows(), qw.cols()), (2, 3));
+        let qx = QuantizedVec::quantize(&x);
+        let mut out = Vec::new();
+        qw.matvec_into(&qx, &mut out);
+        for (j, (&e, &got)) in exact.as_slice().iter().zip(&out).enumerate() {
+            assert!((e - got).abs() < 0.05, "col {j}: exact {e} vs quant {got}");
+        }
+    }
+
+    #[test]
+    fn dot_i8_is_exact() {
+        let a = vec![127i8; 1000];
+        let b = vec![-127i8; 1000];
+        assert_eq!(dot_i8(&a, &b), -127 * 127 * 1000);
+    }
+
+    #[test]
+    fn quantized_vec_reuses_buffer() {
+        let mut q = QuantizedVec::new();
+        q.quantize_into(&[1.0, 2.0, 3.0]);
+        let cap = q.data.capacity();
+        q.quantize_into(&[-3.0, 0.0, 1.5]);
+        assert_eq!(q.data.capacity(), cap, "re-quantization must not reallocate");
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn freeze_preserves_param_order_and_orientation() {
+        let mut store = ParamStore::new();
+        let a = store.add("enc.w", Tensor::from_vec(2, 3, vec![1.0; 6]));
+        let b = store.add("emb.weight", Tensor::from_vec(4, 2, vec![0.5; 8]));
+        let qs = QuantizedStore::freeze(&store, |name| name.ends_with(".w"));
+        assert_eq!(qs.len(), 2);
+        assert!(qs.get(a).transposed);
+        assert_eq!((qs.get(a).matrix.rows(), qs.get(a).matrix.cols()), (3, 2));
+        assert!(!qs.get(b).transposed);
+        assert_eq!((qs.get(b).matrix.rows(), qs.get(b).matrix.cols()), (4, 2));
+        assert_eq!(qs.by_name("emb.weight").unwrap().name, "emb.weight");
+    }
+}

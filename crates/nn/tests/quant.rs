@@ -1,0 +1,143 @@
+//! Property tests for the i8 quantization module: the analytic error bounds
+//! the kernels advertise must hold for arbitrary finite matrices.
+
+use proptest::prelude::*;
+
+use dbcopilot_nn::quant::{dot_i8, quantize_row_into, QuantizedMatrix, QuantizedVec};
+use dbcopilot_nn::Tensor;
+
+/// Derive a finite f32 in roughly `[-mag, mag]` from the deterministic
+/// sampler state, mixing wide magnitude variation (down to subnormals) so
+/// the scale floor and rounding paths all get exercised.
+fn sample_f32(state: &mut u64, mag_exp: i32) -> f32 {
+    let bits = proptest::next_state(state);
+    let mantissa = ((bits & 0xFFFF) as f32 / 65536.0) * 2.0 - 1.0; // [-1, 1)
+    let exp = ((bits >> 16) % (2 * mag_exp as u64 + 1)) as i32 - mag_exp;
+    let v = mantissa * 2.0f32.powi(exp);
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+fn sample_matrix(state: &mut u64, rows: usize, cols: usize, mag_exp: i32) -> Tensor {
+    let data = (0..rows * cols).map(|_| sample_f32(state, mag_exp)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantize→dequantize error is bounded by scale/2 per element, for
+    /// matrices spanning ~60 binary orders of magnitude (including rows
+    /// where the MIN_POSITIVE scale floor engages).
+    #[test]
+    fn dequantize_error_bounded_by_half_scale(seed in 0u64..10_000) {
+        let mut state = seed;
+        let rows = 1 + (proptest::next_state(&mut state) % 8) as usize;
+        let cols = 1 + (proptest::next_state(&mut state) % 24) as usize;
+        let t = sample_matrix(&mut state, rows, cols, 30);
+        let q = QuantizedMatrix::from_tensor(&t);
+        let d = q.dequantize();
+        for r in 0..rows {
+            let s = q.scale(r);
+            // Tiny relative slack for the f32 rounding in scale and s*q;
+            // the analytic bound itself is scale/2.
+            let bound = s * 0.5 * (1.0 + 1e-4) + f32::MIN_POSITIVE;
+            for (c, (&orig, &deq)) in t.row(r).iter().zip(d.row(r)).enumerate() {
+                prop_assert!(
+                    (orig - deq).abs() <= bound,
+                    "seed {}: ({},{}) orig {} deq {} scale {}",
+                    seed, r, c, orig, deq, s
+                );
+            }
+        }
+    }
+
+    /// i8 matvec vs f32 matvec: the error is within the analytic bound
+    /// sx/2·Σ|w_row| + sw/2·Σ|x| + n·sx·sw/4 per output element.
+    #[test]
+    fn matvec_error_within_analytic_bound(seed in 0u64..10_000) {
+        let mut state = seed;
+        let out_dim = 1 + (proptest::next_state(&mut state) % 12) as usize;
+        let in_dim = 1 + (proptest::next_state(&mut state) % 48) as usize;
+        // Moderate magnitudes: the bound is about quantization error, not
+        // f32 summation error, so keep the exact reference well-conditioned.
+        let w = sample_matrix(&mut state, in_dim, out_dim, 6);
+        let xs = sample_matrix(&mut state, 1, in_dim, 6);
+        let x = xs.as_slice();
+
+        let exact = Tensor::from_row(x.to_vec()).matmul(&w);
+        let qw = QuantizedMatrix::from_tensor_transposed(&w);
+        let qx = QuantizedVec::quantize(x);
+        let mut got = Vec::new();
+        qw.matvec_into(&qx, &mut got);
+
+        let sum_abs_x: f32 = x.iter().map(|v| v.abs()).sum();
+        for (j, &got_j) in got.iter().enumerate() {
+            let sw = qw.scale(j);
+            let sum_abs_w: f32 = (0..in_dim).map(|i| w.get(i, j).abs()).sum();
+            let bound = qx.scale * 0.5 * sum_abs_w
+                + sw * 0.5 * sum_abs_x
+                + in_dim as f32 * qx.scale * sw * 0.25;
+            // 5% slack + absolute epsilon for f32 rounding in the
+            // reference reduction itself.
+            let bound = bound * 1.05 + 1e-6;
+            let err = (exact.as_slice()[j] - got_j).abs();
+            prop_assert!(
+                err <= bound,
+                "seed {}: col {} exact {} quant {} err {} > bound {}",
+                seed, j, exact.as_slice()[j], got_j, err, bound
+            );
+        }
+    }
+
+    /// All-zero and single-row edge cases never panic, and zero maps to
+    /// exactly zero.
+    #[test]
+    fn zero_and_single_row_edges_never_panic(seed in 0u64..10_000) {
+        let mut state = seed;
+        let cols = 1 + (proptest::next_state(&mut state) % 64) as usize;
+
+        // All-zero matrix: zero scales, zero codes, exact round-trip.
+        let z = Tensor::zeros(3, cols);
+        let qz = QuantizedMatrix::from_tensor(&z);
+        prop_assert!(qz.scales().iter().all(|&s| s == 0.0));
+        prop_assert!(qz.dequantize().approx_eq(&z, 0.0));
+        let mut out = Vec::new();
+        qz.matvec_into(&QuantizedVec::quantize(&vec![1.0; cols]), &mut out);
+        prop_assert!(out.iter().all(|&v| v == 0.0));
+
+        // Single-row matrix round-trips within bound; quantizing its own
+        // dequantization is stable (no panic, still bounded).
+        let single = sample_matrix(&mut state, 1, cols, 30);
+        let qs = QuantizedMatrix::from_tensor(&single);
+        let d = qs.dequantize();
+        let bound = qs.scale(0) * 0.5 * (1.0 + 1e-4) + f32::MIN_POSITIVE;
+        for (&a, &b) in single.row(0).iter().zip(d.row(0)) {
+            prop_assert!((a - b).abs() <= bound);
+        }
+        let _ = QuantizedMatrix::from_tensor(&d);
+
+        // Empty-width vectors: dot of nothing is 0.
+        let mut q = QuantizedVec::new();
+        q.quantize_into(&[]);
+        prop_assert_eq!(q.len(), 0);
+        prop_assert_eq!(dot_i8(&q.data, &[]), 0);
+    }
+
+    /// `quantize_row_into` codes stay in [-127, 127] (the symmetric range;
+    /// -128 is never produced) and the scale is 0 iff the row is all-zero.
+    #[test]
+    fn codes_symmetric_and_scale_zero_iff_zero_row(seed in 0u64..10_000) {
+        let mut state = seed;
+        let cols = 1 + (proptest::next_state(&mut state) % 32) as usize;
+        let row = sample_matrix(&mut state, 1, cols, 35);
+        let mut codes = vec![0i8; cols];
+        let scale = quantize_row_into(row.row(0), &mut codes);
+        prop_assert!(codes.iter().all(|&c| (-127..=127).contains(&c)));
+        let all_zero = row.row(0).iter().all(|&v| v == 0.0);
+        prop_assert_eq!(scale == 0.0, all_zero, "scale {} for row {:?}", scale, row.row(0));
+    }
+}

@@ -37,4 +37,6 @@ pub use crush::{singularize, Crush, Hallucinator, SegmentSearch};
 pub use dense::{
     build_dtr, build_sxfmr, generic_paraphrase_pairs, DenseRetriever, EncoderConfig, TextEncoder,
 };
-pub use targets::{RoutingResult, SchemaRouter, Target, TargetId, TargetSet};
+pub use targets::{
+    PrecisionSwitch, RoutePrecision, RoutingResult, SchemaRouter, Target, TargetId, TargetSet,
+};

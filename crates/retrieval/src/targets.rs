@@ -124,6 +124,34 @@ impl RoutingResult {
     }
 }
 
+/// Numeric precision of the routing hot path.
+///
+/// `F32` is the reference path: exact heap-tensor arithmetic, bit-identical
+/// to training-time inference. `I8` scores against per-row symmetric i8
+/// quantized weights (`dbcopilot-nn`'s `quant` module) — faster and smaller,
+/// at the cost of bounded rounding error in scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePrecision {
+    /// Exact f32 scoring (default).
+    #[default]
+    F32,
+    /// Per-row symmetric i8 scoring with i32 accumulation.
+    I8,
+}
+
+/// Routers whose scoring precision can be switched after construction.
+///
+/// Implemented by methods with a quantized hot path (the DBCopilot router,
+/// dense retrieval); switching to [`RoutePrecision::I8`] freezes quantized
+/// weights on demand if none are attached yet.
+pub trait PrecisionSwitch {
+    /// Select the scoring precision for subsequent `route` calls.
+    fn set_precision(&mut self, precision: RoutePrecision);
+
+    /// The currently selected precision.
+    fn precision(&self) -> RoutePrecision;
+}
+
 /// Interface shared by all schema-routing methods (baselines and the
 /// DBCopilot router adapter in `dbcopilot-eval`).
 pub trait SchemaRouter {

@@ -28,7 +28,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dbcopilot_retrieval::{RoutingResult, SchemaRouter};
+use dbcopilot_retrieval::{PrecisionSwitch, RoutePrecision, RoutingResult, SchemaRouter};
 use dbcopilot_runtime::{global_pool, WorkerPool};
 
 use crate::cache::{normalize_question, LruCache};
@@ -56,6 +56,10 @@ pub struct ServiceConfig {
     pub top_tables: usize,
     /// Dedicated pool workers; `0` uses the process-wide shared pool.
     pub workers: usize,
+    /// Scoring precision applied to the router by
+    /// [`RouterService::from_router_at`] before it is shared (routing
+    /// fronts only; cache entries are computed at this precision too).
+    pub precision: RoutePrecision,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +70,7 @@ impl Default for ServiceConfig {
             cache_capacity: 4096,
             top_tables: 100,
             workers: 0,
+            precision: RoutePrecision::F32,
         }
     }
 }
@@ -97,6 +102,11 @@ impl ServiceConfig {
 
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = n;
+        self
+    }
+
+    pub fn precision(mut self, p: RoutePrecision) -> Self {
+        self.precision = p;
         self
     }
 }
@@ -401,6 +411,19 @@ impl<R: SchemaRouter + Send + Sync + 'static> RouterService<R> {
 
     /// Take ownership of a router and serve it.
     pub fn from_router(router: R, cfg: ServiceConfig) -> Self {
+        Self::new(Arc::new(router), cfg)
+    }
+
+    /// Take ownership of a precision-switchable router, apply
+    /// `cfg.precision`, and serve it. The switch happens here — before the
+    /// router goes behind the `Arc` — so quantized weights are frozen once,
+    /// and every request (including [`warm`](RouterService::warm)-seeded
+    /// cache entries) is scored at the configured precision.
+    pub fn from_router_at(mut router: R, cfg: ServiceConfig) -> Self
+    where
+        R: PrecisionSwitch,
+    {
+        router.set_precision(cfg.precision);
         Self::new(Arc::new(router), cfg)
     }
 

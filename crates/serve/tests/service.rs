@@ -258,3 +258,46 @@ fn serves_a_dbc_router_end_to_end() {
     assert_eq!(first.database_names(), again.database_names());
     assert_eq!(service.stats().cache_hits, 1);
 }
+
+#[test]
+fn from_router_at_applies_precision_before_sharing_and_warm_uses_it() {
+    use dbcopilot_core::{DbcRouter, RouterConfig};
+    use dbcopilot_graph::SchemaGraph;
+    use dbcopilot_retrieval::{PrecisionSwitch, RoutePrecision};
+    use dbcopilot_sqlengine::{Collection, DataType, DatabaseSchema, TableSchema};
+
+    let mut c = Collection::new();
+    let mut d = DatabaseSchema::new("concert_singer");
+    for t in ["singer", "concert"] {
+        d.add_table(TableSchema::new(t).column("id", DataType::Int).primary(0));
+    }
+    c.add_database(d);
+
+    let router = DbcRouter::untrained(SchemaGraph::build(&c), RouterConfig::tiny());
+    let cfg = ServiceConfig::new().precision(RoutePrecision::I8);
+    let service = RouterService::from_router_at(router, cfg);
+    assert_eq!(service.router().precision(), RoutePrecision::I8);
+    assert!(
+        service.router().model.quant.is_some(),
+        "quantized weights must be frozen before the router is shared"
+    );
+
+    // The warm path seeds the cache with i8-scored entries; a later route
+    // of the same question is a cache hit, i.e. served at that precision.
+    service.warm(&["how many vocalists".to_string()]);
+    let served = service.route("how many vocalists");
+    assert!(!served.databases.is_empty());
+    assert_eq!(service.stats().cache_hits, 1);
+
+    // Served results match direct i8 routing on an identical router.
+    let mut direct =
+        DbcRouter::untrained(service.router().graph.clone(), service.router().model.cfg.clone());
+    direct.set_precision(RoutePrecision::I8);
+    let expect = direct.route("how many vocalists", cfg_top_tables());
+    assert_eq!(served.database_names(), expect.database_names());
+    assert_eq!(served.tables, expect.tables);
+}
+
+fn cfg_top_tables() -> usize {
+    ServiceConfig::default().top_tables
+}

@@ -198,6 +198,52 @@ fn recovered_answers_surface_their_execution_errors() {
 }
 
 #[test]
+fn quantized_routing_matches_f32_recall_and_candidate_order() {
+    // The quantized hot path must be quality-invisible at quick scale:
+    // R@1/R@5 within one point of the f32 reference, and the ranked
+    // candidate list identical on (nearly) every eval question. The i8
+    // router is a bit-exact codec round-trip of the shared fixture, so the
+    // only difference between the two runs is the precision knob.
+    use dbcopilot::retrieval::SchemaRouter;
+    use dbcopilot_core::{load_router, save_router, PrecisionSwitch, RoutePrecision};
+
+    let p = prepared();
+    let f32_router = &fixture().router;
+    let mut buf = Vec::new();
+    save_router(f32_router, &mut buf).expect("fixture router must serialize");
+    let mut i8_router = load_router(&buf[..]).expect("fixture bundle must load");
+    i8_router.set_precision(RoutePrecision::I8);
+
+    let m_f32 = eval_routing(f32_router, &p.corpus.test, 100);
+    let m_i8 = eval_routing(&i8_router, &p.corpus.test, 100);
+    assert!(
+        (m_f32.db_r1 - m_i8.db_r1).abs() <= 1.0,
+        "i8 R@1 {:.1} drifted more than a point from f32 {:.1}",
+        m_i8.db_r1,
+        m_f32.db_r1
+    );
+    assert!(
+        (m_f32.db_r5 - m_i8.db_r5).abs() <= 1.0,
+        "i8 R@5 {:.1} drifted more than a point from f32 {:.1}",
+        m_i8.db_r5,
+        m_f32.db_r5
+    );
+
+    let mut identical = 0usize;
+    for inst in &p.corpus.test {
+        let a = f32_router.route(&inst.question, 100);
+        let b = i8_router.route(&inst.question, 100);
+        identical += (a.database_names() == b.database_names()) as usize;
+    }
+    let frac = identical as f64 / p.corpus.test.len() as f64;
+    assert!(
+        frac >= 0.95,
+        "i8 candidate order matches f32 on only {identical}/{} questions",
+        p.corpus.test.len()
+    );
+}
+
+#[test]
 fn experiments_are_deterministic() {
     let scale = test_scale();
     let a = {

@@ -7,12 +7,24 @@
 //! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
 //! [`criterion_main!`] macros.
 //!
-//! Measurement is simple: a short warm-up, then `sample_size` samples of an
-//! adaptively chosen number of iterations each; the mean / p50 / p95 / min
-//! / max per-iteration time is printed to stdout (p50/p95 are
-//! nearest-rank percentiles over the samples, so tail latency is visible
-//! for serving-style benches). No outlier rejection, no HTML reports, no
-//! baseline storage.
+//! Measurement: a short warm-up, then `sample_size` samples of an
+//! adaptively chosen number of iterations each. Per-iteration sample times
+//! pass through Tukey-fence IQR outlier rejection (scheduler blips on a
+//! loaded machine land far outside the fences and are discarded), then the
+//! mean / p50 / p95 / min / max of the surviving samples is printed.
+//!
+//! Beyond printing, every result is recorded in a process-global registry,
+//! which powers the regression gate:
+//!
+//! * `--save-baseline <path>` writes the run's results as JSON;
+//! * `--compare <path>` prints a per-benchmark delta against a saved
+//!   baseline and makes the process exit non-zero if any benchmark's p50
+//!   regressed past `--threshold <pct>` (default 10%).
+//!
+//! Both flags are consumed by the `main` that [`criterion_main!`] expands
+//! to (`cargo bench --bench routing -- --compare benches/baselines/x.json`);
+//! unknown flags — cargo's own `--bench`, test filters — are ignored. No
+//! HTML reports.
 //!
 //! ```
 //! use criterion::{black_box, Criterion};
@@ -22,7 +34,10 @@
 //! ```
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use serde::Value;
 
 /// Prevent the optimizer from deleting a computed value.
 pub fn black_box<T>(x: T) -> T {
@@ -49,6 +64,41 @@ impl fmt::Display for BenchmarkId {
         f.write_str(&self.id)
     }
 }
+
+// ---------------------------------------------------------------------------
+// results registry
+// ---------------------------------------------------------------------------
+
+/// One benchmark's robust summary (post outlier rejection), in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    pub name: String,
+    pub mean_ns: f64,
+    pub p50_ns: f64,
+    /// Samples surviving IQR rejection.
+    pub samples: usize,
+    /// Samples discarded by the Tukey fences.
+    pub outliers_rejected: usize,
+}
+
+/// Process-global registry of results from this run. A global is required
+/// because [`criterion_group!`]-generated functions each construct their
+/// own [`Criterion`], yet `--save-baseline`/`--compare` operate on the
+/// whole run.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+fn record(result: BenchResult) {
+    RESULTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(result);
+}
+
+/// Drain all results recorded so far (called by the generated `main`).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+}
+
+// ---------------------------------------------------------------------------
+// measurement
+// ---------------------------------------------------------------------------
 
 /// Per-benchmark timing driver handed to the closure.
 pub struct Bencher {
@@ -89,20 +139,46 @@ impl Bencher {
         }
         let per_iter: Vec<f64> =
             self.samples.iter().map(|d| d.as_secs_f64() / self.iters_per_sample as f64).collect();
-        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
-        let mut sorted = per_iter.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let (kept, rejected) = reject_outliers(&per_iter);
+        let mean = kept.iter().sum::<f64>() / kept.len() as f64;
         println!(
-            "{name:<40} mean {:>12} p50 {:>12} p95 {:>12} min {:>12} max {:>12} ({} samples x {} iters)",
+            "{name:<40} mean {:>12} p50 {:>12} p95 {:>12} min {:>12} max {:>12} ({} samples x {} iters{})",
             fmt_time(mean),
-            fmt_time(percentile(&sorted, 0.50)),
-            fmt_time(percentile(&sorted, 0.95)),
-            fmt_time(sorted[0]),
-            fmt_time(sorted[sorted.len() - 1]),
-            self.samples.len(),
+            fmt_time(percentile(&kept, 0.50)),
+            fmt_time(percentile(&kept, 0.95)),
+            fmt_time(kept[0]),
+            fmt_time(kept[kept.len() - 1]),
+            kept.len(),
             self.iters_per_sample,
+            if rejected > 0 { format!(", {rejected} outliers rejected") } else { String::new() },
         );
+        record(BenchResult {
+            name: name.to_string(),
+            mean_ns: mean * 1e9,
+            p50_ns: percentile(&kept, 0.50) * 1e9,
+            samples: kept.len(),
+            outliers_rejected: rejected,
+        });
     }
+}
+
+/// Tukey-fence IQR outlier rejection: samples outside
+/// `[q1 - 1.5·IQR, q3 + 1.5·IQR]` are discarded. Returns the surviving
+/// samples ascending-sorted plus the rejected count. Fewer than 4 samples
+/// can't anchor quartiles — everything is kept.
+fn reject_outliers(samples: &[f64]) -> (Vec<f64>, usize) {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if sorted.len() < 4 {
+        return (sorted, 0);
+    }
+    let q1 = percentile(&sorted, 0.25);
+    let q3 = percentile(&sorted, 0.75);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = sorted.iter().copied().filter(|&v| v >= lo && v <= hi).collect();
+    let rejected = sorted.len() - kept.len();
+    (kept, rejected)
 }
 
 /// Nearest-rank percentile of an ascending-sorted, non-empty sample list.
@@ -122,6 +198,214 @@ fn fmt_time(secs: f64) -> String {
         format!("{:.1} ns", secs * 1e9)
     }
 }
+
+// ---------------------------------------------------------------------------
+// baselines and comparison
+// ---------------------------------------------------------------------------
+
+/// Harness options parsed from the bench binary's CLI arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Write this run's results to the given JSON file.
+    pub save_baseline: Option<String>,
+    /// Compare this run's results against the given JSON baseline.
+    pub compare: Option<String>,
+    /// Regression threshold in percent for `--compare` (on p50).
+    pub threshold_pct: f64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { save_baseline: None, compare: None, threshold_pct: 10.0 }
+    }
+}
+
+/// Parse harness flags, tolerating everything cargo injects (`--bench`,
+/// test-name filters, `--exact`, ...). Both `--flag value` and
+/// `--flag=value` forms are accepted.
+pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> RunConfig {
+    let mut cfg = RunConfig::default();
+    while let Some(arg) = args.next() {
+        let mut take = |flag: &str| -> Option<String> {
+            if arg == flag {
+                args.next()
+            } else {
+                arg.strip_prefix(flag).and_then(|r| r.strip_prefix('=')).map(String::from)
+            }
+        };
+        if let Some(path) = take("--save-baseline") {
+            cfg.save_baseline = Some(path);
+        } else if let Some(path) = take("--compare") {
+            cfg.compare = Some(path);
+        } else if let Some(t) = take("--threshold") {
+            if let Ok(pct) = t.parse() {
+                cfg.threshold_pct = pct;
+            }
+        }
+    }
+    cfg
+}
+
+fn results_to_json(results: &[BenchResult]) -> Value {
+    Value::Object(vec![
+        ("format".to_string(), Value::UInt(1)),
+        (
+            "benchmarks".to_string(),
+            Value::Array(
+                results
+                    .iter()
+                    .map(|r| {
+                        Value::Object(vec![
+                            ("name".to_string(), Value::String(r.name.clone())),
+                            ("mean_ns".to_string(), Value::Float(r.mean_ns)),
+                            ("p50_ns".to_string(), Value::Float(r.p50_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn json_num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// A saved baseline: `(name, p50_ns)` per benchmark, in file order.
+pub fn parse_baseline(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let v: Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let benches = v
+        .get("benchmarks")
+        .and_then(Value::as_array)
+        .ok_or("baseline has no \"benchmarks\" array")?;
+    let mut out = Vec::with_capacity(benches.len());
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("baseline benchmark entry lacks a \"name\"")?;
+        let p50 = b
+            .get("p50_ns")
+            .and_then(json_num)
+            .ok_or_else(|| format!("baseline entry {name:?} lacks \"p50_ns\""))?;
+        out.push((name.to_string(), p50));
+    }
+    Ok(out)
+}
+
+/// Render results as the baseline JSON document.
+pub fn baseline_json(results: &[BenchResult]) -> String {
+    serde_json::to_string(&results_to_json(results)).expect("baseline JSON is always serializable")
+}
+
+/// One row of a `--compare` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    pub name: String,
+    pub baseline_p50_ns: f64,
+    pub current_p50_ns: f64,
+    /// `(current − baseline) / baseline · 100`; negative is faster.
+    pub delta_pct: f64,
+    /// `delta_pct > threshold`.
+    pub regressed: bool,
+}
+
+/// Compare current results against a baseline. Benchmarks missing on
+/// either side are skipped (filters and newly added benches must not read
+/// as regressions); the comparison covers the intersection, in baseline
+/// order.
+pub fn compare_results(
+    current: &[BenchResult],
+    baseline: &[(String, f64)],
+    threshold_pct: f64,
+) -> Vec<Comparison> {
+    baseline
+        .iter()
+        .filter_map(|(name, base_p50)| {
+            let cur = current.iter().find(|r| &r.name == name)?;
+            // A sub-nanosecond baseline is noise-floor; avoid dividing by ~0.
+            let delta_pct = (cur.p50_ns - base_p50) / base_p50.max(1e-3) * 100.0;
+            Some(Comparison {
+                name: name.clone(),
+                baseline_p50_ns: *base_p50,
+                current_p50_ns: cur.p50_ns,
+                delta_pct,
+                regressed: delta_pct > threshold_pct,
+            })
+        })
+        .collect()
+}
+
+/// Apply `--save-baseline` / `--compare` to the drained results registry
+/// and return the process exit code: 0 clean, 1 regression past threshold,
+/// 2 harness I/O error. Called by the `main` that [`criterion_main!`]
+/// generates.
+pub fn finish(cfg: &RunConfig) -> i32 {
+    let results = take_results();
+    if let Some(path) = &cfg.save_baseline {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("criterion: cannot create baseline directory {dir:?}: {e}");
+                    return 2;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, baseline_json(&results)) {
+            eprintln!("criterion: cannot write baseline {path:?}: {e}");
+            return 2;
+        }
+        println!("saved baseline: {path} ({} benchmarks)", results.len());
+    }
+    if let Some(path) = &cfg.compare {
+        let json = match std::fs::read_to_string(path) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("criterion: cannot read baseline {path:?}: {e}");
+                return 2;
+            }
+        };
+        let baseline = match parse_baseline(&json) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("criterion: malformed baseline {path:?}: {e}");
+                return 2;
+            }
+        };
+        let comps = compare_results(&results, &baseline, cfg.threshold_pct);
+        println!("== baseline comparison (threshold +{:.1}%) ==", cfg.threshold_pct);
+        for c in &comps {
+            println!(
+                "{:<40} baseline {:>12} current {:>12} delta {:>+7.1}% {}",
+                c.name,
+                fmt_time(c.baseline_p50_ns / 1e9),
+                fmt_time(c.current_p50_ns / 1e9),
+                c.delta_pct,
+                if c.regressed { "REGRESSED" } else { "ok" },
+            );
+        }
+        let regressions = comps.iter().filter(|c| c.regressed).count();
+        println!(
+            "== comparison: {} benchmark(s), {} regression(s) past +{:.1}% ==",
+            comps.len(),
+            regressions,
+            cfg.threshold_pct
+        );
+        if regressions > 0 {
+            return 1;
+        }
+    }
+    0
+}
+
+// ---------------------------------------------------------------------------
+// driver
+// ---------------------------------------------------------------------------
 
 /// Top-level benchmark driver.
 pub struct Criterion {
@@ -210,14 +494,16 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `main` running the given benchmark groups.
+/// Generate `main` running the given benchmark groups, then applying
+/// `--save-baseline` / `--compare` / `--threshold` (cargo's own flags and
+/// filters are ignored). Exits non-zero on regression past the threshold.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // cargo passes `--bench` (and possibly filters) to the harness
-            // binary; this minimal harness runs everything regardless.
+            let cfg = $crate::parse_args(std::env::args().skip(1));
             $( $group(); )+
+            std::process::exit($crate::finish(&cfg));
         }
     };
 }
@@ -226,12 +512,27 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// The results registry is process-global; tests that touch it hold
+    /// this lock so parallel test threads don't steal each other's entries.
+    static REGISTRY_GUARD: Mutex<()> = Mutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        REGISTRY_GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
-    fn bench_function_runs_closure() {
+    fn bench_function_runs_closure_and_records_result() {
+        let _g = guard();
+        take_results();
         let mut c = Criterion::default().sample_size(3);
         let mut runs = 0u64;
         c.bench_function("counter", |b| b.iter(|| runs += 1));
         assert!(runs > 3, "closure should run warmup + samples, ran {runs}");
+        let results = take_results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "counter");
+        assert!(results[0].mean_ns > 0.0);
+        assert!(results[0].samples >= 1);
     }
 
     #[test]
@@ -249,6 +550,8 @@ mod tests {
 
     #[test]
     fn group_and_ids() {
+        let _g = guard();
+        take_results();
         let mut c = Criterion::default().sample_size(2);
         let mut group = c.benchmark_group("g");
         group.bench_with_input(BenchmarkId::from_parameter("p"), &7u32, |b, &x| {
@@ -257,5 +560,173 @@ mod tests {
         group.bench_function("plain", |b| b.iter(|| black_box(1u8)));
         group.finish();
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        let names: Vec<String> = take_results().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, ["g/p", "g/plain"]);
+    }
+
+    #[test]
+    fn iqr_rejects_the_minority_mode_of_a_bimodal_sample() {
+        // 16 fast samples around 1.0 plus 3 scheduler-blip samples at ~100:
+        // the fences sit near the fast mode, so the blips are rejected.
+        let mut samples: Vec<f64> = (0..16).map(|i| 1.0 + 0.01 * i as f64).collect();
+        samples.extend([100.0, 105.0, 110.0]);
+        let (kept, rejected) = reject_outliers(&samples);
+        assert_eq!(rejected, 3, "the slow mode must be rejected: kept {kept:?}");
+        assert_eq!(kept.len(), 16);
+        assert!(kept.iter().all(|&v| v < 2.0));
+        // a unimodal sample passes through untouched
+        let calm: Vec<f64> = (0..16).map(|i| 5.0 + 0.01 * i as f64).collect();
+        let (kept, rejected) = reject_outliers(&calm);
+        assert_eq!((kept.len(), rejected), (16, 0));
+        // under 4 samples there are no quartiles to anchor fences
+        let (kept, rejected) = reject_outliers(&[1.0, 999.0]);
+        assert_eq!((kept.len(), rejected), (2, 0));
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let results = vec![
+            BenchResult {
+                name: "routing/f32".into(),
+                mean_ns: 1234.5,
+                p50_ns: 1200.0,
+                samples: 20,
+                outliers_rejected: 1,
+            },
+            BenchResult {
+                name: "routing/i8".into(),
+                mean_ns: 600.25,
+                p50_ns: 580.5,
+                samples: 20,
+                outliers_rejected: 0,
+            },
+        ];
+        let json = baseline_json(&results);
+        let parsed = parse_baseline(&json).unwrap();
+        assert_eq!(
+            parsed,
+            vec![("routing/f32".to_string(), 1200.0), ("routing/i8".to_string(), 580.5)]
+        );
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("not json").is_err());
+    }
+
+    #[test]
+    fn compare_delta_math_and_threshold() {
+        let current = vec![
+            BenchResult {
+                name: "a".into(),
+                mean_ns: 0.0,
+                p50_ns: 120.0,
+                samples: 20,
+                outliers_rejected: 0,
+            },
+            BenchResult {
+                name: "b".into(),
+                mean_ns: 0.0,
+                p50_ns: 90.0,
+                samples: 20,
+                outliers_rejected: 0,
+            },
+            BenchResult {
+                name: "new-bench".into(),
+                mean_ns: 0.0,
+                p50_ns: 50.0,
+                samples: 20,
+                outliers_rejected: 0,
+            },
+        ];
+        let baseline = vec![
+            ("a".to_string(), 100.0),
+            ("b".to_string(), 100.0),
+            ("removed-bench".to_string(), 10.0),
+        ];
+        let comps = compare_results(&current, &baseline, 10.0);
+        // intersection only: new and removed benches are not regressions
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].name, "a");
+        assert!((comps[0].delta_pct - 20.0).abs() < 1e-9);
+        assert!(comps[0].regressed, "+20% past a 10% threshold");
+        assert_eq!(comps[1].name, "b");
+        assert!((comps[1].delta_pct + 10.0).abs() < 1e-9);
+        assert!(!comps[1].regressed, "-10% is an improvement");
+        // exactly at threshold is not a regression (strictly past it is)
+        let at = compare_results(&current, &[("a".to_string(), 100.0)], 20.0);
+        assert!(!at[0].regressed);
+    }
+
+    #[test]
+    fn compare_exit_code_via_finish() {
+        let _g = guard();
+        take_results();
+        let dir = std::env::temp_dir().join("criterion-stub-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("exitcode.json");
+        let base = vec![BenchResult {
+            name: "x".into(),
+            mean_ns: 100.0,
+            p50_ns: 100.0,
+            samples: 4,
+            outliers_rejected: 0,
+        }];
+        std::fs::write(&path, baseline_json(&base)).unwrap();
+
+        // identical run → clean exit
+        record(base[0].clone());
+        let cfg = RunConfig {
+            compare: Some(path.to_string_lossy().into_owned()),
+            ..RunConfig::default()
+        };
+        assert_eq!(finish(&cfg), 0);
+
+        // 3x slower → regression exit code
+        record(BenchResult { p50_ns: 300.0, ..base[0].clone() });
+        assert_eq!(finish(&cfg), 1);
+
+        // unreadable baseline → harness error exit code
+        let cfg_bad =
+            RunConfig { compare: Some("/nonexistent/np.json".into()), ..RunConfig::default() };
+        assert_eq!(finish(&cfg_bad), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_baseline_writes_file_and_creates_dirs() {
+        let _g = guard();
+        take_results();
+        let dir = std::env::temp_dir().join("criterion-stub-test").join("nested");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("saved.json");
+        record(BenchResult {
+            name: "y".into(),
+            mean_ns: 5.0,
+            p50_ns: 5.0,
+            samples: 4,
+            outliers_rejected: 0,
+        });
+        let cfg = RunConfig {
+            save_baseline: Some(path.to_string_lossy().into_owned()),
+            ..RunConfig::default()
+        };
+        assert_eq!(finish(&cfg), 0);
+        let parsed = parse_baseline(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed, vec![("y".to_string(), 5.0)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn arg_parsing_tolerates_cargo_noise() {
+        let args = |v: &[&str]| parse_args(v.iter().map(|s| s.to_string()));
+        assert_eq!(args(&[]), RunConfig::default());
+        // cargo's harness flags and filters pass through silently
+        assert_eq!(args(&["--bench", "routing_filter"]), RunConfig::default());
+        let cfg = args(&["--bench", "--compare", "b.json", "--threshold", "5"]);
+        assert_eq!(cfg.compare.as_deref(), Some("b.json"));
+        assert_eq!(cfg.threshold_pct, 5.0);
+        let cfg = args(&["--save-baseline=out.json", "--threshold=2.5"]);
+        assert_eq!(cfg.save_baseline.as_deref(), Some("out.json"));
+        assert_eq!(cfg.threshold_pct, 2.5);
+        // a malformed threshold keeps the default rather than panicking
+        assert_eq!(args(&["--threshold", "fast"]).threshold_pct, 10.0);
     }
 }

@@ -116,6 +116,21 @@ pub trait Deserialize: Sized {
     fn deserialize(v: &Value) -> Result<Self, DeError>;
 }
 
+// A `Value` is already the data model: identity impls let callers hand a
+// hand-built tree straight to `serde_json` (dynamic documents with no
+// dedicated struct, e.g. benchmark baselines).
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // helpers used by derive-generated code
 // ---------------------------------------------------------------------------
