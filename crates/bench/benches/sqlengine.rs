@@ -1,9 +1,14 @@
-//! SQL engine micro-benchmarks: parsing and the executor's main operators.
+//! SQL engine micro-benchmarks: parsing, and each executor shape run under
+//! both strategies — `interp` is the tree-walking interpreter, `compiled`
+//! is the interned/index-resolved/hash-join path against a prepared
+//! database (the serving and eval hot path). The compiled/interp pairs at
+//! two row scales are what the CI baseline gate watches.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use dbcopilot_sqlengine::{
-    execute, parse_select, DataType, Database, DatabaseSchema, TableSchema, Value,
+    execute_prepared, execute_with, parse_select, DataType, Database, DatabaseSchema, ExecStrategy,
+    PreparedDb, TableSchema, Value,
 };
 
 fn make_db(rows: usize) -> Database {
@@ -54,8 +59,27 @@ fn make_db(rows: usize) -> Database {
     db
 }
 
+/// The executor shapes under the perf gate. Each runs as
+/// `sqlengine/{shape}_{rows}/{interp|compiled}`.
+const SHAPES: &[(&str, &str)] = &[
+    ("scan_filter", "SELECT name FROM orders WHERE amount > 50"),
+    (
+        "join",
+        "SELECT o.name FROM orders AS o JOIN customer AS c \
+         ON o.customer_id = c.customer_id WHERE c.region = 'north'",
+    ),
+    ("group_by", "SELECT status, COUNT(*), SUM(amount) FROM orders GROUP BY status"),
+    ("distinct", "SELECT DISTINCT status, customer_id FROM orders"),
+    ("subquery", "SELECT name FROM orders WHERE amount = (SELECT MAX(amount) FROM orders)"),
+    (
+        "join_group_by",
+        "SELECT c.region, COUNT(*), AVG(o.amount) FROM orders AS o \
+         JOIN customer AS c ON o.customer_id = c.customer_id \
+         GROUP BY c.region ORDER BY c.region",
+    ),
+];
+
 fn bench_engine(c: &mut Criterion) {
-    let db = make_db(1000);
     c.bench_function("parse_join_query", |b| {
         b.iter(|| {
             parse_select(
@@ -64,26 +88,18 @@ fn bench_engine(c: &mut Criterion) {
             )
         })
     });
-    c.bench_function("scan_filter_1k", |b| {
-        b.iter(|| execute(&db, "SELECT name FROM orders WHERE amount > 50"))
-    });
-    c.bench_function("group_by_1k", |b| {
-        b.iter(|| execute(&db, "SELECT status, COUNT(*) FROM orders GROUP BY status"))
-    });
-    c.bench_function("join_1k_x_250", |b| {
-        b.iter(|| {
-            execute(
-                &db,
-                "SELECT o.name FROM orders AS o JOIN customer AS c \
-                 ON o.customer_id = c.customer_id WHERE c.region = 'north'",
-            )
-        })
-    });
-    c.bench_function("subquery_max_1k", |b| {
-        b.iter(|| {
-            execute(&db, "SELECT name FROM orders WHERE amount = (SELECT MAX(amount) FROM orders)")
-        })
-    });
+    for rows in [100usize, 1000] {
+        let db = make_db(rows);
+        let pdb = PreparedDb::prepare(&db);
+        for (shape, sql) in SHAPES {
+            c.bench_function(&format!("sqlengine/{shape}_{rows}/interp"), |b| {
+                b.iter(|| execute_with(&db, sql, ExecStrategy::Interpreted))
+            });
+            c.bench_function(&format!("sqlengine/{shape}_{rows}/compiled"), |b| {
+                b.iter(|| execute_prepared(&pdb, sql))
+            });
+        }
+    }
 }
 
 criterion_group! {

@@ -107,6 +107,57 @@ fn main() {
     println!("{}", render_precision_table(&precision_rows));
 
     // -----------------------------------------------------------------
+    // SQL engine: the execution substrate under every EX number. Replay
+    // the test split's gold queries under the interpreter, the compiled
+    // path (fresh prepare per query), and the compiled path with
+    // per-database prepared reuse — the configuration eval and serving
+    // actually run.
+    // -----------------------------------------------------------------
+    eprintln!("  measuring engine latency (interpreted vs compiled)");
+    {
+        use dbcopilot::sqlengine::{execute_prepared, execute_with, ExecStrategy, PreparedStore};
+        let store = &prepared.corpus.store;
+        let pstore = PreparedStore::new(store.clone());
+        let workload: Vec<_> = prepared
+            .corpus
+            .test
+            .iter()
+            .filter_map(|i| {
+                let db = store.database(&i.schema.database)?;
+                let pdb = pstore.prepared(&i.schema.database)?;
+                Some((db, pdb, i.sql.as_str()))
+            })
+            .collect();
+        let per_query_us = |run: &dyn Fn()| {
+            let reps = 3;
+            let start = std::time::Instant::now();
+            for _ in 0..reps {
+                run();
+            }
+            start.elapsed().as_secs_f64() * 1e6 / (reps * workload.len().max(1)) as f64
+        };
+        let interp = per_query_us(&|| {
+            for (db, _, sql) in &workload {
+                let _ = execute_with(db, sql, ExecStrategy::Interpreted);
+            }
+        });
+        let compiled = per_query_us(&|| {
+            for (db, _, sql) in &workload {
+                let _ = execute_with(db, sql, ExecStrategy::Compiled);
+            }
+        });
+        let reused = per_query_us(&|| {
+            for (_, pdb, sql) in &workload {
+                let _ = execute_prepared(pdb, sql);
+            }
+        });
+        println!("== SQL engine — µs/query over the EX workload ({} queries) ==", workload.len());
+        println!("interpreted            {interp:>10.1} µs/query");
+        println!("compiled (per-query)   {compiled:>10.1} µs/query  ({:.1}x)", interp / compiled);
+        println!("compiled (prepared)    {reused:>10.1} µs/query  ({:.1}x)", interp / reused);
+    }
+
+    // -----------------------------------------------------------------
     // End-to-end ask: routing accuracy only bounds what the full
     // question→SQL→result path delivers. Measure the single-candidate
     // path against top-3 fallback + execution-feedback repair, then the

@@ -5,8 +5,9 @@
 //! candidate-fallback/repair machinery rescued an answer.
 
 use dbcopilot_serve::{AskError, AskOptions, QueryPipeline};
-use dbcopilot_sqlengine::{compare_to_gold, execute};
+use dbcopilot_sqlengine::{compare_to_gold_prepared, execute_prepared, PreparedDb};
 use dbcopilot_synth::{Corpus, Instance};
+use std::collections::HashMap;
 
 /// Aggregated end-to-end ask metrics.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -75,6 +76,10 @@ pub fn eval_ask(
 ) -> AskAccuracy {
     let partials = dbcopilot_runtime::pooled_map_chunks(instances, ASK_CHUNK, |_, part| {
         let mut m = AskAccuracy { queries: part.len(), ..Default::default() };
+        // Per-chunk prepared-database cache: instances in a chunk cluster
+        // on few databases, so gold + answer execution share one interned
+        // copy instead of re-walking `Table` storage per query.
+        let mut prepared: HashMap<&str, PreparedDb> = HashMap::new();
         for inst in part {
             match pipeline.ask_with(&inst.question, opts) {
                 Ok(report) => {
@@ -86,14 +91,17 @@ pub fn eval_ask(
                         m.gold_errors += 1;
                         continue;
                     };
-                    let gold = match execute(db, &inst.sql) {
+                    let pdb = prepared
+                        .entry(inst.schema.database.as_str())
+                        .or_insert_with(|| PreparedDb::prepare(db));
+                    let gold = match execute_prepared(pdb, &inst.sql) {
                         Ok(rs) => rs,
                         Err(_) => {
                             m.gold_errors += 1;
                             continue;
                         }
                     };
-                    if compare_to_gold(db, &gold, &report.answer.sql).is_match() {
+                    if compare_to_gold_prepared(pdb, &gold, &report.answer.sql).is_match() {
                         m.matches += 1;
                     }
                 }
@@ -143,7 +151,7 @@ mod tests {
     use dbcopilot_serve::{
         Answer, AskReport, ExecutionError, ScoredCandidate, SqlAttempt, StageTimings,
     };
-    use dbcopilot_sqlengine::EngineError;
+    use dbcopilot_sqlengine::{execute, EngineError};
 
     /// A pipeline that answers by executing the instance's own gold SQL
     /// when the question embeds it, else fails at a chosen stage.

@@ -8,8 +8,9 @@ use dbcopilot_nl2sql::{
     PromptSchema,
 };
 use dbcopilot_retrieval::SchemaRouter;
-use dbcopilot_sqlengine::{compare_to_gold, execute, parse_select};
+use dbcopilot_sqlengine::{compare_to_gold_prepared, execute_prepared, parse_select, PreparedDb};
 use dbcopilot_synth::{Corpus, Instance};
+use std::collections::HashMap;
 
 /// Where candidate schemata come from.
 pub enum SchemaSource<'a> {
@@ -114,6 +115,10 @@ pub fn eval_ex(
     let pricing = CostModel::gpt35_turbo();
     let mut report = ExReport { queries: instances.len(), ..Default::default() };
     let mut matches = 0usize;
+    // Databases interned once and reused across the instance loop — the
+    // same database serves many instances, and each instance executes at
+    // least two queries (gold + prediction) against it.
+    let mut prepared: HashMap<String, PreparedDb> = HashMap::new();
     for inst in instances {
         let k = match strategy {
             Strategy::Best => 1,
@@ -181,7 +186,9 @@ pub fn eval_ex(
             report.gold_errors += 1;
             continue;
         };
-        let gold = match execute(db, &inst.sql) {
+        let pdb =
+            prepared.entry(inst.schema.database.clone()).or_insert_with(|| PreparedDb::prepare(db));
+        let gold = match execute_prepared(pdb, &inst.sql) {
             Ok(rs) => rs,
             Err(_) => {
                 report.gold_errors += 1;
@@ -189,7 +196,7 @@ pub fn eval_ex(
             }
         };
         if let Some(sql) = &out.sql {
-            if compare_to_gold(db, &gold, sql).is_match() {
+            if compare_to_gold_prepared(pdb, &gold, sql).is_match() {
                 matches += 1;
             }
         }

@@ -1,0 +1,52 @@
+//! Workload-scale engine parity: every gold query the synthetic corpus
+//! generator emits must produce identical results (or identical errors)
+//! under the interpreted and compiled execution strategies — against both
+//! ad-hoc and prepared databases. Identical results imply identical EX and
+//! answered% for any evaluation built on top, so this pins the end-to-end
+//! numbers across the engine swap.
+
+use dbcopilot_sqlengine::{execute_prepared, execute_with, ExecStrategy, PreparedStore};
+use dbcopilot_synth::{build_spider_like, CorpusSizes};
+
+#[test]
+fn gold_workload_is_strategy_invariant() {
+    let corpus =
+        build_spider_like(&CorpusSizes { num_databases: 12, train_n: 300, test_n: 150 }, 29);
+    let prepared = PreparedStore::new(corpus.store.clone());
+    let mut executed = 0usize;
+    for inst in corpus.train.iter().chain(corpus.test.iter()) {
+        let Some(db) = corpus.store.database(&inst.schema.database) else {
+            continue;
+        };
+        let interp = execute_with(db, &inst.sql, ExecStrategy::Interpreted);
+        let compiled = execute_with(db, &inst.sql, ExecStrategy::Compiled);
+        match (&interp, &compiled) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "results diverge on gold SQL: {}",
+                    inst.sql
+                );
+                executed += 1;
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(a.to_string(), b.to_string(), "errors diverge on: {}", inst.sql);
+            }
+            _ => panic!(
+                "strategy disagreement on {}\n  interpreted: {interp:?}\n  compiled: {compiled:?}",
+                inst.sql
+            ),
+        }
+        let pdb = prepared.prepared(&inst.schema.database).expect("database is in the store");
+        let via_prepared = execute_prepared(pdb, &inst.sql);
+        match (&compiled, &via_prepared) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "prepared diverges on: {}", inst.sql)
+            }
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+            _ => panic!("prepared disagreement on {}", inst.sql),
+        }
+    }
+    assert!(executed > 200, "workload should mostly execute, got {executed}");
+}

@@ -5,6 +5,7 @@
 //! row order is ignored (ORDER BY exists mostly for LIMIT determinism),
 //! column names are ignored, and floats compare with a small tolerance.
 
+use crate::compile::{execute_prepared, PreparedDb};
 use crate::error::EngineError;
 use crate::exec::{execute, ResultSet};
 use crate::storage::Database;
@@ -39,11 +40,12 @@ pub fn results_equal(a: &ResultSet, b: &ResultSet) -> bool {
     if a.rows[0].len() != b.rows[0].len() {
         return false;
     }
-    // Multiset compare via canonical sort on both sides.
-    let canon = |rs: &ResultSet| -> Vec<Vec<crate::value::Value>> {
-        let mut rows = rs.rows.clone();
-        rows.sort_by(|x, y| {
-            for (a, b) in x.iter().zip(y.iter()) {
+    // Multiset compare via sorted index permutations over borrowed rows —
+    // no row clones (this runs once per candidate per repair round).
+    let perm = |rs: &ResultSet| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..rs.rows.len()).collect();
+        idx.sort_by(|&x, &y| {
+            for (a, b) in rs.rows[x].iter().zip(rs.rows[y].iter()) {
                 let o = a.total_cmp(b);
                 if o != std::cmp::Ordering::Equal {
                     return o;
@@ -51,10 +53,12 @@ pub fn results_equal(a: &ResultSet, b: &ResultSet) -> bool {
             }
             std::cmp::Ordering::Equal
         });
-        rows
+        idx
     };
-    let (ra, rb) = (canon(a), canon(b));
-    ra.iter().zip(rb.iter()).all(|(x, y)| x.iter().zip(y.iter()).all(|(va, vb)| va.result_eq(vb)))
+    let (pa, pb) = (perm(a), perm(b));
+    pa.iter()
+        .zip(pb.iter())
+        .all(|(&x, &y)| a.rows[x].iter().zip(b.rows[y].iter()).all(|(va, vb)| va.result_eq(vb)))
 }
 
 /// Execute both queries against `db` and compare (execution accuracy).
@@ -83,6 +87,39 @@ pub fn compare_to_gold(db: &Database, gold: &ResultSet, predicted_sql: &str) -> 
 /// Gold execution, reusable across multiple predictions.
 pub fn execute_gold(db: &Database, gold_sql: &str) -> Result<ResultSet, EngineError> {
     execute(db, gold_sql)
+}
+
+/// [`compare_to_gold`] against an already-prepared database — the hot path
+/// for eval loops and repair rounds, which execute many queries per
+/// database and shouldn't re-intern tables per query.
+pub fn compare_to_gold_prepared(
+    pdb: &PreparedDb,
+    gold: &ResultSet,
+    predicted_sql: &str,
+) -> ExOutcome {
+    match execute_prepared(pdb, predicted_sql) {
+        Ok(rs) => {
+            if results_equal(gold, &rs) {
+                ExOutcome::Match
+            } else {
+                ExOutcome::Mismatch
+            }
+        }
+        Err(e) => ExOutcome::PredictedError(e.to_string()),
+    }
+}
+
+/// [`execution_match`] against an already-prepared database.
+pub fn execution_match_prepared(
+    pdb: &PreparedDb,
+    gold_sql: &str,
+    predicted_sql: &str,
+) -> ExOutcome {
+    let gold = match execute_prepared(pdb, gold_sql) {
+        Ok(rs) => rs,
+        Err(e) => return ExOutcome::GoldError(e.to_string()),
+    };
+    compare_to_gold_prepared(pdb, &gold, predicted_sql)
 }
 
 #[cfg(test)]

@@ -27,14 +27,57 @@ impl ResultSet {
     }
 }
 
+/// How to execute a SELECT.
+///
+/// Both strategies produce identical `ResultSet`s and identical errors —
+/// the differential suite in `tests/differential.rs` enforces this. The
+/// compiled path ([`mod@crate::compile`]) resolves names once, interns text,
+/// and hash-joins; the interpreter remains as the semantic reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecStrategy {
+    /// The original tuple-at-a-time interpreter (semantic reference).
+    Interpreted,
+    /// Compile to index-resolved form, then run (the default).
+    #[default]
+    Compiled,
+}
+
 /// Parse and execute a SELECT statement against a database.
 pub fn execute(db: &Database, sql: &str) -> Result<ResultSet, EngineError> {
+    execute_with(db, sql, ExecStrategy::default())
+}
+
+/// Parse and execute with an explicit strategy.
+pub fn execute_with(
+    db: &Database,
+    sql: &str,
+    strategy: ExecStrategy,
+) -> Result<ResultSet, EngineError> {
     let sel = parse_select(sql)?;
-    execute_select(db, &sel)
+    execute_select_with(db, &sel, strategy)
 }
 
 /// Execute a parsed SELECT against a database.
 pub fn execute_select(db: &Database, sel: &Select) -> Result<ResultSet, EngineError> {
+    execute_select_with(db, sel, ExecStrategy::default())
+}
+
+/// Execute a parsed SELECT with an explicit strategy.
+pub fn execute_select_with(
+    db: &Database,
+    sel: &Select,
+    strategy: ExecStrategy,
+) -> Result<ResultSet, EngineError> {
+    match strategy {
+        ExecStrategy::Interpreted => interpret_select(db, sel),
+        ExecStrategy::Compiled => crate::compile::run_select(db, sel),
+    }
+}
+
+/// The tuple-at-a-time interpreter (kept as the semantic reference for the
+/// compiled engine; subqueries below stay on this path so the strategy is
+/// pure end to end).
+fn interpret_select(db: &Database, sel: &Select) -> Result<ResultSet, EngineError> {
     // Resolve scope: one binding per FROM/JOIN table.
     let mut scope = Scope { bindings: Vec::new() };
     scope.bind(db, &sel.from)?;
@@ -82,7 +125,7 @@ pub fn execute_select(db: &Database, sel: &Select) -> Result<ResultSet, EngineEr
         || sel.having.as_ref().is_some_and(Expr::contains_aggregate)
         || sel.order_by.iter().any(|o| o.expr.contains_aggregate());
 
-    let (columns, mut out_rows, mut sort_keys) = if aggregated {
+    let (columns, mut out_rows, sort_keys) = if aggregated {
         project_grouped(sel, &rows, &scope, db)?
     } else {
         project_flat(sel, &rows, &scope, db)?
@@ -106,8 +149,7 @@ pub fn execute_select(db: &Database, sel: &Select) -> Result<ResultSet, EngineEr
             }
             std::cmp::Ordering::Equal
         });
-        out_rows = order.iter().map(|&i| std::mem::take(&mut out_rows[i])).collect();
-        let _ = &mut sort_keys;
+        apply_permutation(&mut out_rows, &order);
     }
 
     // DISTINCT
@@ -122,6 +164,29 @@ pub fn execute_select(db: &Database, sel: &Select) -> Result<ResultSet, EngineEr
     }
 
     Ok(ResultSet { columns, rows: out_rows })
+}
+
+/// Reorder `rows` so that `rows[k]` becomes the old `rows[perm[k]]`,
+/// in place via cycle decomposition — no take-and-collect shuffle, no
+/// second row vector.
+fn apply_permutation<T>(rows: &mut [T], perm: &[usize]) {
+    debug_assert_eq!(rows.len(), perm.len());
+    let mut perm = perm.to_vec();
+    for start in 0..perm.len() {
+        if perm[start] == usize::MAX {
+            continue; // already placed by an earlier cycle
+        }
+        let mut i = start;
+        loop {
+            let src = perm[i];
+            perm[i] = usize::MAX;
+            if src == start {
+                break;
+            }
+            rows.swap(i, src);
+            i = src;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -213,7 +278,7 @@ impl Scope {
 
 type Projected = (Vec<String>, Vec<Vec<Value>>, Vec<Vec<Value>>);
 
-fn projection_name(p: &Projection, i: usize) -> String {
+pub(crate) fn projection_name(p: &Projection, i: usize) -> String {
     match p {
         Projection::Wildcard => "*".into(),
         Projection::Expr { alias: Some(a), .. } => a.clone(),
@@ -344,7 +409,7 @@ fn first_or_empty(rows: &[Vec<Value>]) -> &[Value] {
 }
 
 /// Map projection aliases to their positions so ORDER BY can reference them.
-fn alias_exprs(sel: &Select) -> Vec<(String, usize)> {
+pub(crate) fn alias_exprs(sel: &Select) -> Vec<(String, usize)> {
     let mut out = Vec::new();
     let mut pos = 0usize;
     for p in &sel.projections {
@@ -436,7 +501,7 @@ fn eval(
         Expr::Neg(e) => {
             let v = eval(e, row, scope, db, group)?;
             match v {
-                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
                 Value::Float(f) => Ok(Value::Float(-f)),
                 Value::Null => Ok(Value::Null),
                 other => Err(EngineError::Eval { message: format!("cannot negate {other}") }),
@@ -485,12 +550,12 @@ fn eval(
         }
         Expr::InSubquery { expr, subquery, negated } => {
             let v = eval(expr, row, scope, db, group)?;
-            let rs = execute_select(db, subquery)?;
+            let rs = interpret_select(db, subquery)?;
             let found = rs.rows.iter().any(|r| r.first().is_some_and(|iv| v.sql_eq(iv)));
             Ok(Value::Bool(found != *negated))
         }
         Expr::ScalarSubquery(sub) => {
-            let rs = execute_select(db, sub)?;
+            let rs = interpret_select(db, sub)?;
             if rs.columns.len() != 1 {
                 return Err(EngineError::ScalarSubquery {
                     rows: rs.rows.len(),
@@ -537,10 +602,13 @@ fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, EngineError> {
                 return Ok(Value::Null);
             }
             match (l, r) {
+                // Wrapping keeps debug and release builds identical on
+                // overflow (predicted SQL is adversarial input; a panic
+                // here would take down a serving worker).
                 (Value::Int(a), Value::Int(b)) if op != Div => Ok(Value::Int(match op {
-                    Add => a + b,
-                    Sub => a - b,
-                    Mul => a * b,
+                    Add => a.wrapping_add(*b),
+                    Sub => a.wrapping_sub(*b),
+                    Mul => a.wrapping_mul(*b),
                     _ => unreachable!(),
                 })),
                 _ => {
@@ -659,7 +727,7 @@ fn like_match(pattern: &str, text: &str) -> bool {
     like_rec(&p, &t)
 }
 
-fn like_rec(p: &[char], t: &[char]) -> bool {
+pub(crate) fn like_rec(p: &[char], t: &[char]) -> bool {
     match p.first() {
         None => t.is_empty(),
         Some('%') => {

@@ -1,0 +1,109 @@
+//! String interning for the compiled execution path.
+//!
+//! A [`PreparedDb`](crate::compile::PreparedDb) interns every `Value::Text`
+//! payload (and each text literal found in a query) once, so the run phase
+//! carries `Symbol`s + shared `Arc<str>` payloads instead of owned
+//! `String`s: equality between two interned texts is a single integer
+//! compare, cloning a text cell is a refcount bump, and the original bytes
+//! stay reachable for ordering, `LIKE`, and result materialization.
+
+use std::collections::HashMap;
+use std::num::NonZeroU32;
+use std::sync::Arc;
+
+/// A handle to an interned string. Two symbols from the *same* interner
+/// are equal iff the strings they name are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(NonZeroU32);
+
+impl Symbol {
+    fn new(index: usize) -> Symbol {
+        // ids start at 1 so Option<Symbol> stays 4 bytes via the niche
+        Symbol(NonZeroU32::new(u32::try_from(index + 1).expect("interner overflow")).unwrap())
+    }
+
+    /// Index into the interner's string table.
+    pub fn index(self) -> usize {
+        self.0.get() as usize - 1
+    }
+}
+
+/// Append-only string table with hash-consing. Symbol assignment depends
+/// only on interning order, which the prepare phase keeps deterministic
+/// (tables in storage order, cells in row-major order); symbol *values*
+/// never influence query results, only the speed of equality checks.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<Arc<str>, Symbol>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its symbol and the shared payload.
+    pub fn intern(&mut self, s: &str) -> (Symbol, Arc<str>) {
+        if let Some((arc, sym)) = self.map.get_key_value(s) {
+            return (*sym, Arc::clone(arc));
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let sym = Symbol::new(self.strings.len());
+        self.strings.push(Arc::clone(&arc));
+        self.map.insert(Arc::clone(&arc), sym);
+        (sym, arc)
+    }
+
+    /// Find an already-interned string without inserting (the compile
+    /// phase uses this for query literals: a literal absent from the
+    /// database can still match another literal by content).
+    pub fn lookup(&self, s: &str) -> Option<(Symbol, Arc<str>)> {
+        self.map.get_key_value(s).map(|(arc, sym)| (*sym, Arc::clone(arc)))
+    }
+
+    /// The string a symbol names.
+    pub fn resolve(&self, sym: Symbol) -> &Arc<str> {
+        &self.strings[sym.index()]
+    }
+
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_and_resolves() {
+        let mut i = Interner::new();
+        let (a, arc_a) = i.intern("north");
+        let (b, arc_b) = i.intern("north");
+        let (c, _) = i.intern("south");
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&arc_a, &arc_b));
+        assert_ne!(a, c);
+        assert_eq!(i.resolve(a).as_ref(), "north");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut i = Interner::new();
+        i.intern("x");
+        assert!(i.lookup("x").is_some());
+        assert!(i.lookup("y").is_none());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn option_symbol_is_compact() {
+        assert_eq!(std::mem::size_of::<Option<Symbol>>(), 4);
+    }
+}

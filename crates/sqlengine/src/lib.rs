@@ -35,8 +35,10 @@
 
 pub mod ast;
 pub mod compare;
+pub mod compile;
 pub mod error;
 pub mod exec;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod render;
@@ -45,9 +47,18 @@ pub mod storage;
 pub mod value;
 
 pub use ast::{AggFunc, BinOp, Expr, Join, OrderKey, Projection, Select, SortDir, TableRef};
-pub use compare::{compare_to_gold, execution_match, results_equal, ExOutcome};
+pub use compare::{
+    compare_to_gold, compare_to_gold_prepared, execution_match, execution_match_prepared,
+    results_equal, ExOutcome,
+};
+pub use compile::{
+    compile, execute_prepared, execute_select_prepared, CompiledSelect, PreparedDb, PreparedStore,
+};
 pub use error::EngineError;
-pub use exec::{execute, execute_select, ResultSet};
+pub use exec::{
+    execute, execute_select, execute_select_with, execute_with, ExecStrategy, ResultSet,
+};
+pub use intern::{Interner, Symbol};
 pub use parser::parse_select;
 pub use render::{render_expr, render_select};
 pub use schema::{Collection, ColumnDef, DatabaseSchema, ForeignKey, TableSchema};

@@ -50,7 +50,7 @@ use std::time::{Duration, Instant};
 use dbcopilot_core::{DbcRouter, RouterConfig, SerializationMode};
 use dbcopilot_graph::{QuerySchema, SchemaGraph};
 use dbcopilot_nl2sql::{basic_prompt, repair_prompt, CopilotLM, LlmConfig, PromptSchema};
-use dbcopilot_sqlengine::{execute, EngineError};
+use dbcopilot_sqlengine::{execute_prepared, EngineError, PreparedStore};
 use dbcopilot_synth::{questioner_pairs, Corpus, Questioner, QuestionerConfig};
 
 pub use dbcopilot_serve::{
@@ -119,7 +119,9 @@ pub struct DbCopilot {
     pub router: DbcRouter,
     pub llm: CopilotLM,
     corpus_collection: dbcopilot_sqlengine::Collection,
-    corpus_store: dbcopilot_sqlengine::Store,
+    /// Databases with interned cells, prepared lazily per database on
+    /// first execution and reused across every ask/repair round after.
+    corpus_store: PreparedStore,
 }
 
 impl DbCopilot {
@@ -146,7 +148,7 @@ impl DbCopilot {
             router,
             llm: CopilotLM::new(cfg.llm),
             corpus_collection: corpus.collection.clone(),
-            corpus_store: corpus.store.clone(),
+            corpus_store: PreparedStore::new(corpus.store.clone()),
         }
     }
 
@@ -163,7 +165,7 @@ impl DbCopilot {
             router,
             llm: CopilotLM::new(llm_cfg),
             corpus_collection: collection,
-            corpus_store: store,
+            corpus_store: PreparedStore::new(store),
         }
     }
 
@@ -237,7 +239,7 @@ impl DbCopilot {
             if prompt_schema.tables.is_empty() {
                 continue; // candidate names no known tables
             }
-            let Some(db) = self.corpus_store.database(&cand.schema.database) else {
+            let Some(pdb) = self.corpus_store.prepared(&cand.schema.database) else {
                 continue; // candidate database has no populated instance
             };
             resolved_any = true;
@@ -285,7 +287,7 @@ impl DbCopilot {
                 generated_any = true;
 
                 let exec_start = Instant::now();
-                let executed = execute(db, &sql);
+                let executed = execute_prepared(pdb, &sql);
                 execute_time += exec_start.elapsed();
                 match executed {
                     Ok(result) => {
