@@ -1,0 +1,82 @@
+//! Sharded-routing-tier micro-benchmarks: scatter-gather route latency vs
+//! the monolith, the targeted single-shard path, calibrated-merge
+//! overhead, and multi-shard bundle persistence (where lazy loading is the
+//! whole point — load cost must not scale with shard count).
+//!
+//! CI runs this bench in `--compare` mode against the committed baseline
+//! at `benches/baselines/sharding.json`; refresh it with
+//! `cargo bench --bench sharding -- --save-baseline benches/baselines/sharding.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dbcopilot_core::{
+    load_sharded_router_bytes, sharded_router_to_vec, SerializationMode, ShardedRouter,
+};
+use dbcopilot_eval::{prepare, CorpusKind, Scale};
+use dbcopilot_retrieval::SchemaRouter;
+
+/// Same tiny fixture rationale as `benches/routing.rs`: latency benches do
+/// not need a converged model.
+fn bench_scale() -> Scale {
+    let mut s = Scale::quick();
+    s.spider = dbcopilot_synth::CorpusSizes { num_databases: 8, train_n: 120, test_n: 10 };
+    s.synth_pairs = 200;
+    s.router.epochs = 2;
+    s.encoder.epochs = 2;
+    s
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let scale = bench_scale();
+    let prepared = prepare(CorpusKind::Spider, &scale);
+    let question = &prepared.corpus.test[0].question;
+
+    let fit = |n: usize| {
+        ShardedRouter::fit(
+            &prepared.corpus.collection,
+            &prepared.synth_examples,
+            scale.router.clone(),
+            SerializationMode::Dfs,
+            n,
+        )
+        .0
+    };
+    let one = fit(1);
+    let four = fit(4);
+
+    // Scatter-gather latency: the 1-shard tier routes exactly like the
+    // monolith (no calibration), the 4-shard tier pays fan-out plus the
+    // calibrated merge. Warm both tiers first so the cached background
+    // scores — a one-time cost — stay out of the per-route numbers.
+    let _ = one.route(question, 10);
+    let _ = four.route(question, 10);
+    let mut group = c.benchmark_group("shard_route");
+    group.bench_function("x1", |b| b.iter(|| one.route(question, 10)));
+    group.bench_function("x4", |b| b.iter(|| four.route(question, 10)));
+    let target = four.shard_of_db(&prepared.corpus.test[0].schema.database);
+    group.bench_function("one_shard_of_x4", |b| b.iter(|| four.route_shard(target, question, 10)));
+    group.finish();
+
+    // Persistence: encoding re-encodes every resident shard; loading a
+    // multi-shard bundle must stay cheap because weight decoding is lazy.
+    let bytes = sharded_router_to_vec(&four).unwrap();
+    let mut group = c.benchmark_group("shard_persist");
+    group.bench_function("save_x4", |b| b.iter(|| sharded_router_to_vec(&four).unwrap()));
+    group.bench_function("lazy_load_x4", |b| {
+        b.iter(|| black_box(load_sharded_router_bytes(bytes.clone()).unwrap()))
+    });
+    group.bench_function("load_and_route_one_shard", |b| {
+        b.iter(|| {
+            let tier = load_sharded_router_bytes(bytes.clone()).unwrap();
+            black_box(tier.route_shard(target, question, 10))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sharding
+}
+criterion_main!(benches);

@@ -37,6 +37,7 @@ pub mod model;
 pub mod persist;
 pub mod qmodel;
 pub mod router;
+pub mod shard;
 pub mod train;
 pub mod vocab;
 
@@ -45,11 +46,14 @@ pub use dbcopilot_retrieval::{PrecisionSwitch, RoutePrecision};
 pub use decode::{beam_search, merge_candidates, Constrainer, DecodeOptions, DecodedSchema};
 pub use model::{RouterConfig, RouterModel};
 pub use persist::{
-    extend_router, load_router, load_router_file, load_router_slice, router_disk_size, save_router,
-    save_router_as, save_router_file, save_router_file_as, Format, PersistError,
+    extend_router, load_router, load_router_file, load_router_slice, load_sharded_router_bytes,
+    load_sharded_router_file, router_disk_size, router_to_vec, save_router, save_router_as,
+    save_router_file, save_router_file_as, save_sharded_router, save_sharded_router_file,
+    sharded_router_to_vec, Format, PersistError,
 };
 pub use qmodel::QuantRouterModel;
 pub use router::DbcRouter;
+pub use shard::{shard_of, ShardedRouter};
 pub use train::{
     examples_from_instances, synthesize_training_data, train_router, SerializationMode,
     TrainExample, TrainStats,

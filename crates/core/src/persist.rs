@@ -22,6 +22,7 @@
 
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +40,7 @@ use dbcopilot_synth::Questioner;
 use crate::decode::DecodeOptions;
 use crate::model::{RouterConfig, RouterModel};
 use crate::router::DbcRouter;
+use crate::shard::{ShardSlot, ShardedRouter};
 use crate::train::{train_router, SerializationMode, TrainExample, TrainStats};
 use crate::vocab::PieceVocab;
 
@@ -48,6 +50,12 @@ const SEC_CONFIG: [u8; 4] = *b"RCFG";
 const SEC_VOCAB: [u8; 4] = *b"VOCB";
 /// Schema-graph section (JSON payload).
 const SEC_GRAPH: [u8; 4] = *b"GRPH";
+/// Sharded-bundle manifest section: shard count, per-shard database names
+/// and `(offset, len)` ranges into the `SBDL` payload.
+const SEC_SHARDS: [u8; 4] = *b"SHRD";
+/// Concatenated per-shard router bundles (each itself a full `DBC1`
+/// container; empty shards contribute zero bytes).
+const SEC_SHARD_BUNDLES: [u8; 4] = *b"SBDL";
 
 /// On-disk router representation (the JSON escape hatch; the binary path
 /// writes the same four components as `DBC1` sections).
@@ -132,6 +140,16 @@ pub fn load_router_slice(bytes: &[u8]) -> Result<DbcRouter, PersistError> {
     let (saved, quant) = match sniff_format(bytes)? {
         Format::Binary => {
             let sections = codec::decode_container(bytes)?;
+            // A sharded manifest is a different artifact kind, not a broken
+            // monolithic bundle: refuse it with a pointer to the right
+            // loader instead of failing on a "missing" VOCB section.
+            if codec::find_section(&sections, SEC_SHARDS)?.is_some() {
+                return Err(PersistError::Corrupt(
+                    "sharded (SHRD) router bundle: load it with \
+                     load_sharded_router_bytes / load_sharded_router_file"
+                        .to_string(),
+                ));
+            }
             let cfg: RouterConfig =
                 serde_json::from_slice(&codec::require_section(&sections, SEC_CONFIG)?.bytes)?;
             let vocab: PieceVocab =
@@ -182,6 +200,203 @@ pub fn save_router_file(router: &DbcRouter, path: impl AsRef<Path>) -> Result<()
 pub fn load_router_file(path: impl AsRef<Path>) -> Result<DbcRouter, PersistError> {
     let f = std::fs::File::open(path)?;
     load_router(std::io::BufReader::new(f))
+}
+
+// ---------------------------------------------------------------------
+// sharded bundles
+// ---------------------------------------------------------------------
+
+/// Encode a sharded router as one `DBC1` container: a `SHRD` manifest
+/// (shard count, per-shard database names, per-shard byte ranges), the
+/// tier's `RCFG` config, and an `SBDL` payload holding each shard's own
+/// complete router bundle back to back.
+///
+/// Shards that were loaded lazily and never decoded are *spliced through as
+/// raw bytes* — re-saving a 64-shard bundle after a one-shard
+/// [`ShardedRouter::extend`] re-encodes only the shards that were actually
+/// touched.
+pub fn sharded_router_to_vec(router: &ShardedRouter) -> Result<Vec<u8>, PersistError> {
+    let slots = router.slots();
+    let mut blob: Vec<u8> = Vec::new();
+    let mut manifest: Vec<u8> = Vec::new();
+    manifest.extend_from_slice(&u32::try_from(slots.len()).expect("shard count").to_le_bytes());
+    for slot in slots {
+        let names = slot.db_names();
+        manifest.extend_from_slice(&u32::try_from(names.len()).expect("db count").to_le_bytes());
+        for name in names {
+            manifest
+                .extend_from_slice(&u32::try_from(name.len()).expect("name length").to_le_bytes());
+            manifest.extend_from_slice(name.as_bytes());
+        }
+        let offset = blob.len() as u64;
+        match slot.raw_bytes() {
+            Some(raw) => blob.extend_from_slice(raw),
+            None => {
+                if let Some(shard_router) = slot.router() {
+                    blob.extend_from_slice(&router_to_vec(shard_router)?);
+                }
+            }
+        }
+        manifest.extend_from_slice(&offset.to_le_bytes());
+        manifest.extend_from_slice(&(blob.len() as u64 - offset).to_le_bytes());
+    }
+    // The tier's shared calibration probe questions. Persisted so that a
+    // lazily-loaded or extended tier keeps scoring every shard against the
+    // *same* background question distribution it was fit with.
+    let probes = router.probes();
+    manifest.extend_from_slice(&u32::try_from(probes.len()).expect("probe count").to_le_bytes());
+    for q in probes {
+        manifest.extend_from_slice(&u32::try_from(q.len()).expect("probe length").to_le_bytes());
+        manifest.extend_from_slice(q.as_bytes());
+    }
+    let sections = vec![
+        Section::new(SEC_SHARDS, manifest),
+        Section::new(SEC_CONFIG, serde_json::to_vec(router.config())?),
+        Section::new(SEC_SHARD_BUNDLES, blob),
+    ];
+    Ok(codec::encode_container(&sections))
+}
+
+/// Serialize a sharded router to a writer (binary `DBC1` with a `SHRD`
+/// manifest).
+pub fn save_sharded_router<W: Write>(router: &ShardedRouter, mut w: W) -> Result<(), PersistError> {
+    w.write_all(&sharded_router_to_vec(router)?)?;
+    Ok(())
+}
+
+/// Save a sharded router to a file.
+pub fn save_sharded_router_file(
+    router: &ShardedRouter,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistError> {
+    let f = std::fs::File::create(path)?;
+    save_sharded_router(router, std::io::BufWriter::new(f))
+}
+
+/// Manifest entry parsed eagerly at load time.
+struct ShardManifestEntry {
+    names: Vec<String>,
+    offset: usize,
+    len: usize,
+}
+
+/// Load a sharded router from an owned byte buffer.
+///
+/// The manifest, config, and every shard's container *framing* are
+/// validated eagerly (magic, version, section table, byte ranges), but a
+/// shard's weights are only decoded on first touch — the buffer is kept
+/// alive behind an `Arc` and each shard holds its byte range into it, so a
+/// 64-shard bundle starts serving after decoding exactly the shards the
+/// traffic reaches.
+///
+/// Pre-manifest bundles — monolithic `DBC1` containers and the JSON escape
+/// hatch — load as a 1-shard tier, so every artifact ever written by
+/// [`save_router`] keeps loading here (back compat is covered both ways:
+/// see also the `SHRD` rejection in [`load_router_slice`]).
+pub fn load_sharded_router_bytes(bytes: Vec<u8>) -> Result<ShardedRouter, PersistError> {
+    if matches!(sniff_format(&bytes)?, Format::Json) {
+        return Ok(ShardedRouter::from_monolith(load_router_slice(&bytes)?));
+    }
+    let parsed: Option<(Vec<ShardManifestEntry>, RouterConfig, usize, Vec<String>)> = {
+        let sections = codec::decode_container(&bytes)?;
+        match codec::find_section(&sections, SEC_SHARDS)? {
+            None => None,
+            Some(manifest_sec) => {
+                let cfg: RouterConfig =
+                    serde_json::from_slice(&codec::require_section(&sections, SEC_CONFIG)?.bytes)?;
+                let blob = &codec::require_section(&sections, SEC_SHARD_BUNDLES)?.bytes;
+                // Section payloads are borrowed straight out of `bytes`, so
+                // the blob's position inside the file is the pointer delta.
+                let blob_base = blob.as_ptr() as usize - bytes.as_ptr() as usize;
+                let mut r = codec::Reader::new(&manifest_sec.bytes);
+                let count = r.take_u32("shard count")? as usize;
+                if count == 0 {
+                    return Err(PersistError::Corrupt(
+                        "sharded bundle declares zero shards".to_string(),
+                    ));
+                }
+                let mut entries = Vec::with_capacity(count);
+                for shard in 0..count {
+                    let n_names = r.take_u32("shard database count")? as usize;
+                    let mut names = Vec::with_capacity(n_names);
+                    for _ in 0..n_names {
+                        let len = r.take_u32("database name length")? as usize;
+                        let raw = r.take_bytes(len, "database name")?;
+                        let name = std::str::from_utf8(raw).map_err(|_| {
+                            PersistError::Corrupt(format!(
+                                "shard {shard} database name is not UTF-8"
+                            ))
+                        })?;
+                        names.push(name.to_string());
+                    }
+                    let offset = r.take_u64("shard offset")? as usize;
+                    let len = r.take_u64("shard length")? as usize;
+                    let end =
+                        offset.checked_add(len).filter(|&e| e <= blob.len()).ok_or_else(|| {
+                            PersistError::Corrupt(format!(
+                                "shard {shard} range {offset}+{len} exceeds payload of {} bytes",
+                                blob.len()
+                            ))
+                        })?;
+                    if names.is_empty() != (len == 0) {
+                        return Err(PersistError::Corrupt(format!(
+                            "shard {shard} is inconsistent: {} databases, {len} payload bytes",
+                            names.len()
+                        )));
+                    }
+                    if len > 0 {
+                        // Cheap eager check: the shard's own container must
+                        // frame correctly (magic, version, section table).
+                        // Weight decoding stays deferred.
+                        codec::decode_container(&blob[offset..end])?;
+                    }
+                    entries.push(ShardManifestEntry { names, offset, len });
+                }
+                // Calibration probes: absent in manifests written before
+                // the field existed, in which case calibration falls back
+                // to uncentred conditional walks.
+                let mut probes = Vec::new();
+                if !r.at_end() {
+                    let n_probes = r.take_u32("probe count")? as usize;
+                    probes.reserve(n_probes);
+                    for i in 0..n_probes {
+                        let len = r.take_u32("probe length")? as usize;
+                        let raw = r.take_bytes(len, "probe question")?;
+                        let q = std::str::from_utf8(raw).map_err(|_| {
+                            PersistError::Corrupt(format!("probe question {i} is not UTF-8"))
+                        })?;
+                        probes.push(q.to_string());
+                    }
+                }
+                r.expect_end()?;
+                Some((entries, cfg, blob_base, probes))
+            }
+        }
+    };
+    match parsed {
+        None => Ok(ShardedRouter::from_monolith(load_router_slice(&bytes)?)),
+        Some((entries, cfg, blob_base, probes)) => {
+            let bundle = Arc::new(bytes);
+            let slots = entries
+                .into_iter()
+                .map(|e| {
+                    Arc::new(ShardSlot::lazy(
+                        e.names,
+                        Arc::clone(&bundle),
+                        blob_base + e.offset,
+                        e.len,
+                    ))
+                })
+                .collect();
+            Ok(ShardedRouter::from_parts(slots, cfg, probes))
+        }
+    }
+}
+
+/// Load a sharded router from a file (any bundle kind; see
+/// [`load_sharded_router_bytes`]).
+pub fn load_sharded_router_file(path: impl AsRef<Path>) -> Result<ShardedRouter, PersistError> {
+    load_sharded_router_bytes(std::fs::read(path)?)
 }
 
 /// Exact on-disk size in bytes of the binary router bundle — the Table 5

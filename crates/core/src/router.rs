@@ -11,7 +11,7 @@ use crate::decode::{
 use crate::model::{RouterConfig, RouterModel};
 use crate::qmodel::QuantScorer;
 use crate::train::{train_router, SerializationMode, TrainExample, TrainStats};
-use crate::vocab::PieceVocab;
+use crate::vocab::{PieceVocab, Sym, BOS, SEP};
 
 /// A trained DBCopilot schema router.
 ///
@@ -124,8 +124,67 @@ impl DbcRouter {
     /// worker pool in `dbcopilot-runtime`. Results are in question order
     /// and bit-for-bit identical at any `DBC_THREADS` value (each question
     /// routes independently; no state is shared across items).
-    pub fn route_batch(&self, questions: &[String], top_tables: usize) -> Vec<RoutingResult> {
-        dbcopilot_runtime::pooled_map(questions, |_, q| self.route(q, top_tables))
+    ///
+    /// Accepts any string-like slice (`&[&str]`, `&[String]`, …) so call
+    /// sites don't have to allocate owned questions just to batch them.
+    pub fn route_batch<S: AsRef<str> + Sync>(
+        &self,
+        questions: &[S],
+        top_tables: usize,
+    ) -> Vec<RoutingResult> {
+        dbcopilot_runtime::pooled_map(questions, |_, q| self.route(q.as_ref(), top_tables))
+    }
+
+    /// Log-probability of `database`'s name pieces under the
+    /// *full-vocabulary* softmax, conditioned on `question` (pass `""` for
+    /// the null-question encoding). `None` if the name is not encodable in
+    /// this router's vocabulary.
+    ///
+    /// Beam-search scores normalize over the graph-allowed candidate subset
+    /// at every step, which is the right objective *within* one router but
+    /// saturates as the subset shrinks — a router over a single database
+    /// scores it at `logp ≈ 0` for any question. This walk keeps the whole
+    /// vocabulary in the softmax, so the score reflects how strongly the
+    /// question pulls probability mass onto the name against every
+    /// alternative the model knows. The sharded tier uses the *difference*
+    /// between the question-conditioned and null-conditioned walks as its
+    /// cross-shard merge score (a PMI-style calibration that cancels each
+    /// shard model's unconditional bias). Always scored at f32, independent
+    /// of the routing precision — calibration deltas must not mix
+    /// precisions across shards.
+    pub fn name_logp_unconstrained(&self, question: &str, database: &str) -> Option<f32> {
+        self.schema_logp_unconstrained(question, database, None)
+    }
+
+    /// Like [`Self::name_logp_unconstrained`], but scoring the decoder's
+    /// full schema prefix `database pieces, SEP, table pieces` when a table
+    /// is given — the same symbol sequence constrained decoding emits, so
+    /// the walk measures the question's pull on the *schema*, not just the
+    /// database label (questions usually mention table entities).
+    pub fn schema_logp_unconstrained(
+        &self,
+        question: &str,
+        database: &str,
+        table: Option<&str>,
+    ) -> Option<f32> {
+        let mut pieces = self.vocab.encode_name(database)?;
+        if let Some(table) = table {
+            pieces.push(SEP);
+            pieces.extend(self.vocab.encode_name(table)?);
+        }
+        let all: Vec<Sym> = (0..self.vocab.len() as Sym).collect();
+        let q = self.model.encode_infer(question);
+        // Mirrors beam-search initialization: hidden starts at the question
+        // encoding, previous symbol at BOS.
+        let mut h = q.clone();
+        let mut prev = BOS;
+        let mut logp = 0.0;
+        for &sym in &pieces {
+            h = self.model.step_infer(prev, &q, &h);
+            logp += self.model.logprobs_infer(&h, &all)[sym as usize];
+            prev = sym;
+        }
+        Some(logp)
     }
 
     /// On-disk size in bytes of the binary-serialized router bundle —

@@ -1,0 +1,649 @@
+//! The sharded routing tier: scatter-gather over per-shard [`DbcRouter`]s.
+//!
+//! The paper's premise is routing over *massive* collections, and one
+//! monolithic router stops scaling long before the collection does: every
+//! schema change retrains the whole model, every bundle load decodes every
+//! weight, and fit time grows with the full collection. [`ShardedRouter`]
+//! partitions the collection into N shards by a stable hash of the database
+//! name ([`shard_of`]) and keeps one independent `DbcRouter` per shard:
+//!
+//! * **`route` is scatter-gather** — fan out to every non-empty shard on the
+//!   persistent worker pool, calibrate each shard's scores for cross-model
+//!   comparability (see `calibrate_scores` — independently trained shard
+//!   models do not share a score scale), then merge the per-shard rankings
+//!   with a deterministic score-then-name tie-break. Results are
+//!   bit-identical at any `DBC_THREADS` value (shards are merged in index
+//!   order).
+//! * **`extend` is shard-local** — adding or evicting a database retrains
+//!   only the owning shard via [`crate::persist::extend_router`]; every
+//!   other shard's weights are shared untouched (same `Arc`s, bit-identical).
+//! * **Loading is lazy** — a multi-shard `DBC1` bundle (see
+//!   [`crate::persist::load_sharded_router_bytes`]) decodes a shard's
+//!   weights behind a [`OnceLock`] on first touch, so a 64-shard bundle
+//!   serves its first request after loading one shard, not all of them.
+//!
+//! The partition depends only on database names — never on thread count,
+//! machine, or load order — so a collection shards identically everywhere.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use dbcopilot_graph::SchemaGraph;
+use dbcopilot_retrieval::{RoutingResult, SchemaRouter, ShardCounters};
+use dbcopilot_sqlengine::Collection;
+use dbcopilot_synth::{CorpusMeta, Questioner};
+
+use crate::model::RouterConfig;
+use crate::persist::{extend_router, load_router_slice, PersistError};
+use crate::router::DbcRouter;
+use crate::train::{synthesize_training_data, SerializationMode, TrainExample, TrainStats};
+
+/// Stable shard assignment: FNV-1a over the database name, reduced mod
+/// `num_shards`. Pure integer arithmetic over the name bytes — independent
+/// of thread count, platform, and insertion order, so the same collection
+/// partitions identically on every machine and every run.
+///
+/// # Panics
+/// Panics if `num_shards` is zero.
+pub fn shard_of(database: &str, num_shards: usize) -> usize {
+    assert!(num_shards > 0, "a sharded router needs at least one shard");
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in database.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    (h % num_shards as u64) as usize
+}
+
+/// The undecoded payload of a lazily-loaded shard: the whole bundle's bytes
+/// (shared across slots) plus this shard's range inside the `SBDL` section.
+pub(crate) struct LazyShard {
+    pub(crate) bundle: Arc<Vec<u8>>,
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+}
+
+/// One shard: its owned database names (known without decoding), the
+/// decoded router behind a `OnceLock` (`None` inside = the shard owns no
+/// databases), optional undecoded bytes, and a served-question counter.
+pub(crate) struct ShardSlot {
+    db_names: Vec<String>,
+    lazy: Option<LazyShard>,
+    router: OnceLock<Option<Arc<DbcRouter>>>,
+    routes: AtomicU64,
+    /// Per-database background scores (aligned with `db_names`): the mean
+    /// name-walk log-probability over the tier's shared probe questions —
+    /// each model's per-name bias under a common question distribution,
+    /// subtracted out by the cross-shard score calibration. Computed once
+    /// on first calibrated route.
+    background: OnceLock<Vec<f32>>,
+}
+
+impl ShardSlot {
+    /// A slot whose router is already in memory (fit, extend, legacy load).
+    pub(crate) fn eager(db_names: Vec<String>, router: Option<Arc<DbcRouter>>) -> Self {
+        let cell = OnceLock::new();
+        cell.set(router).expect("fresh OnceLock");
+        ShardSlot {
+            db_names,
+            lazy: None,
+            router: cell,
+            routes: AtomicU64::new(0),
+            background: OnceLock::new(),
+        }
+    }
+
+    /// A slot that decodes `bundle[offset..offset + len]` on first touch.
+    pub(crate) fn lazy(
+        db_names: Vec<String>,
+        bundle: Arc<Vec<u8>>,
+        offset: usize,
+        len: usize,
+    ) -> Self {
+        ShardSlot {
+            db_names,
+            lazy: Some(LazyShard { bundle, offset, len }),
+            router: OnceLock::new(),
+            routes: AtomicU64::new(0),
+            background: OnceLock::new(),
+        }
+    }
+
+    /// The cached per-database background scores, computing them on first
+    /// use: for each database, the mean full-vocabulary name-walk
+    /// log-probability over `probes`. With no probes every background is
+    /// zero and calibration degrades to the raw conditional walk.
+    fn background(&self, router: &DbcRouter, probes: &[String]) -> &[f32] {
+        self.background.get_or_init(|| {
+            self.db_names
+                .iter()
+                .map(|db| {
+                    if probes.is_empty() {
+                        return 0.0;
+                    }
+                    let sum: f32 = probes
+                        .iter()
+                        .map(|q| router.name_logp_unconstrained(q, db).unwrap_or(0.0))
+                        .sum();
+                    sum / probes.len() as f32
+                })
+                .collect()
+        })
+    }
+
+    /// The shard's router, decoding the lazy payload on first touch.
+    ///
+    /// # Panics
+    /// Panics if the deferred payload fails to decode. The manifest framing
+    /// and section offsets were validated eagerly at load time, so reaching
+    /// this panic requires the bundle bytes to change underneath a live
+    /// router.
+    pub(crate) fn router(&self) -> Option<&Arc<DbcRouter>> {
+        self.router
+            .get_or_init(|| {
+                let lazy = self.lazy.as_ref().expect("non-eager slot carries lazy bytes");
+                if lazy.len == 0 {
+                    return None;
+                }
+                let bytes = &lazy.bundle[lazy.offset..lazy.offset + lazy.len];
+                let router = load_router_slice(bytes)
+                    .unwrap_or_else(|e| panic!("lazy shard payload failed to decode: {e}"));
+                Some(Arc::new(router))
+            })
+            .as_ref()
+    }
+
+    /// Whether the router is decoded and resident.
+    pub(crate) fn is_loaded(&self) -> bool {
+        self.router.get().is_some()
+    }
+
+    pub(crate) fn db_names(&self) -> &[String] {
+        &self.db_names
+    }
+
+    /// The raw bundle bytes of a lazily-loaded shard — lets a re-save
+    /// splice bytes verbatim instead of re-encoding. Valid whether or not
+    /// the router has since been decoded: a loaded router is immutable
+    /// (ingestion replaces the slot with an eager one), so the original
+    /// bytes stay authoritative, and splicing keeps a load→save round trip
+    /// byte-identical (re-encoding would reorder JSON map sections).
+    pub(crate) fn raw_bytes(&self) -> Option<&[u8]> {
+        self.lazy.as_ref().map(|lazy| &lazy.bundle[lazy.offset..lazy.offset + lazy.len])
+    }
+}
+
+/// A schema router partitioned into independent per-database-name shards.
+/// See the [module docs](self) for the partitioning, merge, and lifecycle
+/// contracts.
+pub struct ShardedRouter {
+    shards: Vec<Arc<ShardSlot>>,
+    cfg: RouterConfig,
+    label: String,
+    /// Shared probe questions for cross-shard score calibration: every
+    /// shard estimates its databases' background scores over this *same*
+    /// question set, so the calibrated scores live on one comparable scale.
+    /// Captured at fit time, persisted in the bundle manifest, and carried
+    /// unchanged through `extend` so retrained shards stay on the tier's
+    /// original scale.
+    probes: Arc<Vec<String>>,
+}
+
+/// How many probe questions the fit captures for score calibration. Enough
+/// to average out per-question noise in the background estimate while
+/// keeping first-route calibration and the bundle manifest cheap.
+const CALIBRATION_PROBES: usize = 96;
+
+impl ShardedRouter {
+    /// Train a sharded router: partition `collection` and `examples` by
+    /// [`shard_of`], then fit one `DbcRouter` per non-empty shard,
+    /// data-parallel over the persistent worker pool. Each shard trains on
+    /// its own sub-collection with the *unchanged* `cfg` (same seed), so a
+    /// 1-shard fit is bit-identical to a monolithic [`DbcRouter::fit`] over
+    /// the same graph.
+    ///
+    /// Returns the router and per-shard training stats (empty stats for
+    /// empty shards). Examples whose database is absent from `collection`
+    /// are dropped.
+    pub fn fit(
+        collection: &Collection,
+        examples: &[TrainExample],
+        cfg: RouterConfig,
+        mode: SerializationMode,
+        num_shards: usize,
+    ) -> (Self, Vec<TrainStats>) {
+        assert!(num_shards > 0, "a sharded router needs at least one shard");
+        let mut subs: Vec<Collection> = (0..num_shards).map(|_| Collection::new()).collect();
+        for (name, db) in &collection.databases {
+            subs[shard_of(name, num_shards)].add_database(db.clone());
+        }
+        let mut parts: Vec<Vec<TrainExample>> = vec![Vec::new(); num_shards];
+        for ex in examples {
+            let s = shard_of(&ex.schema.database, num_shards);
+            if subs[s].databases.contains_key(&ex.schema.database) {
+                parts[s].push(ex.clone());
+            }
+        }
+        let indices: Vec<usize> = (0..num_shards).collect();
+        let fitted: Vec<(Option<Arc<DbcRouter>>, TrainStats)> =
+            dbcopilot_runtime::pooled_map(&indices, |_, &s| {
+                if subs[s].databases.is_empty() {
+                    return (None, TrainStats { epoch_losses: Vec::new(), examples: 0 });
+                }
+                let graph = SchemaGraph::build(&subs[s]);
+                let (mut router, stats) = DbcRouter::fit(graph, &parts[s], cfg.clone(), mode);
+                router.set_label(&format!("DBCopilot[shard {s}]"));
+                (Some(Arc::new(router)), stats)
+            });
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut all_stats = Vec::with_capacity(num_shards);
+        for (s, (router, stats)) in fitted.into_iter().enumerate() {
+            let db_names: Vec<String> = subs[s].databases.keys().cloned().collect();
+            shards.push(Arc::new(ShardSlot::eager(db_names, router)));
+            all_stats.push(stats);
+        }
+        // The shared calibration probes: a prefix of the training stream,
+        // identical for every shard (deterministic — example order is the
+        // caller's, never thread-count dependent).
+        let probes: Vec<String> =
+            examples.iter().take(CALIBRATION_PROBES).map(|ex| ex.question.clone()).collect();
+        (
+            ShardedRouter {
+                shards,
+                cfg,
+                label: format!("DBCopilot (sharded x{num_shards})"),
+                probes: Arc::new(probes),
+            },
+            all_stats,
+        )
+    }
+
+    /// Wrap an existing monolithic router as a 1-shard tier (how
+    /// pre-manifest `DBC1` bundles load).
+    pub fn from_monolith(router: DbcRouter) -> Self {
+        let db_names: Vec<String> = router
+            .graph
+            .database_nodes()
+            .iter()
+            .map(|&d| router.graph.name(d).to_string())
+            .collect();
+        let cfg = router.model.cfg.clone();
+        let slot = ShardSlot::eager(db_names, Some(Arc::new(router)));
+        ShardedRouter {
+            shards: vec![Arc::new(slot)],
+            cfg,
+            label: "DBCopilot (sharded x1)".into(),
+            probes: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Assemble from prepared slots (the persistence loader).
+    pub(crate) fn from_parts(
+        shards: Vec<Arc<ShardSlot>>,
+        cfg: RouterConfig,
+        probes: Vec<String>,
+    ) -> Self {
+        let n = shards.len();
+        ShardedRouter {
+            shards,
+            cfg,
+            label: format!("DBCopilot (sharded x{n})"),
+            probes: Arc::new(probes),
+        }
+    }
+
+    /// The shared calibration probe questions (persisted with the tier).
+    pub(crate) fn probes(&self) -> &[String] {
+        &self.probes
+    }
+
+    pub(crate) fn slots(&self) -> &[Arc<ShardSlot>] {
+        &self.shards
+    }
+
+    pub(crate) fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    pub fn set_label(&mut self, label: &str) {
+        self.label = label.to_string();
+    }
+
+    /// Number of shards (fixed at fit/load time).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns (or would own) `database`.
+    pub fn shard_of_db(&self, database: &str) -> usize {
+        shard_of(database, self.shards.len())
+    }
+
+    /// Shards whose router is currently decoded and resident.
+    pub fn loaded_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.is_loaded()).count()
+    }
+
+    /// Total databases across all shards.
+    pub fn num_databases(&self) -> usize {
+        self.shards.iter().map(|s| s.db_names.len()).sum()
+    }
+
+    /// All database names, sorted (each shard stores its names sorted, and
+    /// shards partition the name space).
+    pub fn database_names(&self) -> Vec<String> {
+        let mut out: Vec<String> =
+            self.shards.iter().flat_map(|s| s.db_names.iter().cloned()).collect();
+        out.sort();
+        out
+    }
+
+    /// The decoded router of one shard, loading it on first touch; `None`
+    /// for empty shards.
+    pub fn shard_router(&self, shard: usize) -> Option<Arc<DbcRouter>> {
+        self.shards[shard].router().cloned()
+    }
+
+    /// Route within a single shard, lazily loading only that shard. Empty
+    /// shards answer with an empty result. This is the targeted entry point
+    /// that keeps a cold multi-shard bundle's first request from decoding
+    /// every shard.
+    pub fn route_shard(&self, shard: usize, question: &str, top_tables: usize) -> RoutingResult {
+        let slot = &self.shards[shard];
+        match slot.router() {
+            Some(router) => {
+                slot.routes.fetch_add(1, Ordering::Relaxed);
+                let mut r = router.route(question, top_tables);
+                if self.shards.len() > 1 {
+                    calibrate_scores(slot, router, &self.probes, question, &mut r);
+                }
+                sort_routing(&mut r, top_tables);
+                r
+            }
+            None => RoutingResult::default(),
+        }
+    }
+
+    /// Route a batch of questions, data-parallel over the worker pool.
+    /// Results are in question order and bit-identical at any `DBC_THREADS`.
+    pub fn route_batch<S: AsRef<str> + Sync>(
+        &self,
+        questions: &[S],
+        top_tables: usize,
+    ) -> Vec<RoutingResult> {
+        dbcopilot_runtime::pooled_map(questions, |_, q| self.route(q.as_ref(), top_tables))
+    }
+
+    /// Shard-local ingestion: grow (or shrink) the collection and retrain
+    /// *only* the shards owning changed databases via
+    /// [`extend_router`]; every unaffected shard's router is shared into
+    /// the returned tier untouched (same `Arc`, bit-identical weights).
+    ///
+    /// Previously-empty shards that gain databases are fit from scratch on
+    /// synthesized questions for their new schemata. Returns the new tier
+    /// plus `(shard, stats)` for each retrained shard.
+    pub fn extend(
+        &self,
+        grown: &Collection,
+        meta: &CorpusMeta,
+        questioner: &Questioner,
+        pairs_for_new: usize,
+        epochs: usize,
+    ) -> Result<(ShardedRouter, Vec<(usize, TrainStats)>), PersistError> {
+        let n = self.shards.len();
+        let old_names: BTreeSet<&str> =
+            self.shards.iter().flat_map(|s| s.db_names.iter().map(String::as_str)).collect();
+        let new_names: BTreeSet<&str> = grown.databases.keys().map(String::as_str).collect();
+        let affected: BTreeSet<usize> =
+            old_names.symmetric_difference(&new_names).map(|name| shard_of(name, n)).collect();
+
+        let mut shards = Vec::with_capacity(n);
+        let mut retrained = Vec::new();
+        for (s, slot) in self.shards.iter().enumerate() {
+            if !affected.contains(&s) {
+                shards.push(Arc::clone(slot));
+                continue;
+            }
+            let mut sub = Collection::new();
+            for (name, db) in &grown.databases {
+                if shard_of(name, n) == s {
+                    sub.add_database(db.clone());
+                }
+            }
+            let db_names: Vec<String> = sub.databases.keys().cloned().collect();
+            let (router, stats) = match slot.router() {
+                Some(old) if !sub.databases.is_empty() => {
+                    let (r, stats) =
+                        extend_router(old, &sub, meta, questioner, pairs_for_new, epochs)?;
+                    (Some(r), stats)
+                }
+                Some(_) => {
+                    // The shard lost every database: nothing to serve.
+                    (None, TrainStats { epoch_losses: Vec::new(), examples: 0 })
+                }
+                None => {
+                    // A previously-empty shard gained databases: fit from
+                    // scratch on synthesized questions for its schemata.
+                    // The seed is split per shard so distinct shards never
+                    // share a sample stream.
+                    let graph = SchemaGraph::build(&sub);
+                    let mut cfg = self.cfg.clone();
+                    cfg.epochs = epochs;
+                    let seed = dbcopilot_runtime::split_seed(cfg.seed, s as u64);
+                    let examples =
+                        synthesize_training_data(&graph, meta, questioner, pairs_for_new, seed);
+                    let (r, stats) = DbcRouter::fit(graph, &examples, cfg, SerializationMode::Dfs);
+                    (Some(r), stats)
+                }
+            };
+            let router = router.map(|mut r| {
+                r.set_label(&format!("DBCopilot[shard {s}]"));
+                Arc::new(r)
+            });
+            shards.push(Arc::new(ShardSlot::eager(db_names, router)));
+            retrained.push((s, stats));
+        }
+        Ok((
+            ShardedRouter {
+                shards,
+                cfg: self.cfg.clone(),
+                label: self.label.clone(),
+                probes: Arc::clone(&self.probes),
+            },
+            retrained,
+        ))
+    }
+}
+
+impl std::fmt::Debug for ShardedRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRouter")
+            .field("label", &self.label)
+            .field("shards", &self.shards.len())
+            .field("loaded", &self.loaded_shards())
+            .field("databases", &self.num_databases())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SchemaRouter for ShardedRouter {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    /// Scatter-gather: every non-empty shard routes the question on the
+    /// worker pool, its native scores are calibrated for cross-shard
+    /// comparability (see `calibrate_scores`), and the per-shard rankings
+    /// are merged with the deterministic score-then-name tie-break (see
+    /// `merge_routing`).
+    fn route(&self, question: &str, top_tables: usize) -> RoutingResult {
+        let calibrated = self.shards.len() > 1;
+        let per: Vec<Option<RoutingResult>> =
+            dbcopilot_runtime::pooled_map(&self.shards, |_, slot| {
+                if slot.db_names.is_empty() {
+                    return None;
+                }
+                let router = slot.router().expect("non-empty shard has a router");
+                slot.routes.fetch_add(1, Ordering::Relaxed);
+                let mut r = router.route(question, top_tables);
+                if calibrated {
+                    calibrate_scores(slot, router, &self.probes, question, &mut r);
+                }
+                Some(r)
+            });
+        merge_routing(per.into_iter().flatten(), top_tables)
+    }
+
+    fn shard_counters(&self) -> Vec<ShardCounters> {
+        self.shards
+            .iter()
+            .map(|s| ShardCounters {
+                databases: s.db_names.len(),
+                loaded: s.is_loaded(),
+                routes: s.routes.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+/// Calibrate one shard's native routing scores for cross-shard merging.
+///
+/// Per-shard scores come from a softmax over the graph-*allowed* candidate
+/// subset, which saturates as the shard shrinks: a one-database shard
+/// assigns its database `logp ≈ 0` for any question, so raw scores from
+/// independently trained shard models are not comparable. Each candidate
+/// database is rescored to a background-centred full-vocabulary walk:
+///
+/// ```text
+/// score(db) = logp_full(db | question) − mean over probe questions q of
+///             logp_full(db | q)
+/// ```
+///
+/// Both terms walk the database *name* over the **full** vocabulary
+/// ([`DbcRouter::name_logp_unconstrained`]) — no graph constraint, so no
+/// subset saturation. Subtracting the mean over the tier's *shared* probe
+/// questions (the same questions for every shard, captured at fit and
+/// persisted with the bundle) centres away each model's per-name bias
+/// under one common question distribution — what remains is how much
+/// *this* question raises the name above background, a quantity comparable
+/// across independently trained models. This is the standard
+/// centred-score merge from federated search, and empirically it not only
+/// closes the shard-vs-monolith recall gap but beats the monolith (each
+/// shard's within-shard discrimination is sharper than a 16-way softmax).
+///
+/// Table scores shift along with their database, so within-database table
+/// rankings survive the merge untouched.
+///
+/// Skipped for 1-shard tiers: a single shard *is* the monolith, there is
+/// no cross-model comparison to calibrate, and skipping keeps 1-shard
+/// routing identical to [`DbcRouter::route`].
+fn calibrate_scores(
+    slot: &ShardSlot,
+    router: &DbcRouter,
+    probes: &[String],
+    question: &str,
+    r: &mut RoutingResult,
+) {
+    let background = slot.background(router, probes);
+    for di in 0..r.databases.len() {
+        let name = r.databases[di].0.clone();
+        let Some(idx) = slot.db_names.iter().position(|n| *n == name) else { continue };
+        let Some(cond) = router.name_logp_unconstrained(question, &name) else { continue };
+        let centred = cond - background[idx];
+        let shift = centred - r.databases[di].1;
+        r.databases[di].1 = centred;
+        for t in r.tables.iter_mut().filter(|t| t.0 == name) {
+            t.2 += shift;
+        }
+    }
+}
+
+/// Merge per-shard rankings into one: concatenate, then order by score
+/// descending with ties broken by name ascending (`total_cmp`, so the order
+/// is total even in the presence of NaN scores and identical across thread
+/// counts and shard visit order), truncating tables to `top_tables`.
+/// Databases are unique across shards by construction (shards partition the
+/// collection), so no deduplication is needed.
+fn merge_routing(
+    parts: impl IntoIterator<Item = RoutingResult>,
+    top_tables: usize,
+) -> RoutingResult {
+    let mut merged = RoutingResult::default();
+    for part in parts {
+        merged.tables.extend(part.tables);
+        merged.databases.extend(part.databases);
+    }
+    sort_routing(&mut merged, top_tables);
+    merged
+}
+
+/// The shared ranking contract: score descending, then database name, then
+/// table name — a total order, applied identically to merged and
+/// single-shard results.
+fn sort_routing(r: &mut RoutingResult, top_tables: usize) {
+    r.tables.sort_by(|a, b| {
+        b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)).then_with(|| a.1.cmp(&b.1))
+    });
+    r.tables.truncate(top_tables);
+    r.databases.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for n in [1, 2, 4, 8, 64] {
+            for name in ["concert_singer", "world", "library", "cinema", ""] {
+                let s = shard_of(name, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(name, n), "must be deterministic");
+            }
+        }
+        for name in ["a", "b", "c"] {
+            assert_eq!(shard_of(name, 1), 0);
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_score_then_name() {
+        let a = RoutingResult {
+            tables: vec![("db_b".into(), "t".into(), 1.0), ("db_b".into(), "u".into(), 0.5)],
+            databases: vec![("db_b".into(), 1.0)],
+        };
+        let b = RoutingResult {
+            tables: vec![("db_a".into(), "t".into(), 1.0)],
+            databases: vec![("db_a".into(), 1.0)],
+        };
+        let m = merge_routing([a, b], 10);
+        // equal scores: name ascending breaks the tie
+        assert_eq!(m.tables[0].0, "db_a");
+        assert_eq!(m.tables[1].0, "db_b");
+        assert_eq!(m.database_names(), vec!["db_a", "db_b"]);
+    }
+
+    #[test]
+    fn merge_truncates_tables_but_keeps_all_databases() {
+        let part = RoutingResult {
+            tables: vec![
+                ("d".into(), "a".into(), 3.0),
+                ("d".into(), "b".into(), 2.0),
+                ("d".into(), "c".into(), 1.0),
+            ],
+            databases: vec![("d".into(), 3.0)],
+        };
+        let other = RoutingResult {
+            tables: vec![("e".into(), "x".into(), 2.5)],
+            databases: vec![("e".into(), 2.5)],
+        };
+        let m = merge_routing([part, other], 2);
+        assert_eq!(m.tables.len(), 2);
+        assert_eq!(m.tables[0].2, 3.0);
+        assert_eq!(m.tables[1].2, 2.5);
+        assert_eq!(m.databases.len(), 2);
+    }
+}

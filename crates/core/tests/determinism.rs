@@ -150,6 +150,141 @@ fn pooled_route_batch_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn sharded_scatter_gather_is_bit_identical_across_thread_counts() {
+    // A fixed shard count must produce bit-identical merged rankings at any
+    // DBC_THREADS value: shards are scattered on the pool but merged in
+    // shard-index order with a total-order tie-break, so neither scores nor
+    // merge order may depend on scheduling.
+    use dbcopilot_core::ShardedRouter;
+    use dbcopilot_retrieval::SchemaRouter;
+
+    let mut cfg = RouterConfig::tiny();
+    cfg.epochs = 4;
+    let (router, _) =
+        ShardedRouter::fit(&collection(), &examples(), cfg, SerializationMode::Dfs, 4);
+    let questions: Vec<String> = examples().iter().map(|e| e.question.clone()).take(12).collect();
+
+    let route_at =
+        |threads: usize| with_thread_count(threads, || router.route_batch(&questions, 10));
+    let base = route_at(1);
+    for threads in [2, 4] {
+        let got = route_at(threads);
+        assert_eq!(base.len(), got.len());
+        for (i, (a, b)) in base.iter().zip(&got).enumerate() {
+            assert_eq!(a.database_names(), b.database_names(), "question {i}, {threads} threads");
+            let ta: Vec<(&str, &str, u32)> =
+                a.tables.iter().map(|(d, t, s)| (d.as_str(), t.as_str(), s.to_bits())).collect();
+            let tb: Vec<(&str, &str, u32)> =
+                b.tables.iter().map(|(d, t, s)| (d.as_str(), t.as_str(), s.to_bits())).collect();
+            assert_eq!(ta, tb, "merge order drifted at {threads} threads (question {i})");
+        }
+    }
+    // Single-question scatter-gather agrees with the batch path bit for bit.
+    let single = with_thread_count(2, || router.route(&questions[0], 10));
+    assert_eq!(single.tables, base[0].tables);
+}
+
+#[test]
+fn sharded_fit_is_bit_identical_across_thread_counts() {
+    use dbcopilot_core::ShardedRouter;
+
+    let mut cfg = RouterConfig::tiny();
+    cfg.epochs = 3;
+    let fit_at = |threads: usize| {
+        with_thread_count(threads, || {
+            ShardedRouter::fit(&collection(), &examples(), cfg.clone(), SerializationMode::Dfs, 4)
+        })
+    };
+    let (base_router, base_stats) = fit_at(1);
+    for threads in [2, 4] {
+        let (router, stats) = fit_at(threads);
+        for (s, (a, b)) in base_stats.iter().zip(&stats).enumerate() {
+            assert_eq!(
+                a.epoch_losses.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.epoch_losses.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "shard {s} losses differ between 1 and {threads} threads"
+            );
+        }
+        for s in 0..router.num_shards() {
+            match (base_router.shard_router(s), router.shard_router(s)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_weights_identical(&a, &b, s),
+                _ => panic!("shard {s} emptiness differs across thread counts"),
+            }
+        }
+    }
+}
+
+/// Every parameter of two routers compared as exact bit patterns.
+fn assert_weights_identical(
+    a: &dbcopilot_core::DbcRouter,
+    b: &dbcopilot_core::DbcRouter,
+    shard: usize,
+) {
+    for ((an, av), (bn, bv)) in a.model.store.iter_values().zip(b.model.store.iter_values()) {
+        assert_eq!(an, bn, "shard {shard} parameter order differs");
+        let ab: Vec<u32> = av.as_slice().iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = bv.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb, "shard {shard} parameter {an} drifted");
+    }
+}
+
+#[test]
+fn shard_local_extend_leaves_non_owning_shards_bit_identical() {
+    // Adding one database must retrain only the owning shard: every other
+    // shard's router is shared into the new tier (same Arc), and its
+    // weights are bit-identical — not "approximately unchanged".
+    use dbcopilot_core::{shard_of, ShardedRouter};
+
+    let mut cfg = RouterConfig::tiny();
+    cfg.epochs = 3;
+    let (router, _) =
+        ShardedRouter::fit(&collection(), &examples(), cfg, SerializationMode::Dfs, 4);
+
+    let mut grown = collection();
+    let mut extra = DatabaseSchema::new("aquarium");
+    for t in ["tank", "fish"] {
+        extra.add_table(TableSchema::new(t).column("id", DataType::Int).primary(0));
+    }
+    grown.add_database(extra);
+    let owner = shard_of("aquarium", 4);
+
+    let meta = dbcopilot_synth::CorpusMeta::default();
+    let questioner = dbcopilot_synth::Questioner::train(
+        &[dbcopilot_synth::TrainPair {
+            entities: vec!["fish".into()],
+            attrs: vec![],
+            question: "how many fish live in the tank".into(),
+        }],
+        &dbcopilot_synth::QuestionerConfig::default(),
+    );
+    let (extended, retrained) = router.extend(&grown, &meta, &questioner, 24, 2).unwrap();
+
+    assert_eq!(retrained.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![owner]);
+    for s in 0..4 {
+        if s == owner {
+            continue;
+        }
+        match (router.shard_router(s), extended.shard_router(s)) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert!(
+                    std::sync::Arc::ptr_eq(&a, &b),
+                    "non-owning shard {s} was rebuilt instead of shared"
+                );
+                assert_weights_identical(&a, &b, s);
+            }
+            _ => panic!("non-owning shard {s} changed emptiness"),
+        }
+    }
+    // The owning shard took the new database into its graph (reachability
+    // through routing is covered by the extend tests in `persist`).
+    let owning = extended.shard_router(owner).expect("owner shard has a router");
+    assert!(owning.graph.database_node("aquarium").is_some(), "aquarium missing from owner graph");
+    assert!(extended.database_names().contains(&"aquarium".to_string()));
+}
+
+#[test]
 fn repeated_runs_are_bit_identical() {
     // Guards against per-instance iteration-order nondeterminism sneaking
     // back into the candidate path (the constrainer trie once used HashMap

@@ -1,0 +1,240 @@
+//! The sharded routing tier end to end: 1-shard/monolith equivalence,
+//! multi-shard `DBC1` bundles with lazy per-shard loading, back compat in
+//! both directions, and raw-byte splicing on re-save.
+
+use std::sync::Arc;
+
+use dbcopilot_core::{
+    load_router_slice, load_sharded_router_bytes, router_to_vec, sharded_router_to_vec, DbcRouter,
+    PersistError, RouterConfig, SerializationMode, ShardedRouter, TrainExample,
+};
+use dbcopilot_graph::{QuerySchema, SchemaGraph};
+use dbcopilot_retrieval::SchemaRouter;
+use dbcopilot_sqlengine::{Collection, DataType, DatabaseSchema, TableSchema};
+
+fn collection() -> Collection {
+    let mut c = Collection::new();
+    for (db, tables) in [
+        ("concert_singer", vec!["singer", "concert"]),
+        ("world", vec!["country", "city"]),
+        ("library", vec!["book", "author"]),
+        ("cinema", vec!["movie", "director"]),
+    ] {
+        let mut d = DatabaseSchema::new(db);
+        for t in tables {
+            d.add_table(TableSchema::new(t).column("id", DataType::Int).primary(0));
+        }
+        c.add_database(d);
+    }
+    c
+}
+
+fn examples() -> Vec<TrainExample> {
+    let mut out = Vec::new();
+    for _ in 0..10 {
+        out.push(TrainExample {
+            question: "how many vocalists are there".into(),
+            schema: QuerySchema::new("concert_singer", vec!["singer".into()]),
+        });
+        out.push(TrainExample {
+            question: "list the names of all towns".into(),
+            schema: QuerySchema::new("world", vec!["city".into()]),
+        });
+        out.push(TrainExample {
+            question: "which writer published the most volumes".into(),
+            schema: QuerySchema::new("library", vec!["book".into()]),
+        });
+        out.push(TrainExample {
+            question: "who directed the longest film".into(),
+            schema: QuerySchema::new("cinema", vec!["movie".into()]),
+        });
+    }
+    out
+}
+
+fn cfg() -> RouterConfig {
+    let mut cfg = RouterConfig::tiny();
+    cfg.epochs = 5;
+    cfg
+}
+
+fn fit_sharded(num_shards: usize) -> ShardedRouter {
+    ShardedRouter::fit(&collection(), &examples(), cfg(), SerializationMode::Dfs, num_shards).0
+}
+
+#[test]
+fn one_shard_fit_is_bit_identical_to_monolith() {
+    // The sharded tier at N=1 *is* the monolith: same graph, same examples,
+    // same seed, so the weights must match bit for bit and routing must be
+    // the same ranking (the tier re-sorts with the total-order tie-break).
+    let sharded = fit_sharded(1);
+    let (mono, _) = DbcRouter::fit(
+        SchemaGraph::build(&collection()),
+        &examples(),
+        cfg(),
+        SerializationMode::Dfs,
+    );
+    let shard = sharded.shard_router(0).expect("single shard");
+    for ((an, av), (bn, bv)) in mono.model.store.iter_values().zip(shard.model.store.iter_values())
+    {
+        assert_eq!(an, bn);
+        let ab: Vec<u32> = av.as_slice().iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = bv.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb, "{an} drifted between monolith and 1-shard fit");
+    }
+    for q in ["how many vocalists are there", "who directed the longest film"] {
+        let a = mono.route(q, 10);
+        let b = sharded.route(q, 10);
+        assert_eq!(a.database_names(), b.database_names(), "question {q:?}");
+    }
+}
+
+#[test]
+fn scatter_gather_routes_to_the_trained_database() {
+    let sharded = fit_sharded(4);
+    assert_eq!(sharded.num_shards(), 4);
+    assert_eq!(sharded.num_databases(), 4);
+    let r = sharded.route("how many vocalists are there", 10);
+    assert_eq!(r.database_names()[0], "concert_singer");
+    // Scatter-gather surfaces candidates from more than one shard.
+    let shards_hit: std::collections::BTreeSet<usize> =
+        r.databases.iter().map(|(db, _)| sharded.shard_of_db(db)).collect();
+    assert!(shards_hit.len() > 1, "expected candidates from multiple shards: {r:?}");
+}
+
+#[test]
+fn sharded_bundle_roundtrips_and_loads_lazily() {
+    let sharded = fit_sharded(4);
+    let before: Vec<_> = ["how many vocalists are there", "list the names of all towns"]
+        .iter()
+        .map(|q| sharded.route(q, 10))
+        .collect();
+
+    let bytes = sharded_router_to_vec(&sharded).unwrap();
+    let loaded = load_sharded_router_bytes(bytes).unwrap();
+    assert_eq!(loaded.num_shards(), 4);
+    assert_eq!(loaded.database_names(), sharded.database_names());
+    // Nothing is decoded until a request arrives.
+    assert_eq!(loaded.loaded_shards(), 0, "load must be lazy");
+
+    // Routing one shard decodes only that shard.
+    let owner = loaded.shard_of_db("concert_singer");
+    let one = loaded.route_shard(owner, "how many vocalists are there", 10);
+    assert_eq!(one.database_names()[0], "concert_singer");
+    assert_eq!(loaded.loaded_shards(), 1, "route_shard must touch exactly one shard");
+
+    // A full scatter-gather decodes the rest and matches pre-save routing
+    // bit for bit.
+    for (q, want) in
+        ["how many vocalists are there", "list the names of all towns"].iter().zip(&before)
+    {
+        let got = loaded.route(q, 10);
+        assert_eq!(got.database_names(), want.database_names());
+        assert_eq!(got.tables, want.tables, "question {q:?} drifted through the bundle");
+    }
+}
+
+#[test]
+fn legacy_monolithic_bundle_loads_as_one_shard_tier() {
+    let (mono, _) = DbcRouter::fit(
+        SchemaGraph::build(&collection()),
+        &examples(),
+        cfg(),
+        SerializationMode::Dfs,
+    );
+    let want = mono.route("how many vocalists are there", 10);
+    let legacy = router_to_vec(&mono).unwrap();
+
+    let tier = load_sharded_router_bytes(legacy).unwrap();
+    assert_eq!(tier.num_shards(), 1);
+    assert_eq!(tier.num_databases(), 4);
+    let got = tier.route("how many vocalists are there", 10);
+    assert_eq!(got.database_names(), want.database_names());
+}
+
+#[test]
+fn sharded_bundle_is_a_typed_error_in_the_monolithic_loader() {
+    let bytes = sharded_router_to_vec(&fit_sharded(2)).unwrap();
+    match load_router_slice(&bytes) {
+        Err(PersistError::Corrupt(msg)) => {
+            assert!(msg.contains("sharded"), "error should name the artifact kind: {msg}");
+            assert!(msg.contains("load_sharded_router"), "error should point at the loader: {msg}");
+        }
+        Ok(_) => panic!("monolithic loader must refuse a SHRD bundle"),
+        Err(other) => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn resave_of_untouched_lazy_shards_splices_bytes_verbatim() {
+    let bytes = sharded_router_to_vec(&fit_sharded(4)).unwrap();
+    let loaded = load_sharded_router_bytes(bytes.clone()).unwrap();
+    // Touch one shard only; the other three stay undecoded.
+    let touched = loaded.shard_of_db("world");
+    let _ = loaded.route_shard(touched, "list the names of all towns", 10);
+    assert_eq!(loaded.loaded_shards(), 1);
+
+    // Re-saving splices every lazily-loaded shard straight from the
+    // original buffer (decoded routers are immutable, so the bytes stay
+    // authoritative): the file round-trips byte for byte, and the untouched
+    // shards stay undecoded throughout.
+    let resaved = sharded_router_to_vec(&loaded).unwrap();
+    assert_eq!(resaved, bytes, "re-save must be byte-identical");
+    assert_eq!(loaded.loaded_shards(), 1, "re-save must not decode untouched shards");
+}
+
+#[test]
+fn truncated_and_corrupted_sharded_bundles_fail_loudly() {
+    let bytes = sharded_router_to_vec(&fit_sharded(2)).unwrap();
+    for cut in [0, 3, 7, 64, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            load_sharded_router_bytes(bytes[..cut].to_vec()).is_err(),
+            "prefix {cut} must fail"
+        );
+    }
+    let mut bad = bytes.clone();
+    bad[..4].copy_from_slice(b"ELF\x7f");
+    assert!(matches!(load_sharded_router_bytes(bad), Err(PersistError::BadMagic { .. })));
+}
+
+#[test]
+fn empty_shards_are_served_and_persisted() {
+    // 8 shards over 4 databases: several shards are empty. They must fit,
+    // route (contributing nothing), persist, and reload.
+    let sharded = fit_sharded(8);
+    assert_eq!(sharded.num_databases(), 4);
+    assert!(sharded.shard_counters().iter().any(|c| c.databases == 0), "want an empty shard");
+    let r = sharded.route("how many vocalists are there", 10);
+    assert_eq!(r.database_names()[0], "concert_singer");
+
+    let loaded = load_sharded_router_bytes(sharded_router_to_vec(&sharded).unwrap()).unwrap();
+    assert_eq!(loaded.num_shards(), 8);
+    let r2 = loaded.route("how many vocalists are there", 10);
+    assert_eq!(r2.database_names(), r.database_names());
+}
+
+#[test]
+fn shard_counters_track_databases_loading_and_traffic() {
+    let sharded = fit_sharded(2);
+    let fresh = sharded.shard_counters();
+    assert_eq!(fresh.len(), 2);
+    assert_eq!(fresh.iter().map(|c| c.databases).sum::<usize>(), 4);
+    assert!(fresh.iter().all(|c| c.loaded), "eagerly-fit shards are resident");
+    assert!(fresh.iter().all(|c| c.routes == 0));
+
+    let _ = sharded.route("how many vocalists are there", 10);
+    let after = sharded.shard_counters();
+    let served: u64 = after.iter().map(|c| c.routes).sum();
+    let non_empty = after.iter().filter(|c| c.databases > 0).count() as u64;
+    assert_eq!(served, non_empty, "scatter-gather scores once per non-empty shard");
+
+    // A monolithic router reports no shards through the same trait.
+    let (mono, _) = DbcRouter::fit(
+        SchemaGraph::build(&collection()),
+        &examples(),
+        cfg(),
+        SerializationMode::Dfs,
+    );
+    assert!(mono.shard_counters().is_empty());
+    assert_eq!(Arc::new(mono).shard_counters().len(), 0, "Arc forwarding");
+}

@@ -396,6 +396,12 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(self.take_array::<8>(what)?))
     }
 
+    /// Whether every byte has been consumed — lets readers accept files
+    /// written before an optional trailing field existed.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
     /// Fail unless every byte has been consumed (catches foreign data glued
     /// onto a valid file, and framing bugs).
     pub fn expect_end(&self) -> Result<(), PersistError> {

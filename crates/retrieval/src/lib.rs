@@ -38,5 +38,6 @@ pub use dense::{
     build_dtr, build_sxfmr, generic_paraphrase_pairs, DenseRetriever, EncoderConfig, TextEncoder,
 };
 pub use targets::{
-    PrecisionSwitch, RoutePrecision, RoutingResult, SchemaRouter, Target, TargetId, TargetSet,
+    PrecisionSwitch, RoutePrecision, RoutingResult, SchemaRouter, ShardCounters, Target, TargetId,
+    TargetSet,
 };

@@ -152,6 +152,20 @@ pub trait PrecisionSwitch {
     fn precision(&self) -> RoutePrecision;
 }
 
+/// Per-shard serving counters reported by partitioned routers (the sharded
+/// tier in `dbcopilot-core`): how many databases a shard owns, whether its
+/// model is resident (lazy bundles decode shards on first touch), and how
+/// many questions it has scored.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Databases owned by this shard.
+    pub databases: usize,
+    /// Whether the shard's model is decoded and resident in memory.
+    pub loaded: bool,
+    /// Questions this shard has scored so far.
+    pub routes: u64,
+}
+
 /// Interface shared by all schema-routing methods (baselines and the
 /// DBCopilot router adapter in `dbcopilot-eval`).
 pub trait SchemaRouter {
@@ -160,6 +174,12 @@ pub trait SchemaRouter {
 
     /// Route one question: ranked tables/databases.
     fn route(&self, question: &str, top_tables: usize) -> RoutingResult;
+
+    /// Per-shard counters, one entry per shard. Monolithic routers (the
+    /// default) report none.
+    fn shard_counters(&self) -> Vec<ShardCounters> {
+        Vec::new()
+    }
 }
 
 // Smart-pointer wrappers route through their pointee, so a boxed trait
@@ -173,6 +193,10 @@ impl<T: SchemaRouter + ?Sized> SchemaRouter for Box<T> {
     fn route(&self, question: &str, top_tables: usize) -> RoutingResult {
         (**self).route(question, top_tables)
     }
+
+    fn shard_counters(&self) -> Vec<ShardCounters> {
+        (**self).shard_counters()
+    }
 }
 
 impl<T: SchemaRouter + ?Sized> SchemaRouter for std::sync::Arc<T> {
@@ -182,6 +206,10 @@ impl<T: SchemaRouter + ?Sized> SchemaRouter for std::sync::Arc<T> {
 
     fn route(&self, question: &str, top_tables: usize) -> RoutingResult {
         (**self).route(question, top_tables)
+    }
+
+    fn shard_counters(&self) -> Vec<ShardCounters> {
+        (**self).shard_counters()
     }
 }
 

@@ -163,6 +163,17 @@ impl<V> LruCache<V> {
         self.push_front(idx);
     }
 
+    /// Drop every entry, keeping capacity and the hit/miss counters. Used
+    /// by router hot swap: results computed by a retired router generation
+    /// must not be served under the new one.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     /// Keys from most- to least-recently-used (tests, introspection).
     pub fn keys_by_recency(&self) -> Vec<&str> {
         let mut out = Vec::with_capacity(self.map.len());

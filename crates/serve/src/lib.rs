@@ -50,11 +50,13 @@
 
 pub mod ask;
 pub mod cache;
+pub mod handle;
 pub mod pipeline;
 pub mod service;
 
 pub use ask::AskService;
 pub use cache::{normalize_question, LruCache};
+pub use handle::{RouterHandle, RouterLease};
 pub use pipeline::{
     Answer, AskError, AskOptions, AskOutcome, AskReport, AttemptOutcome, ExecutionError,
     GenerationError, PromptError, QueryPipeline, RoutingError, ScoredCandidate, SqlAttempt,

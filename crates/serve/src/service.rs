@@ -28,10 +28,13 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dbcopilot_retrieval::{PrecisionSwitch, RoutePrecision, RoutingResult, SchemaRouter};
+use dbcopilot_retrieval::{
+    PrecisionSwitch, RoutePrecision, RoutingResult, SchemaRouter, ShardCounters,
+};
 use dbcopilot_runtime::{global_pool, WorkerPool};
 
 use crate::cache::{normalize_question, LruCache};
+use crate::handle::RouterHandle;
 
 /// Tuning knobs for a serving front ([`RouterService`] /
 /// [`crate::AskService`]). Builder-style so adding a knob is not a
@@ -126,6 +129,17 @@ pub struct ServiceStats {
     pub computed: u64,
     /// Largest micro-batch observed (distinct questions).
     pub max_batch_observed: u64,
+    /// Requests accepted by the dispatcher queue and not yet answered
+    /// (admission-control signal; `route_many`'s synchronous path bypasses
+    /// the queue and never shows up here).
+    pub queue_depth: u64,
+    /// Router generation currently published (starts at 1, +1 per
+    /// [`RouterService::publish`]; 0 for fronts without a swappable router,
+    /// e.g. [`crate::AskService`]).
+    pub generation: u64,
+    /// Per-shard counters of the served router; empty for monolithic
+    /// routers (see [`dbcopilot_retrieval::SchemaRouter::shard_counters`]).
+    pub shards: Vec<ShardCounters>,
 }
 
 /// What the serving engine fronts: a pure, thread-safe map from question
@@ -140,6 +154,19 @@ pub(crate) trait Backend: Send + Sync + 'static {
 
     /// Dispatcher thread name.
     fn thread_label() -> &'static str;
+
+    /// The backend's current generation. Cache entries are tagged with the
+    /// generation that computed them and only served while it is current,
+    /// so a hot-swapped backend can never serve a stale result. Backends
+    /// without swappable state stay at the default 0 forever.
+    fn generation(&self) -> u64 {
+        0
+    }
+
+    /// Per-shard counters of the underlying router, if sharded.
+    fn shard_counters(&self) -> Vec<ShardCounters> {
+        Vec::new()
+    }
 }
 
 /// One queued cache miss: the normalized key, the original question text,
@@ -153,12 +180,16 @@ struct Request<T> {
 struct Shared<B: Backend> {
     backend: B,
     cfg: ServiceConfig,
-    cache: Mutex<LruCache<Arc<B::Out>>>,
+    /// Values are tagged with the backend generation that computed them; a
+    /// tag that is no longer current is treated as a miss.
+    cache: Mutex<LruCache<(u64, Arc<B::Out>)>>,
     /// `None` → use the process-wide `global_pool()`.
     pool: Option<WorkerPool>,
     batches: AtomicU64,
     computed: AtomicU64,
     max_batch_observed: AtomicU64,
+    /// Requests accepted into the dispatcher queue and not yet answered.
+    queue_depth: AtomicU64,
 }
 
 impl<B: Backend> Shared<B> {
@@ -173,11 +204,15 @@ impl<B: Backend> Shared<B> {
             // all cache hits — no batch to run, no counters to bump
             return Vec::new();
         }
+        // Tag with the generation observed *before* computing: if a publish
+        // lands mid-batch, these results carry the retired tag and are
+        // never served from the cache again.
+        let generation = self.backend.generation();
         let results: Vec<Arc<B::Out>> =
             self.pool().map(unique, |_, (_, q)| Arc::new(self.backend.compute(q)));
         let mut cache = lock(&self.cache);
         for ((key, _), result) in unique.iter().zip(&results) {
-            cache.insert(key.clone(), Arc::clone(result));
+            cache.insert(key.clone(), (generation, Arc::clone(result)));
         }
         drop(cache);
         self.batches.fetch_add(1, Ordering::Relaxed);
@@ -215,6 +250,7 @@ impl<B: Backend> Engine<B> {
             batches: AtomicU64::new(0),
             computed: AtomicU64::new(0),
             max_batch_observed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
         });
         let (sender, receiver) = channel::<Request<B::Out>>();
         let dispatcher = {
@@ -236,10 +272,16 @@ impl<B: Backend> Engine<B> {
     /// on the pool, and cached. Blocks until the result is available.
     pub(crate) fn submit(&self, question: &str) -> Arc<B::Out> {
         let key = normalize_question(question);
-        if let Some(hit) = lock(&self.shared.cache).get(&key) {
-            return Arc::clone(hit);
+        let generation = self.shared.backend.generation();
+        if let Some((tag, hit)) = lock(&self.shared.cache).get(&key) {
+            // An entry computed by a retired generation is a miss: fall
+            // through and recompute on the current backend.
+            if *tag == generation {
+                return Arc::clone(hit);
+            }
         }
         let (reply, result) = channel();
+        self.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
         self.sender
             .as_ref()
             .expect("sender alive until drop")
@@ -265,11 +307,12 @@ impl<B: Backend> Engine<B> {
             let mut plan: Vec<Result<Arc<B::Out>, usize>> = Vec::with_capacity(window.len());
             let mut unique: Vec<(String, String)> = Vec::new();
             let mut seen: HashMap<String, usize> = HashMap::new();
+            let generation = self.shared.backend.generation();
             {
                 let mut cache = lock(&self.shared.cache);
                 for q in window {
                     let key = normalize_question(q);
-                    if let Some(hit) = cache.get(&key) {
+                    if let Some((_, hit)) = cache.get(&key).filter(|(tag, _)| *tag == generation) {
                         plan.push(Ok(Arc::clone(hit)));
                     } else if let Some(&at) = seen.get(&key) {
                         plan.push(Err(at));
@@ -300,7 +343,17 @@ impl<B: Backend> Engine<B> {
             batches: self.shared.batches.load(Ordering::Relaxed),
             computed: self.shared.computed.load(Ordering::Relaxed),
             max_batch_observed: self.shared.max_batch_observed.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue_depth.load(Ordering::Relaxed),
+            generation: self.shared.backend.generation(),
+            shards: self.shared.backend.shard_counters(),
         }
+    }
+
+    /// Drop every cached entry (hot swap: results from the retired
+    /// generation are tag-invalidated already; clearing reclaims their
+    /// capacity immediately).
+    pub(crate) fn clear_cache(&self) {
+        lock(&self.shared.cache).clear();
     }
 }
 
@@ -335,9 +388,13 @@ fn dispatch_loop<B: Backend>(shared: &Shared<B>, receiver: &Receiver<Request<B::
         // Contain a panicking backend: dropping the batch drops its reply
         // senders, so only the affected waiters fail (their blocking call
         // re-raises) while the dispatcher survives to serve the next batch.
+        let depth = batch.len() as u64;
         let contained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_batch(shared, batch);
         }));
+        // Answered or failed, these requests have left the queue — decrement
+        // even when the batch panicked so the depth gauge can't drift up.
+        shared.queue_depth.fetch_sub(depth, Ordering::Relaxed);
         if contained.is_err() {
             eprintln!("dbcopilot-serve: backend panicked on a batch; service continues");
         }
@@ -375,7 +432,7 @@ fn run_batch<B: Backend>(shared: &Shared<B>, batch: Vec<Request<B::Out>>) {
 // ---------------------------------------------------------------------
 
 pub(crate) struct RouteBackend<R> {
-    router: Arc<R>,
+    handle: RouterHandle<R>,
     top_tables: usize,
 }
 
@@ -383,11 +440,22 @@ impl<R: SchemaRouter + Send + Sync + 'static> Backend for RouteBackend<R> {
     type Out = RoutingResult;
 
     fn compute(&self, question: &str) -> RoutingResult {
-        self.router.route(question, self.top_tables)
+        // Lease per request: the generation the request started on serves
+        // it to completion, even if a publish swaps the handle mid-route.
+        let lease = self.handle.lease();
+        lease.router().route(question, self.top_tables)
     }
 
     fn thread_label() -> &'static str {
         "dbc-serve-dispatch"
+    }
+
+    fn generation(&self) -> u64 {
+        self.handle.generation()
+    }
+
+    fn shard_counters(&self) -> Vec<ShardCounters> {
+        self.handle.current().shard_counters()
     }
 }
 
@@ -403,9 +471,10 @@ pub struct RouterService<R: SchemaRouter + Send + Sync + 'static> {
 }
 
 impl<R: SchemaRouter + Send + Sync + 'static> RouterService<R> {
-    /// Serve an already-shared router.
+    /// Serve an already-shared router (published as generation 1).
     pub fn new(router: Arc<R>, cfg: ServiceConfig) -> Self {
-        let backend = RouteBackend { router, top_tables: cfg.top_tables };
+        let backend =
+            RouteBackend { handle: RouterHandle::new(router), top_tables: cfg.top_tables };
         RouterService { engine: Engine::new(backend, cfg) }
     }
 
@@ -427,9 +496,29 @@ impl<R: SchemaRouter + Send + Sync + 'static> RouterService<R> {
         Self::new(Arc::new(router), cfg)
     }
 
-    /// The served router.
-    pub fn router(&self) -> &Arc<R> {
-        &self.engine.backend().router
+    /// The currently-published router. Returns an owned `Arc` (not a
+    /// borrow) because a concurrent [`publish`](RouterService::publish) can
+    /// retire the slot's contents at any moment.
+    pub fn router(&self) -> Arc<R> {
+        self.engine.backend().handle.current()
+    }
+
+    /// The current router generation (starts at 1, +1 per publish).
+    pub fn generation(&self) -> u64 {
+        self.engine.backend().handle.generation()
+    }
+
+    /// Hot-swap the served router with zero dropped requests: atomically
+    /// publish `router` as the next generation, wait for every in-flight
+    /// request on the old generation to finish on the router it started
+    /// with, then clear the cache (whose old-generation entries are already
+    /// tag-invalidated — clearing reclaims their space). Requests arriving
+    /// during the swap are served by the new router. Returns the new
+    /// generation number.
+    pub fn publish(&self, router: Arc<R>) -> u64 {
+        let generation = self.engine.backend().handle.publish(router);
+        self.engine.clear_cache();
+        generation
     }
 
     /// Route one question: answered from the cache when possible,

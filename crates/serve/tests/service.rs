@@ -301,3 +301,151 @@ fn from_router_at_applies_precision_before_sharing_and_warm_uses_it() {
 fn cfg_top_tables() -> usize {
     ServiceConfig::default().top_tables
 }
+
+/// A router that answers every question with one fixed database — lets hot
+/// swap tests tell apart which router generation served a request.
+struct Tagged(&'static str);
+
+impl SchemaRouter for Tagged {
+    fn name(&self) -> &str {
+        self.0
+    }
+    fn route(&self, _question: &str, _top_tables: usize) -> dbcopilot_retrieval::RoutingResult {
+        dbcopilot_retrieval::RoutingResult {
+            tables: vec![(self.0.to_string(), "t".to_string(), 1.0)],
+            databases: vec![(self.0.to_string(), 1.0)],
+        }
+    }
+}
+
+#[test]
+fn publish_swaps_the_router_under_concurrent_load_without_dropping_requests() {
+    // No cache: every request must reach whichever router is current.
+    let cfg = ServiceConfig::new().cache_capacity(0);
+    let service = RouterService::from_router(Tagged("v1"), cfg);
+    assert_eq!(service.generation(), 1);
+
+    let answered = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for client in 0..4 {
+            let (service, answered) = (&service, &answered);
+            s.spawn(move || {
+                for round in 0..24 {
+                    let r = service.route(&format!("client {client} round {round}"));
+                    // Every request is answered by a complete generation —
+                    // v1 before the swap, v2 after, never an error or an
+                    // empty result.
+                    let db = r.database_names()[0].to_string();
+                    assert!(db == "v1" || db == "v2", "unexpected answer {db:?}");
+                    answered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+        // Swap mid-flight.
+        let generation = service.publish(Arc::new(Tagged("v2")));
+        assert_eq!(generation, 2);
+    });
+
+    assert_eq!(answered.load(std::sync::atomic::Ordering::Relaxed), 4 * 24, "zero drops");
+    // publish returned only after the old generation drained, so every
+    // request from here on is served by v2.
+    assert_eq!(service.route("after the swap").database_names(), ["v2"]);
+    assert_eq!(service.stats().generation, 2);
+}
+
+#[test]
+fn publish_invalidates_cached_results() {
+    let service = RouterService::from_router(Tagged("v1"), ServiceConfig::default());
+    assert_eq!(service.route("the question").database_names(), ["v1"]);
+    assert_eq!(service.stats().cached, 1);
+
+    service.publish(Arc::new(Tagged("v2")));
+    // The v1 answer was cached, but a cache entry only serves while the
+    // generation that computed it is current: the same question now
+    // recomputes on v2 instead of serving the stale hit.
+    assert_eq!(service.route("the question").database_names(), ["v2"]);
+    let stats = service.stats();
+    assert_eq!(stats.generation, 2);
+    assert_eq!(stats.computed, 2, "the post-swap lookup must recompute: {stats:?}");
+}
+
+#[test]
+fn queue_depth_rises_under_a_blocked_backend_and_drains_to_zero() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Blocks every route until the test opens the gate.
+    struct Gated(Arc<AtomicBool>);
+    impl SchemaRouter for Gated {
+        fn name(&self) -> &str {
+            "gated"
+        }
+        fn route(&self, _q: &str, _t: usize) -> dbcopilot_retrieval::RoutingResult {
+            while !self.0.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            dbcopilot_retrieval::RoutingResult::default()
+        }
+    }
+
+    let gate = Arc::new(AtomicBool::new(false));
+    let cfg = ServiceConfig::new().cache_capacity(0).max_batch(1);
+    let service = RouterService::from_router(Gated(Arc::clone(&gate)), cfg);
+    assert_eq!(service.stats().queue_depth, 0);
+
+    std::thread::scope(|s| {
+        for i in 0..3 {
+            let service = &service;
+            s.spawn(move || service.route(&format!("question {i}")));
+        }
+        // The backend is blocked, so accepted requests pile up in the queue
+        // and the stats snapshot sees them (the admission-control signal).
+        while service.stats().queue_depth == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        gate.store(true, Ordering::Release);
+    });
+    // The gauge is a relaxed counter the dispatcher decrements just after
+    // replying, so a caller can return a beat before its request is
+    // uncounted — poll briefly instead of asserting the instant snapshot.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while service.stats().queue_depth != 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(service.stats().queue_depth, 0, "answered requests must leave the queue");
+}
+
+#[test]
+fn stats_surface_generation_and_shard_counters_for_a_sharded_router() {
+    use dbcopilot_core::{DbcRouter, RouterConfig, ShardedRouter};
+    use dbcopilot_graph::SchemaGraph;
+    use dbcopilot_sqlengine::{Collection, DataType, DatabaseSchema, TableSchema};
+
+    let mut c = Collection::new();
+    for (db, tables) in
+        [("concert_singer", vec!["singer", "concert"]), ("world", vec!["country", "city"])]
+    {
+        let mut d = DatabaseSchema::new(db);
+        for t in tables {
+            d.add_table(TableSchema::new(t).column("id", DataType::Int).primary(0));
+        }
+        c.add_database(d);
+    }
+    let mono = DbcRouter::untrained(SchemaGraph::build(&c), RouterConfig::tiny());
+    let service =
+        RouterService::from_router(ShardedRouter::from_monolith(mono), ServiceConfig::default());
+
+    let before = service.stats();
+    assert_eq!(before.generation, 1);
+    assert_eq!(before.shards.len(), 1);
+    assert_eq!(before.shards[0].databases, 2);
+    assert!(before.shards[0].loaded);
+
+    let _ = service.route("how many vocalists");
+    let after = service.stats();
+    assert_eq!(after.shards[0].routes, 1, "served traffic must show up per shard: {after:?}");
+
+    // A monolithic router surfaces no shards through the same stats path.
+    let plain = RouterService::from_router(index(), ServiceConfig::default());
+    assert!(plain.stats().shards.is_empty());
+    assert_eq!(plain.stats().generation, 1);
+}

@@ -9,7 +9,10 @@
 //! per-call baseline, plus the cache and batching counters. Then lifts
 //! the same machinery to end-to-end serving: the `AskService` caches
 //! complete answers (SQL + result + trace), so repeated questions skip
-//! routing, prompting, generation *and* execution.
+//! routing, prompting, generation *and* execution. Closes with the
+//! fleet-operations act: a sharded tier grows by one database
+//! (retraining only the owning shard) and is published to live traffic
+//! with zero dropped requests.
 //!
 //! ```sh
 //! cargo run --release --example serving
@@ -20,9 +23,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dbcopilot::{AskOptions, DbCopilot, QueryPipeline};
-use dbcopilot_core::{DbcRouter, SerializationMode};
+use dbcopilot_core::{DbcRouter, SerializationMode, ShardedRouter};
 use dbcopilot_retrieval::SchemaRouter;
 use dbcopilot_serve::{AskService, RouterService, ServiceConfig};
+use dbcopilot_sqlengine::{DataType, DatabaseSchema, TableSchema};
 use dbcopilot_synth::{build_spider_like, CorpusSizes};
 
 fn main() {
@@ -163,4 +167,55 @@ fn main() {
         _ => panic!("served and direct ask disagree"),
     }
     println!("\nServed answers match direct asks — end-to-end serving is quality-invisible.");
+    drop(ask_service);
+
+    // -----------------------------------------------------------------
+    // Zero-downtime hot swap: grow a sharded tier and publish it while
+    // clients are routing. No request is dropped; the generation advances.
+    // -----------------------------------------------------------------
+    println!("\nSharded tier + hot swap under load …");
+    let shard_cfg = dbcopilot_core::RouterConfig { epochs: 2, ..Default::default() };
+    let (tier, _) =
+        ShardedRouter::fit(&corpus.collection, &examples, shard_cfg, SerializationMode::Dfs, 2);
+    // No cache: every request must exercise whichever generation is live.
+    let service = RouterService::new(Arc::new(tier), ServiceConfig::new().cache_capacity(0));
+
+    // One new database lands in exactly one shard; only that shard retrains.
+    let mut grown = corpus.collection.clone();
+    let mut db = DatabaseSchema::new("incident_reports");
+    db.add_table(TableSchema::new("incident").column("id", DataType::Int).primary(0));
+    grown.add_database(db);
+    let owner = service.router().shard_of_db("incident_reports");
+    let (next, retrained) =
+        service.router().extend(&grown, &corpus.meta, &questioner, 32, 2).expect("extend");
+    println!(
+        "  incident_reports lands on shard {owner}; retrained {:?} of {} shards",
+        retrained.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+        next.num_shards()
+    );
+
+    let next = Arc::new(next);
+    std::thread::scope(|s| {
+        for client in 0..clients {
+            let (service, workload) = (&service, &workload);
+            s.spawn(move || {
+                for round in 0..rounds_per_client {
+                    let i = client * rounds_per_client + round;
+                    let r = service.route(&workload[i % workload.len()]);
+                    assert!(!r.databases.is_empty(), "every request is answered across the swap");
+                }
+            });
+        }
+        service.publish(Arc::clone(&next)); // mid-flight: drains the old generation
+    });
+    let stats = service.stats();
+    println!(
+        "  published mid-flight: generation {} (was 1), {} routes served, \
+         new tier holds {} databases",
+        service.generation(),
+        stats.computed,
+        service.router().num_databases()
+    );
+    assert_eq!(service.generation(), 2);
+    println!("\nHot swap complete — zero drops, stale cache generations invalidated.");
 }
