@@ -1,0 +1,106 @@
+//! HTTP-edge micro-benchmarks: parser cost, wire rendering cost, and full
+//! socket round trips through a keep-alive connection.
+//!
+//! The parse/render benches isolate the protocol layer (no sockets, no
+//! backend), so regressions there point at the parser or the JSON
+//! rendering. The round-trip benches run a real server on a loopback
+//! socket with an instant backend, so they price the whole edge: accept →
+//! admission → parse → dispatch → render → write.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dbcopilot_graph::QuerySchema;
+use dbcopilot_http::proto::{read_request, ByteStream, Conn, Limits};
+use dbcopilot_http::{wire, Dispatcher, HttpClient, HttpConfig, HttpServer};
+use dbcopilot_serve::{Answer, AskOutcome, AskReport, StageTimings};
+use dbcopilot_sqlengine::ResultSet;
+
+fn canned_report() -> AskReport {
+    AskReport {
+        question: "how many heads of the departments are older than 56 ?".into(),
+        answer: Answer {
+            schema: QuerySchema::new("department_management", vec!["head".into()]),
+            sql: "SELECT COUNT(*) FROM head WHERE age > 56".into(),
+            result: ResultSet {
+                columns: vec!["COUNT(*)".into()],
+                rows: vec![vec![dbcopilot_sqlengine::Value::Int(5)]],
+            },
+            recovered_errors: Vec::new(),
+        },
+        candidates: Vec::new(),
+        chosen: 0,
+        attempts: Vec::new(),
+        timings: StageTimings::default(),
+    }
+}
+
+struct CannedBackend(Arc<AskOutcome>);
+
+impl Dispatcher for CannedBackend {
+    fn ask(&self, _question: &str) -> Arc<AskOutcome> {
+        Arc::clone(&self.0)
+    }
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let body = wire::question_body("how many heads of the departments are older than 56 ?");
+    let request = format!(
+        "POST /ask HTTP/1.1\r\nhost: dbcopilot\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let outcome: AskOutcome = Ok(canned_report());
+
+    let mut group = c.benchmark_group("http_edge");
+    group.bench_function("request_parse", |b| {
+        b.iter(|| {
+            let mut conn = Conn::new(ByteStream::new(black_box(request.as_bytes().to_vec())));
+            read_request(
+                &mut conn,
+                &Limits::default(),
+                Duration::from_secs(1),
+                Duration::from_secs(1),
+            )
+            .expect("canned request parses")
+        })
+    });
+    group.bench_function("response_render", |b| b.iter(|| wire::ask_response(black_box(&outcome))));
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        CannedBackend(Arc::new(Ok(canned_report()))),
+        HttpConfig::new().workers(2),
+    )
+    .expect("bind bench server");
+    let mut client = HttpClient::connect(server.addr()).expect("bench client connects");
+    let body = wire::question_body("how many heads of the departments are older than 56 ?");
+
+    let mut group = c.benchmark_group("http_edge");
+    group.bench_function("ask_roundtrip", |b| {
+        b.iter(|| {
+            let response = client.post("/ask", black_box(&body)).expect("roundtrip completes");
+            assert_eq!(response.status, 200);
+            response
+        })
+    });
+    group.bench_function("healthz_roundtrip", |b| {
+        b.iter(|| {
+            let response = client.get("/healthz").expect("health roundtrip completes");
+            assert_eq!(response.status, 200);
+            response
+        })
+    });
+    group.finish();
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_protocol, bench_roundtrip);
+criterion_main!(benches);

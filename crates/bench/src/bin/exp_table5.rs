@@ -9,11 +9,15 @@ use dbcopilot::{AskOptions, DbCopilot};
 use dbcopilot_core::{save_router, DbcRouter, SerializationMode};
 use dbcopilot_eval::{
     build_method, eval_ask, eval_routing, measure_latency_us, measure_served_ask_qps,
-    measure_served_qps, prepare, render_ask_table, render_precision_table, render_table5, report,
-    BuildReport, CorpusKind, MethodKind, PrecisionRow, ResourceReport, Scale,
+    measure_served_http_qps, measure_served_qps, prepare, render_ask_table, render_precision_table,
+    render_table5, report, BuildReport, CorpusKind, MethodKind, PrecisionRow, ResourceReport,
+    Scale,
 };
+use dbcopilot_http::{wire, Dispatcher, HttpClient, HttpConfig, HttpServer};
 use dbcopilot_retrieval::{PrecisionSwitch, RoutePrecision, SchemaRouter};
-use dbcopilot_serve::{AskService, RouterService, ServiceConfig};
+use dbcopilot_serve::{
+    AskOutcome, AskService, QueryPipeline, RouterService, ServiceConfig, ServiceStats,
+};
 
 fn main() {
     let scale = Scale::from_env();
@@ -222,6 +226,56 @@ fn main() {
     println!(
         "(served ask outcomes identical to direct ask — cache and pool are quality-invisible)"
     );
+
+    // -----------------------------------------------------------------
+    // HTTP edge: the same AskService served over real sockets. Reports
+    // wire-level QPS, then asserts byte parity — the HTTP response body
+    // for every question must equal the wire rendering of the direct
+    // outcome, so the network edge is provably quality-invisible too.
+    // -----------------------------------------------------------------
+    eprintln!("  measuring DBC ask (HTTP edge)");
+    struct AskOnly<P: QueryPipeline + 'static>(std::sync::Arc<AskService<P>>);
+    impl<P: QueryPipeline + 'static> Dispatcher for AskOnly<P> {
+        fn ask(&self, question: &str) -> std::sync::Arc<AskOutcome> {
+            self.0.ask(question)
+        }
+        fn stats(&self) -> Vec<(&'static str, ServiceStats)> {
+            vec![("ask", self.0.stats())]
+        }
+    }
+    let service = std::sync::Arc::new(service);
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        AskOnly(std::sync::Arc::clone(&service)),
+        HttpConfig::new().workers(4),
+    )
+    .expect("bind the HTTP edge on an ephemeral port");
+    let http_qps = measure_served_http_qps(server.addr(), &ask_questions, 256, 4);
+    let edge = server.stats();
+    println!(
+        "HTTP edge (4 keep-alive clients): {http_qps:.1} answers/s \
+         (p50 {} µs, p95 {} µs per request over {} connections)",
+        edge.p50_us, edge.p95_us, edge.accepted
+    );
+
+    let mut parity = HttpClient::connect(server.addr()).expect("parity client connects");
+    for q in &ask_questions {
+        let response =
+            parity.post("/ask", &wire::question_body(q)).expect("parity request completes");
+        let (status, body) = wire::ask_response(&service.ask(q));
+        assert_eq!(
+            (response.status, response.body.as_str()),
+            (status, body.as_str()),
+            "HTTP-served answer differs from direct ask for {q:?}"
+        );
+    }
+    drop(parity);
+    println!(
+        "(HTTP-served bodies byte-identical to direct ask renderings over {} questions)",
+        ask_questions.len()
+    );
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.in_flight, 0, "graceful drain leaves nothing in flight");
 }
 
 fn add_latency(

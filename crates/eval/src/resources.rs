@@ -99,6 +99,54 @@ pub fn measure_served_ask_qps<P: dbcopilot_serve::QueryPipeline + 'static>(
     })
 }
 
+/// Measure end-to-end ask throughput **over the wire**: `clients`
+/// keep-alive HTTP connections issue `total` `POST /ask` requests
+/// round-robin over `questions` against a running
+/// [`HttpServer`](dbcopilot_http::HttpServer), so the number includes
+/// request parsing, socket round-trips and response rendering on top of
+/// everything [`measure_served_ask_qps`] covers.
+///
+/// Every request must be *answered*: a typed pipeline failure (404/410/
+/// 422/500 with a staged error body) is a served request and counts,
+/// exactly as the in-process [`measure_served_ask_qps`] counts `Err`
+/// outcomes. What panics is breakage of the measurement itself: a
+/// transport failure, a 429 shed (the server was sized too small for the
+/// load — the number would be meaningless), or a protocol-level status
+/// (400/408/413/431/505 mean the harness sent garbage).
+pub fn measure_served_http_qps(
+    addr: std::net::SocketAddr,
+    questions: &[String],
+    total: usize,
+    clients: usize,
+) -> f64 {
+    assert!(!questions.is_empty());
+    let clients = clients.max(1);
+    let per_client = total.div_ceil(clients);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for client in 0..clients {
+            s.spawn(move || {
+                let mut conn = dbcopilot_http::HttpClient::connect(addr)
+                    .expect("http measurement client connects");
+                for i in 0..per_client {
+                    let q = &questions[(client * per_client + i) % questions.len()];
+                    let body = dbcopilot_http::wire::question_body(q);
+                    let response =
+                        conn.post("/ask", &body).expect("http measurement request completes");
+                    assert!(
+                        matches!(response.status, 200 | 404 | 410 | 422 | 500),
+                        "measurement request not answered (status {}): {}",
+                        response.status,
+                        response.body
+                    );
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    (per_client * clients) as f64 / secs.max(1e-9)
+}
+
 /// Assemble a Table 5 row.
 pub fn report(
     method: &str,

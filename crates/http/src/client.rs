@@ -1,0 +1,195 @@
+//! A minimal blocking HTTP/1.1 client: keep-alive connection reuse, JSON
+//! request helpers, raw-byte access for protocol tests.
+//!
+//! This is the counterpart the test battery and the load generator drive
+//! the edge with — it speaks exactly the subset the server speaks
+//! (`Content-Length` framing, keep-alive) and exposes the raw socket so
+//! conformance tests can write arbitrary garbage.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde::Value;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+    /// Whether the server announced it will keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl HttpResponse {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body parsed as JSON.
+    pub fn json(&self) -> Result<Value, String> {
+        serde_json::from_str(&self.body).map_err(|e| format!("body is not valid JSON: {e}"))
+    }
+}
+
+/// A blocking keep-alive connection to the edge.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl HttpClient {
+    /// Connect with a 10 s read deadline (see
+    /// [`connect_timeout`](HttpClient::connect_timeout) to pick another).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::connect_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connect with an explicit read deadline for responses.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(HttpClient { stream, buf: Vec::with_capacity(4096), start: 0 })
+    }
+
+    /// The underlying socket, for tests that need to shutdown/linger/etc.
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Write raw bytes on the socket — no framing, no response read. For
+    /// protocol-conformance tests (garbage, truncation, slow-loris drips).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// `GET path` and read the response.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body and read the response.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Issue one request and read its response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        let body = body.unwrap_or("");
+        let mut head = String::with_capacity(96 + body.len());
+        head.push_str(method);
+        head.push(' ');
+        head.push_str(path);
+        head.push_str(" HTTP/1.1\r\nhost: dbcopilot\r\n");
+        if !body.is_empty() {
+            head.push_str("content-type: application/json\r\n");
+        }
+        head.push_str("content-length: ");
+        head.push_str(&body.len().to_string());
+        head.push_str("\r\n\r\n");
+        head.push_str(body);
+        self.send_raw(head.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Read one response off the socket (framed by `Content-Length`).
+    /// Leftover bytes stay buffered for the next response.
+    pub fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let head_end = loop {
+            if let Some(end) = crate::proto::find_head_end(self.buffered()) {
+                break end;
+            }
+            if self.fill()? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+        };
+        let head = self.buffered()[..head_end].to_vec();
+        self.consume(head_end);
+        let head = std::str::from_utf8(&head).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "response head is not UTF-8")
+        })?;
+
+        let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+        let status_line = lines
+            .next()
+            .filter(|l| !l.is_empty())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response head"))?;
+        let status: u16 =
+            status_line.split(' ').nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        let length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        while self.buffered().len() < length {
+            if self.fill()? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+        }
+        let body = String::from_utf8_lossy(&self.buffered()[..length]).into_owned();
+        self.consume(length);
+        let keep_alive = headers
+            .iter()
+            .find(|(n, _)| n == "connection")
+            .is_some_and(|(_, v)| v.eq_ignore_ascii_case("keep-alive"));
+        Ok(HttpResponse { status, headers, body, keep_alive })
+    }
+
+    fn buffered(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.start += n;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+    }
+
+    fn fill(&mut self) -> io::Result<usize> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! A load generator for the HTTP edge: closed- or open-loop arrivals,
+//! skewed key popularity, per-request latency capture.
+//!
+//! * **Closed loop** — each client issues its next request as soon as the
+//!   previous response lands: throughput self-limits to what the server
+//!   sustains, so this measures capacity.
+//! * **Open loop** — each client issues requests on a fixed schedule
+//!   regardless of completions (arrivals don't slow down when the server
+//!   does), which is what exposes admission control: past saturation the
+//!   server must shed, and the report counts exactly how much.
+//!
+//! Question selection is skewed toward low indices (configurable
+//! exponent), exercising the serving cache the way a natural-language
+//! workload would: a hot head of repeated questions over a long tail.
+//! Selection is derived per-request from [`split_seed`], so a given
+//! `(seed, clients, requests)` triple replays the same request sequence on
+//! every run regardless of scheduling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use dbcopilot_runtime::split_seed;
+
+use crate::client::HttpClient;
+use crate::histogram::Histogram;
+use crate::wire;
+
+/// How requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Next request right after the previous response (capacity probe).
+    Closed,
+    /// Fixed schedule at this many requests/second across all clients,
+    /// regardless of completions (overload probe).
+    Open { rate_per_sec: f64 },
+}
+
+/// Load-generator knobs, builder-style.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    pub arrival: Arrival,
+    /// Popularity skew: question index = `⌊n · u^skew⌋` for uniform `u` —
+    /// 1.0 is uniform, larger concentrates traffic on a hot head.
+    pub skew: f64,
+    /// Base seed for the deterministic request sequence.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            clients: 4,
+            requests_per_client: 64,
+            arrival: Arrival::Closed,
+            skew: 2.0,
+            seed: 0xdbc0,
+        }
+    }
+}
+
+impl LoadConfig {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn clients(mut self, n: usize) -> Self {
+        self.clients = n.max(1);
+        self
+    }
+
+    pub fn requests_per_client(mut self, n: usize) -> Self {
+        self.requests_per_client = n;
+        self
+    }
+
+    pub fn arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    pub fn skew(mut self, skew: f64) -> Self {
+        self.skew = skew.max(0.01);
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What a load run observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests put on the wire.
+    pub issued: u64,
+    /// 2xx responses.
+    pub ok: u64,
+    /// 429 responses (admission-control sheds).
+    pub shed: u64,
+    /// Non-2xx, non-429 responses (typed pipeline failures etc.).
+    pub failed: u64,
+    /// Transport-level breakage: unparseable response, unexpected close,
+    /// refused reconnect. Zero on a healthy run.
+    pub protocol_errors: u64,
+    pub elapsed: Duration,
+    /// Latency of completed (non-shed) requests, µs.
+    pub p50_us: u64,
+    pub p95_us: u64,
+}
+
+impl LoadReport {
+    /// Completed requests (any status) per second of wall clock.
+    pub fn achieved_qps(&self) -> f64 {
+        let done = (self.ok + self.failed) as f64;
+        done / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of issued requests shed with 429.
+    pub fn shed_rate(&self) -> f64 {
+        self.shed as f64 / (self.issued as f64).max(1.0)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "issued {} | ok {} | shed {} ({:.1}%) | failed {} | protocol errors {} | {:.0} qps | p50 {}µs p95 {}µs",
+            self.issued,
+            self.ok,
+            self.shed,
+            self.shed_rate() * 100.0,
+            self.failed,
+            self.protocol_errors,
+            self.achieved_qps(),
+            self.p50_us,
+            self.p95_us,
+        )
+    }
+}
+
+/// Uniform `u` in [0, 1) from a SplitMix64 draw.
+fn unit(seed: u64, stream: u64) -> f64 {
+    (split_seed(seed, stream) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Skewed question index for request `stream` of the run.
+fn pick(n: usize, skew: f64, seed: u64, stream: u64) -> usize {
+    let u = unit(seed, stream);
+    ((n as f64 * u.powf(skew)) as usize).min(n - 1)
+}
+
+/// Drive `POST /ask` at `addr` with `questions`, per `cfg`.
+///
+/// Clients reconnect transparently when the server closes a connection
+/// (shed 429s and error responses close it); every configured request is
+/// issued unless the transport breaks.
+pub fn run_load(addr: std::net::SocketAddr, questions: &[String], cfg: &LoadConfig) -> LoadReport {
+    assert!(!questions.is_empty(), "load generator needs at least one question");
+    let issued = AtomicU64::new(0);
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let protocol_errors = AtomicU64::new(0);
+    let latency = Histogram::new();
+    let started = Instant::now();
+
+    std::thread::scope(|scope| {
+        for client_id in 0..cfg.clients {
+            let (issued, ok, shed, failed, protocol_errors, latency) =
+                (&issued, &ok, &shed, &failed, &protocol_errors, &latency);
+            let cfg = cfg.clone();
+            scope.spawn(move || {
+                let mut client: Option<HttpClient> = None;
+                // Open-loop schedule: this client's slice of the global rate.
+                let interval = match cfg.arrival {
+                    Arrival::Closed => None,
+                    Arrival::Open { rate_per_sec } => {
+                        Some(Duration::from_secs_f64(cfg.clients as f64 / rate_per_sec.max(1e-6)))
+                    }
+                };
+                let schedule_start = Instant::now();
+                for request_no in 0..cfg.requests_per_client {
+                    if let Some(interval) = interval {
+                        // Arrivals stay on schedule even when responses lag —
+                        // never sleep off time the server already consumed.
+                        let due = schedule_start + interval * request_no as u32;
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                    }
+                    let stream = (client_id * cfg.requests_per_client + request_no) as u64;
+                    let question = &questions[pick(questions.len(), cfg.skew, cfg.seed, stream)];
+                    let body = wire::question_body(question);
+
+                    let conn = match client.take() {
+                        Some(conn) => conn,
+                        None => match HttpClient::connect(addr) {
+                            Ok(conn) => conn,
+                            Err(_) => {
+                                protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                        },
+                    };
+                    let mut conn = conn;
+                    issued.fetch_add(1, Ordering::Relaxed);
+                    let sent = Instant::now();
+                    match conn.post("/ask", &body) {
+                        Ok(response) => {
+                            match response.status {
+                                200..=299 => {
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                    latency.record_us(sent.elapsed().as_micros() as u64);
+                                }
+                                429 => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                    latency.record_us(sent.elapsed().as_micros() as u64);
+                                }
+                            }
+                            if response.keep_alive {
+                                client = Some(conn);
+                            }
+                        }
+                        Err(_) => {
+                            protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    LoadReport {
+        issued: issued.into_inner(),
+        ok: ok.into_inner(),
+        shed: shed.into_inner(),
+        failed: failed.into_inner(),
+        protocol_errors: protocol_errors.into_inner(),
+        elapsed: started.elapsed(),
+        p50_us: latency.p50_us(),
+        p95_us: latency.p95_us(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_picks_concentrate_on_the_head_and_replay() {
+        let n = 100;
+        let head: usize = (0..1000).filter(|&i| pick(n, 3.0, 7, i) < n / 10).count();
+        assert!(head > 300, "skew 3.0 should put >30% of traffic on the top decile, got {head}");
+        let a: Vec<usize> = (0..50).map(|i| pick(n, 2.0, 42, i)).collect();
+        let b: Vec<usize> = (0..50).map(|i| pick(n, 2.0, 42, i)).collect();
+        assert_eq!(a, b, "same seed replays the same sequence");
+        assert!((0..1000).all(|i| pick(1, 5.0, 1, i) == 0), "single question always index 0");
+    }
+}

@@ -1,0 +1,593 @@
+//! HTTP/1.1 protocol plumbing: a buffered connection reader with strict
+//! limits and per-phase read deadlines, request parsing, and response
+//! writing.
+//!
+//! The parser is deliberately small and strict — it accepts the subset of
+//! HTTP/1.1 the DBCopilot edge speaks (`Content-Length` bodies, keep-alive,
+//! no chunked transfer coding) and answers everything else with a precise
+//! status code instead of guessing:
+//!
+//! | breach                                   | outcome                  |
+//! |------------------------------------------|--------------------------|
+//! | head (request line + headers) over budget| [`RequestError::HeadTooLarge`] → 431 |
+//! | more than `max_headers` header lines     | [`RequestError::HeadTooLarge`] → 431 |
+//! | declared body over budget                | [`RequestError::BodyTooLarge`] → 413 |
+//! | malformed request line / header / length | [`RequestError::Bad`] → 400 |
+//! | `Transfer-Encoding` present              | [`RequestError::Unsupported`] → 501 |
+//! | HTTP version other than 1.0/1.1          | [`RequestError::Version`] → 505 |
+//! | no progress before the read deadline     | [`RequestError::Stalled`] → 408 (slow-loris eviction) |
+//!
+//! Reads go through [`Conn`], which keeps leftover bytes across requests so
+//! keep-alive and pipelined-ish sequential requests on one socket parse
+//! correctly. Every read phase sets an explicit deadline on the transport
+//! ([`Transport::set_read_deadline`]) — a client that connects and then
+//! stalls mid-request is evicted when the deadline lapses, never held
+//! forever.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A byte stream the protocol layer can read with deadlines. Implemented
+/// by [`TcpStream`] (via `set_read_timeout`) and by in-memory streams for
+/// tests and benches.
+pub trait Transport: Read + Write {
+    /// Apply a deadline to subsequent reads (`None` clears it). A read that
+    /// makes no progress before the deadline fails with `WouldBlock` or
+    /// `TimedOut`.
+    fn set_read_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+impl Transport for TcpStream {
+    fn set_read_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+/// In-memory transport for parser tests and benches: reads from a fixed
+/// input, collects writes, ignores deadlines.
+pub struct ByteStream {
+    input: io::Cursor<Vec<u8>>,
+    /// Everything written to the stream (the would-be wire output).
+    pub output: Vec<u8>,
+}
+
+impl ByteStream {
+    pub fn new(input: impl Into<Vec<u8>>) -> Self {
+        ByteStream { input: io::Cursor::new(input.into()), output: Vec::new() }
+    }
+}
+
+impl Read for ByteStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.input.read(buf)
+    }
+}
+
+impl Write for ByteStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.output.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Transport for ByteStream {
+    fn set_read_deadline(&mut self, _timeout: Option<Duration>) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Hard ceilings the parser enforces while reading one request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Request line + all header lines, bytes.
+    pub max_head_bytes: usize,
+    /// Header line count.
+    pub max_headers: usize,
+    /// Declared `Content-Length`, bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_head_bytes: 16 * 1024, max_headers: 64, max_body_bytes: 1024 * 1024 }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default unless `Connection: close`; HTTP/1.0 opt-in).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why [`read_request`] produced no request.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Clean close: the peer disconnected between requests (no bytes of a
+    /// new request had arrived). Not an error — the keep-alive loop ends.
+    Closed,
+    /// No first byte arrived inside the idle window. The caller decides
+    /// whether to keep waiting (still inside the keep-alive idle budget) or
+    /// close the connection.
+    Idle,
+    /// The peer disconnected mid-request; there is nothing to respond to.
+    Disconnected,
+    /// Bytes of a request arrived but the peer stopped making progress
+    /// before the read deadline — the slow-loris shape. Respond 408, close.
+    Stalled,
+    /// Request line + headers exceeded [`Limits::max_head_bytes`] or
+    /// [`Limits::max_headers`] → 431.
+    HeadTooLarge,
+    /// Declared `Content-Length` exceeded [`Limits::max_body_bytes`] → 413.
+    BodyTooLarge { declared: u64 },
+    /// Structurally invalid request → 400.
+    Bad(String),
+    /// `Transfer-Encoding` (chunked uploads) is outside the spoken subset → 501.
+    Unsupported(String),
+    /// Not HTTP/1.0 or HTTP/1.1 → 505.
+    Version(String),
+    /// Transport-level failure; close without a response.
+    Io(io::Error),
+}
+
+/// Buffered reader over a [`Transport`], retaining leftover bytes between
+/// requests (keep-alive reuse, pipelined sequential requests).
+pub struct Conn<T: Transport> {
+    transport: T,
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl<T: Transport> Conn<T> {
+    pub fn new(transport: T) -> Self {
+        Conn { transport, buf: Vec::with_capacity(4096), start: 0 }
+    }
+
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Bytes buffered but not yet consumed.
+    fn buffered(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.start += n;
+        debug_assert!(self.start <= self.buf.len());
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+    }
+
+    /// Read more bytes with a deadline. `Ok(0)` is EOF; a lapsed deadline
+    /// surfaces as `WouldBlock`/`TimedOut`.
+    fn fill(&mut self, timeout: Duration) -> io::Result<usize> {
+        // A zero timeout would mean "no deadline" to the OS; clamp to the
+        // smallest representable one so a lapsed budget still times out.
+        self.transport.set_read_deadline(Some(timeout.max(Duration::from_millis(1))))?;
+        if self.start > 0 && self.buf.len() + 4096 > self.buf.capacity() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.transport.read(&mut chunk) {
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Write a full response and flush it.
+    pub fn write_response(&mut self, response: &Response, keep_alive: bool) -> io::Result<()> {
+        let bytes = response.to_bytes(keep_alive);
+        self.transport.write_all(&bytes)?;
+        self.transport.flush()
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Locate the end of the header block in `bytes`: the byte index just past
+/// the first `\r\n\r\n` (or lenient `\n\n`).
+pub(crate) fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' if bytes.get(i + 1) == Some(&b'\n') => return Some(i + 2),
+            b'\n' if bytes.get(i + 1) == Some(&b'\r') && bytes.get(i + 2) == Some(&b'\n') => {
+                return Some(i + 3)
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Read and parse one request.
+///
+/// `idle_timeout` bounds the wait for the request's first byte (keep-alive
+/// idling); `read_timeout` is the progress deadline for the rest of the
+/// request — once any byte has arrived, the whole head and body must
+/// complete before it lapses, or the read fails with
+/// [`RequestError::Stalled`].
+pub fn read_request<T: Transport>(
+    conn: &mut Conn<T>,
+    limits: &Limits,
+    idle_timeout: Duration,
+    read_timeout: Duration,
+) -> Result<Request, RequestError> {
+    // Phase 1: first byte (or reuse bytes a previous request left over).
+    if conn.buffered().is_empty() {
+        match conn.fill(idle_timeout) {
+            Ok(0) => return Err(RequestError::Closed),
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => return Err(RequestError::Idle),
+            // A reset between requests is a close, not a protocol error.
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {
+                return Err(RequestError::Closed)
+            }
+            Err(e) => return Err(RequestError::Io(e)),
+        }
+    }
+
+    // Leading blank lines before the request line are tolerated (RFC 9112
+    // §2.2): consume them before framing the head, so they never count
+    // toward the head budget or frame an empty head.
+    let blank = conn.buffered().iter().take_while(|&&b| b == b'\r' || b == b'\n').count();
+    if blank > 0 {
+        conn.consume(blank);
+        if conn.buffered().is_empty() {
+            // Only blank bytes so far; let the caller's idle budget decide
+            // how long to keep waiting for a real request line.
+            return Err(RequestError::Idle);
+        }
+    }
+
+    // Phase 2: the head, under one rolling deadline from here on.
+    let deadline = Instant::now() + read_timeout;
+    let head_end = loop {
+        if let Some(end) = find_head_end(conn.buffered()) {
+            if end > limits.max_head_bytes {
+                return Err(RequestError::HeadTooLarge);
+            }
+            break end;
+        }
+        if conn.buffered().len() > limits.max_head_bytes {
+            return Err(RequestError::HeadTooLarge);
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(RequestError::Stalled);
+        }
+        match conn.fill(remaining) {
+            Ok(0) => return Err(RequestError::Disconnected),
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => return Err(RequestError::Stalled),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {
+                return Err(RequestError::Disconnected)
+            }
+            Err(e) => return Err(RequestError::Io(e)),
+        }
+    };
+
+    let head = conn.buffered()[..head_end].to_vec();
+    conn.consume(head_end);
+    let head =
+        std::str::from_utf8(&head).map_err(|_| RequestError::Bad("head is not UTF-8".into()))?;
+
+    // Leading blank lines before the request line are tolerated (RFC 9112
+    // §2.2); everything else must be well-formed.
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = loop {
+        match lines.next() {
+            Some("") => continue,
+            Some(line) => break line,
+            None => return Err(RequestError::Bad("empty request head".into())),
+        }
+    };
+
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => return Err(RequestError::Bad(format!("malformed request line {request_line:?}"))),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) || method.len() > 16 {
+        return Err(RequestError::Bad(format!("malformed method {method:?}")));
+    }
+    if !path.starts_with('/') {
+        return Err(RequestError::Bad(format!("request target {path:?} is not origin-form")));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => return Err(RequestError::Version(v.to_string())),
+        v => return Err(RequestError::Bad(format!("malformed version {v:?}"))),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the terminating blank line
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(RequestError::HeadTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Bad(format!("bad header {line:?}")))?;
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(RequestError::Bad(format!("bad header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+        keep_alive: http11,
+    };
+    let mut request = request;
+    if let Some(connection) = request.header("connection") {
+        let token = connection.to_ascii_lowercase();
+        if token.contains("close") {
+            request.keep_alive = false;
+        } else if token.contains("keep-alive") {
+            request.keep_alive = true;
+        }
+    }
+    if let Some(te) = request.header("transfer-encoding") {
+        return Err(RequestError::Unsupported(format!("transfer-encoding: {te}")));
+    }
+
+    // Phase 3: the Content-Length body, under the same deadline.
+    let declared: u64 = match request.header("content-length") {
+        None => 0,
+        Some(v) => {
+            v.parse().map_err(|_| RequestError::Bad(format!("malformed content-length {v:?}")))?
+        }
+    };
+    if declared > limits.max_body_bytes as u64 {
+        return Err(RequestError::BodyTooLarge { declared });
+    }
+    let declared = declared as usize;
+    while conn.buffered().len() < declared {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(RequestError::Stalled);
+        }
+        match conn.fill(remaining) {
+            Ok(0) => return Err(RequestError::Disconnected),
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => return Err(RequestError::Stalled),
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => {
+                return Err(RequestError::Disconnected)
+            }
+            Err(e) => return Err(RequestError::Io(e)),
+        }
+    }
+    request.body = conn.buffered()[..declared].to_vec();
+    conn.consume(declared);
+    Ok(request)
+}
+
+// ---------------------------------------------------------------------
+// responses
+// ---------------------------------------------------------------------
+
+/// A response about to be written: status, extra headers, JSON body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    /// Extra headers beyond the automatic `Content-Type`,
+    /// `Content-Length` and `Connection`.
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Self {
+        Response { status, headers: Vec::new(), body }
+    }
+
+    pub fn header(mut self, name: &str, value: impl std::fmt::Display) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serialize to wire bytes, with `Connection: keep-alive`/`close`
+    /// reflecting what the server will actually do.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = String::with_capacity(128 + self.body.len());
+        out.push_str("HTTP/1.1 ");
+        out.push_str(&self.status.to_string());
+        out.push(' ');
+        out.push_str(reason(self.status));
+        out.push_str("\r\n");
+        for (name, value) in &self.headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        if !self.body.is_empty() {
+            out.push_str("content-type: application/json\r\n");
+        }
+        out.push_str("content-length: ");
+        out.push_str(&self.body.len().to_string());
+        out.push_str("\r\n");
+        out.push_str(if keep_alive {
+            "connection: keep-alive\r\n"
+        } else {
+            "connection: close\r\n"
+        });
+        out.push_str("\r\n");
+        out.push_str(&self.body);
+        out.into_bytes()
+    }
+}
+
+/// Reason phrase for every status the edge emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        410 => "Gone",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(input: &str) -> Result<Request, RequestError> {
+        let mut conn = Conn::new(ByteStream::new(input.as_bytes().to_vec()));
+        read_request(&mut conn, &Limits::default(), Duration::from_secs(1), Duration::from_secs(1))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse("POST /ask HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+            .expect("valid request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/ask");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let req = parse("GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive, "HTTP/1.0 opts in explicitly");
+    }
+
+    #[test]
+    fn leading_blank_lines_are_tolerated() {
+        let req = parse("\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let two = "GET /healthz HTTP/1.1\r\n\r\nPOST /ask HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+        let mut conn = Conn::new(ByteStream::new(two.as_bytes().to_vec()));
+        let limits = Limits::default();
+        let first =
+            read_request(&mut conn, &limits, Duration::from_secs(1), Duration::from_secs(1))
+                .unwrap();
+        assert_eq!(first.path, "/healthz");
+        let second =
+            read_request(&mut conn, &limits, Duration::from_secs(1), Duration::from_secs(1))
+                .unwrap();
+        assert_eq!((second.path.as_str(), second.body.as_slice()), ("/ask", b"{}".as_slice()));
+    }
+
+    #[test]
+    fn limits_map_to_the_right_errors() {
+        let limits = Limits { max_head_bytes: 64, max_headers: 2, max_body_bytes: 8 };
+        let run = |input: &str| {
+            let mut conn = Conn::new(ByteStream::new(input.as_bytes().to_vec()));
+            read_request(&mut conn, &limits, Duration::from_secs(1), Duration::from_secs(1))
+        };
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        assert!(matches!(run(&long), Err(RequestError::HeadTooLarge)), "oversized head");
+        let many = "GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n";
+        assert!(matches!(run(many), Err(RequestError::HeadTooLarge)), "too many headers");
+        let body = "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        assert!(
+            matches!(run(body), Err(RequestError::BodyTooLarge { declared: 9 })),
+            "oversized body is rejected from the declared length, before reading it"
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_bad_requests() {
+        for input in [
+            "GET\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "get / HTTP/1.1\r\n\r\n",
+            "GET noslash HTTP/1.1\r\n\r\n",
+            "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "GET / HTTP/1.1\r\nbad name: x\r\n\r\n",
+            "POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "GET / FTP/9\r\n\r\n",
+        ] {
+            assert!(matches!(parse(input), Err(RequestError::Bad(_))), "{input:?}");
+        }
+        assert!(matches!(parse("GET / HTTP/2.0\r\n\r\n"), Err(RequestError::Version(_))));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(RequestError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn eof_shapes_are_distinguished() {
+        assert!(matches!(parse(""), Err(RequestError::Closed)), "clean close between requests");
+        assert!(
+            matches!(parse("GET /truncat"), Err(RequestError::Disconnected)),
+            "mid-request EOF"
+        );
+    }
+
+    #[test]
+    fn response_bytes_have_framing_headers() {
+        let resp = Response::json(200, "{\"ok\":true}".into()).header("retry-after", 2);
+        let text = String::from_utf8(resp.to_bytes(true)).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let text = String::from_utf8(Response::json(429, String::new()).to_bytes(false)).unwrap();
+        assert!(text.contains("connection: close\r\n"));
+        assert!(!text.contains("content-type"), "empty bodies carry no content type");
+    }
+}

@@ -1,0 +1,291 @@
+//! The JSON wire format: request/response bodies for every endpoint, and
+//! the mapping from the typed [`AskError`] taxonomy onto HTTP status codes.
+//!
+//! | pipeline stage failure  | status | meaning on the wire                     |
+//! |-------------------------|--------|-----------------------------------------|
+//! | [`AskError::Routing`]   | 404    | no candidate schema for the question     |
+//! | [`AskError::Prompt`]    | 410    | routed candidates no longer resolve (stale router) |
+//! | [`AskError::Generation`]| 422    | question could not be grounded into SQL  |
+//! | [`AskError::Execution`] | 500    | every generated SQL failed to execute    |
+//!
+//! Every error body has one stable shape:
+//! `{"error": {"stage": "...", "status": N, "message": "...", ...detail}}`
+//! — protocol-level failures use stage `"protocol"`, admission-control
+//! rejections stage `"admission"`, handler panics stage `"panic"`.
+//!
+//! All rendering goes through the vendored `serde_json`, so a body built
+//! here is byte-identical to the body built anywhere else from the same
+//! outcome — which is what lets `exp_table5` assert HTTP-served answers
+//! equal direct `ask` results byte for byte.
+
+use serde::Value;
+
+use dbcopilot_retrieval::RoutingResult;
+use dbcopilot_serve::{AskError, AskOutcome, AskReport, ServiceStats};
+
+/// Shorthand: an object value from `(key, value)` pairs.
+pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn s(text: impl Into<String>) -> Value {
+    Value::String(text.into())
+}
+
+fn render(value: &Value) -> String {
+    serde_json::to_string(value).expect("wire values always serialize")
+}
+
+/// The request body for `POST /ask` and `POST /route`.
+pub fn question_body(question: &str) -> String {
+    render(&obj(vec![("question", s(question))]))
+}
+
+/// Extract the `"question"` string from a request body, or describe why it
+/// is unusable (the message lands in a 400 response).
+pub fn parse_question(body: &[u8]) -> Result<String, String> {
+    let value: Value =
+        serde_json::from_slice(body).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    match value.get("question") {
+        Some(Value::String(q)) => Ok(q.clone()),
+        Some(_) => Err("\"question\" must be a string".into()),
+        None => Err("body must be a JSON object with a \"question\" field".into()),
+    }
+}
+
+/// One stable error-body shape for every failure the edge reports.
+pub fn error_body(stage: &str, status: u16, message: &str, detail: Vec<(&str, Value)>) -> String {
+    let mut fields =
+        vec![("stage", s(stage)), ("status", Value::UInt(status as u64)), ("message", s(message))];
+    fields.extend(detail);
+    render(&obj(vec![("error", obj(fields))]))
+}
+
+/// Status code for a typed pipeline failure.
+pub fn ask_status(error: &AskError) -> u16 {
+    match error {
+        AskError::Routing(_) => 404,
+        AskError::Prompt(_) => 410,
+        AskError::Generation(_) => 422,
+        AskError::Execution(_) => 500,
+        _ => 500,
+    }
+}
+
+fn sql_value(v: &dbcopilot_sqlengine::Value) -> Value {
+    use dbcopilot_sqlengine::Value as V;
+    match v {
+        V::Null => Value::Null,
+        V::Int(n) => Value::Int(*n),
+        V::Float(f) => Value::Float(*f),
+        V::Text(t) => s(t.clone()),
+        V::Bool(b) => Value::Bool(*b),
+    }
+}
+
+fn report_body(report: &AskReport) -> String {
+    let answer = &report.answer;
+    let schema = obj(vec![
+        ("database", s(answer.schema.database.clone())),
+        ("tables", Value::Array(answer.schema.tables.iter().map(|t| s(t.clone())).collect())),
+    ]);
+    let result = obj(vec![
+        ("columns", Value::Array(answer.result.columns.iter().map(|c| s(c.clone())).collect())),
+        (
+            "rows",
+            Value::Array(
+                answer
+                    .result
+                    .rows
+                    .iter()
+                    .map(|row| Value::Array(row.iter().map(sql_value).collect()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    render(&obj(vec![
+        ("question", s(report.question.clone())),
+        ("schema", schema),
+        ("sql", s(answer.sql.clone())),
+        ("result", result),
+        (
+            "recovered_errors",
+            Value::Array(answer.recovered_errors.iter().map(|e| s(e.to_string())).collect()),
+        ),
+        ("chosen", Value::UInt(report.chosen as u64)),
+        ("candidates", Value::UInt(report.candidates.len() as u64)),
+        ("recovered", Value::Bool(report.recovered())),
+    ]))
+}
+
+fn ask_error_body(error: &AskError) -> String {
+    let status = ask_status(error);
+    let detail: Vec<(&str, Value)> = match error {
+        AskError::Routing(e) => vec![("question", s(e.question.clone()))],
+        AskError::Prompt(e) => vec![("candidates", Value::UInt(e.candidates as u64))],
+        AskError::Generation(e) => vec![("candidates", Value::UInt(e.candidates as u64))],
+        AskError::Execution(e) => vec![
+            ("attempts", Value::UInt(e.attempts.len() as u64)),
+            ("last_error", s(e.last.to_string())),
+        ],
+        _ => Vec::new(),
+    };
+    error_body(error.stage(), status, &error.to_string(), detail)
+}
+
+/// `(status, body)` for a `POST /ask` outcome. Timings are deliberately
+/// excluded: the body is a pure function of the outcome, so served and
+/// direct answers compare byte for byte.
+pub fn ask_response(outcome: &AskOutcome) -> (u16, String) {
+    match outcome {
+        Ok(report) => (200, report_body(report)),
+        Err(error) => (ask_status(error), ask_error_body(error)),
+    }
+}
+
+/// `(status, body)` for a `POST /route` result.
+pub fn route_response(question: &str, routing: &RoutingResult) -> (u16, String) {
+    let databases = routing
+        .databases
+        .iter()
+        .map(|(db, score)| {
+            obj(vec![("database", s(db.clone())), ("score", Value::Float(*score as f64))])
+        })
+        .collect();
+    let tables = routing
+        .tables
+        .iter()
+        .map(|(db, table, score)| {
+            obj(vec![
+                ("database", s(db.clone())),
+                ("table", s(table.clone())),
+                ("score", Value::Float(*score as f64)),
+            ])
+        })
+        .collect();
+    let body = render(&obj(vec![
+        ("question", s(question)),
+        ("databases", Value::Array(databases)),
+        ("tables", Value::Array(tables)),
+    ]));
+    (200, body)
+}
+
+/// Serving counters of one backing service, for `/stats`.
+pub fn service_stats_value(stats: &ServiceStats) -> Value {
+    let hits = stats.cache_hits as f64;
+    let lookups = (stats.cache_hits + stats.cache_misses).max(1) as f64;
+    obj(vec![
+        ("cache_hits", Value::UInt(stats.cache_hits)),
+        ("cache_misses", Value::UInt(stats.cache_misses)),
+        ("cache_hit_rate", Value::Float(hits / lookups)),
+        ("cached", Value::UInt(stats.cached as u64)),
+        ("batches", Value::UInt(stats.batches)),
+        ("computed", Value::UInt(stats.computed)),
+        ("max_batch_observed", Value::UInt(stats.max_batch_observed)),
+        ("queue_depth", Value::UInt(stats.queue_depth)),
+        ("generation", Value::UInt(stats.generation)),
+        (
+            "shards",
+            Value::Array(
+                stats
+                    .shards
+                    .iter()
+                    .map(|sh| {
+                        obj(vec![
+                            ("databases", Value::UInt(sh.databases as u64)),
+                            ("loaded", Value::Bool(sh.loaded)),
+                            ("routes", Value::UInt(sh.routes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcopilot_graph::QuerySchema;
+    use dbcopilot_serve::{
+        Answer, ExecutionError, PromptError, RoutingError, ScoredCandidate, StageTimings,
+    };
+    use dbcopilot_sqlengine::{EngineError, ResultSet};
+
+    fn report() -> AskReport {
+        AskReport {
+            question: "how many cities?".into(),
+            answer: Answer {
+                schema: QuerySchema::new("world", vec!["city".into()]),
+                sql: "SELECT COUNT(*) FROM city".into(),
+                result: ResultSet {
+                    columns: vec!["COUNT(*)".into()],
+                    rows: vec![vec![dbcopilot_sqlengine::Value::Int(7)]],
+                },
+                recovered_errors: vec![EngineError::Parse { message: "earlier try".into() }],
+            },
+            candidates: vec![ScoredCandidate {
+                schema: QuerySchema::new("world", vec!["city".into()]),
+                logp: -0.25,
+            }],
+            chosen: 0,
+            attempts: Vec::new(),
+            timings: StageTimings::default(),
+        }
+    }
+
+    #[test]
+    fn ask_success_body_is_stable_and_complete() {
+        let (status, body) = ask_response(&Ok(report()));
+        assert_eq!(status, 200);
+        let v: Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(v.get("sql").and_then(Value::as_str), Some("SELECT COUNT(*) FROM city"));
+        assert_eq!(
+            v.get("schema").and_then(|s| s.get("database")).and_then(Value::as_str),
+            Some("world")
+        );
+        let rows = v.get("result").and_then(|r| r.get("rows")).and_then(Value::as_array).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(body.contains("\"recovered_errors\":[\"parse error: earlier try\"]"), "{body}");
+        // byte-stable: the same outcome renders identically every time
+        assert_eq!(body, ask_response(&Ok(report())).1);
+    }
+
+    #[test]
+    fn ask_errors_map_stage_to_status() {
+        let cases: Vec<(AskError, u16)> = vec![
+            (AskError::Routing(RoutingError { question: "q".into() }), 404),
+            (AskError::Prompt(PromptError { candidates: 3 }), 410),
+            (
+                AskError::Execution(ExecutionError {
+                    attempts: Vec::new(),
+                    last: EngineError::Eval { message: "div by zero".into() },
+                }),
+                500,
+            ),
+        ];
+        for (error, expected) in cases {
+            let (status, body) = ask_response(&Err(error.clone()));
+            assert_eq!(status, expected, "{error}");
+            let v: Value = serde_json::from_str(&body).unwrap();
+            let e = v.get("error").expect("structured error body");
+            assert_eq!(e.get("stage").and_then(Value::as_str), Some(error.stage()));
+            // The parser reads non-negative numbers back as Int.
+            let status_value = e.get("status").expect("status field");
+            assert!(
+                matches!(status_value, Value::Int(n) if *n == expected as i64),
+                "status {status_value:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn question_bodies_round_trip_and_reject_junk() {
+        let body = question_body("what's \"up\"?\n");
+        assert_eq!(parse_question(body.as_bytes()).unwrap(), "what's \"up\"?\n");
+        assert!(parse_question(b"{").unwrap_err().contains("not valid JSON"));
+        assert!(parse_question(b"{\"q\":1}").unwrap_err().contains("question"));
+        assert!(parse_question(b"{\"question\":42}").unwrap_err().contains("string"));
+    }
+}

@@ -61,7 +61,7 @@ use rand::SeedableRng;
 
 pub mod pool;
 
-pub use pool::{global_pool, pooled_map, pooled_map_chunks, WorkerPool};
+pub use pool::{global_pool, pooled_map, pooled_map_chunks, PoolHandle, WorkerPool};
 
 /// Upper bound applied when the thread count comes from hardware detection
 /// (an explicit `DBC_THREADS` is honored as-is).

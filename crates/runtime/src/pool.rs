@@ -212,6 +212,36 @@ impl WorkerPool {
     }
 }
 
+/// A cloneable, sendable submission handle to a [`WorkerPool`]'s job
+/// queue, for producer threads that cannot borrow the pool itself (e.g. an
+/// accept loop running while another thread owns the pool).
+///
+/// A live handle keeps the job channel open: drop every handle before (or
+/// while) dropping the pool, or the pool's drain-on-drop will wait for the
+/// handles to go away. [`execute`](PoolHandle::execute) reports whether the
+/// pool was still accepting work.
+#[derive(Clone)]
+pub struct PoolHandle {
+    sender: Sender<Job>,
+}
+
+impl PoolHandle {
+    /// Submit a fire-and-forget job; `false` if the pool has shut down.
+    ///
+    /// Panics inside the job are contained and counted exactly as in
+    /// [`WorkerPool::execute`].
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        self.sender.send(Box::new(job)).is_ok()
+    }
+}
+
+impl WorkerPool {
+    /// A detached submission handle to this pool's queue.
+    pub fn handle(&self) -> PoolHandle {
+        PoolHandle { sender: self.sender.as_ref().expect("pool sender alive until drop").clone() }
+    }
+}
+
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Closing the channel lets workers drain the remaining queue, then

@@ -9,10 +9,13 @@
 //! per-call baseline, plus the cache and batching counters. Then lifts
 //! the same machinery to end-to-end serving: the `AskService` caches
 //! complete answers (SQL + result + trace), so repeated questions skip
-//! routing, prompting, generation *and* execution. Closes with the
-//! fleet-operations act: a sharded tier grows by one database
-//! (retraining only the owning shard) and is published to live traffic
-//! with zero dropped requests.
+//! routing, prompting, generation *and* execution. The fleet-operations
+//! act grows a sharded tier by one database (retraining only the owning
+//! shard) and publishes it to live traffic with zero dropped requests.
+//! Closes at the HTTP edge: the same stack behind a real socket, driven
+//! by the crate's load generator — closed-loop capacity, open-loop
+//! overload (admission control sheds 429s), and a graceful drain with
+//! requests still in flight.
 //!
 //! ```sh
 //! cargo run --release --example serving
@@ -24,6 +27,9 @@ use std::time::Instant;
 
 use dbcopilot::{AskOptions, DbCopilot, QueryPipeline};
 use dbcopilot_core::{DbcRouter, SerializationMode, ShardedRouter};
+use dbcopilot_http::{
+    run_load, Arrival, Dispatcher, HttpClient, HttpConfig, HttpServer, LoadConfig, ServiceApp,
+};
 use dbcopilot_retrieval::SchemaRouter;
 use dbcopilot_serve::{AskService, RouterService, ServiceConfig};
 use dbcopilot_sqlengine::{DataType, DatabaseSchema, TableSchema};
@@ -167,6 +173,8 @@ fn main() {
         _ => panic!("served and direct ask disagree"),
     }
     println!("\nServed answers match direct asks — end-to-end serving is quality-invisible.");
+    // Keep the trained pipeline for the HTTP act below.
+    let copilot = Arc::clone(ask_service.pipeline());
     drop(ask_service);
 
     // -----------------------------------------------------------------
@@ -218,4 +226,122 @@ fn main() {
     );
     assert_eq!(service.generation(), 2);
     println!("\nHot swap complete — zero drops, stale cache generations invalidated.");
+
+    // -----------------------------------------------------------------
+    // The HTTP edge: the same stack behind a real socket. Act one drives
+    // a closed-loop load (capacity), act two overloads an artificially
+    // slow deployment open-loop to show admission control shedding, act
+    // three drains gracefully with requests still in flight.
+    // -----------------------------------------------------------------
+    println!("\nServing over HTTP ({clients} keep-alive clients) …");
+    let questions: Vec<String> = corpus.test.iter().map(|i| i.question.clone()).collect();
+    let app = ServiceApp::new(
+        AskService::new(Arc::clone(&copilot), opts.clone(), ServiceConfig::new()),
+        service, // the sharded, already-swapped route tier from the act above
+    );
+    let server = HttpServer::bind("127.0.0.1:0", app, HttpConfig::new().workers(4).backlog(16))
+        .expect("bind the HTTP edge");
+    let report = run_load(
+        server.addr(),
+        &questions,
+        &LoadConfig::new().clients(clients).requests_per_client(rounds_per_client).skew(2.0),
+    );
+    println!("  closed loop: {}", report.summary());
+    // smoke assertions (CI runs this example): the edge must actually serve
+    assert!(report.achieved_qps() > 0.0, "HTTP edge served nothing");
+    assert_eq!(report.protocol_errors, 0, "protocol errors under plain load");
+    assert_eq!(report.shed, 0, "closed-loop load under capacity never sheds");
+    assert!(report.ok > 0, "at least the popular questions answer with 200");
+    let edge = server.stats();
+    println!(
+        "  edge: p50 {} µs, p95 {} µs over {} requests on {} connections",
+        edge.p50_us, edge.p95_us, edge.requests, edge.accepted
+    );
+    server.shutdown();
+
+    // Act two: a deliberately slow deployment (25 ms per answer ≈ 80/s
+    // capacity) under an open-loop arrival far past capacity — admission
+    // control must shed the surplus as fast 429s instead of queueing.
+    println!("\nOverloading a throttled deployment (open loop at 400 req/s) …");
+    struct Throttled<D: Dispatcher> {
+        inner: D,
+        delay: std::time::Duration,
+    }
+    impl<D: Dispatcher> Dispatcher for Throttled<D> {
+        fn ask(&self, question: &str) -> Arc<dbcopilot_serve::AskOutcome> {
+            std::thread::sleep(self.delay);
+            self.inner.ask(question)
+        }
+    }
+    let slow_app = Throttled {
+        inner: AskOnly(AskService::new(Arc::clone(&copilot), opts.clone(), ServiceConfig::new())),
+        delay: std::time::Duration::from_millis(25),
+    };
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        slow_app,
+        HttpConfig::new().workers(2).backlog(2).retry_after_secs(1),
+    )
+    .expect("bind the throttled edge");
+    let report = run_load(
+        server.addr(),
+        &questions,
+        &LoadConfig::new()
+            .clients(8)
+            .requests_per_client(25)
+            .arrival(Arrival::Open { rate_per_sec: 400.0 }),
+    );
+    println!("  open loop:   {}", report.summary());
+    assert_eq!(report.protocol_errors, 0, "sheds must be clean 429s, not broken sockets");
+    assert!(report.shed > 0, "open-loop overload past capacity must shed");
+    assert_eq!(report.ok + report.failed + report.shed, report.issued, "every request answered");
+
+    // Act three: graceful drain with requests still in flight — every
+    // admitted request completes, then the port is released.
+    let addr = server.addr();
+    let before = server.stats().accepted;
+    let drain_pack = std::thread::spawn(move || {
+        let mut answered = 0;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    s.spawn(move || {
+                        let mut c = HttpClient::connect(addr).expect("drain client connects");
+                        let body = format!("{{\"question\":\"drain probe {i}\"}}");
+                        // A typed pipeline failure (404/422) is still an
+                        // answered request; only a 5xx or a dead socket
+                        // would mean the drain dropped it.
+                        let r = c.post("/ask", &body).expect("in-flight request answered");
+                        assert!(r.status < 500, "got {}", r.status);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("drain client");
+                answered += 1;
+            }
+        });
+        answered
+    });
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    while server.stats().accepted < before + 4 {
+        assert!(Instant::now() < deadline, "drain probes never admitted");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let final_stats = server.shutdown();
+    let answered = drain_pack.join().expect("drain pack");
+    assert_eq!(answered, 4, "zero dropped in-flight across the drain");
+    assert_eq!(final_stats.in_flight, 0);
+    std::net::TcpListener::bind(addr).expect("port released after shutdown");
+    println!("  drained gracefully: {} in-flight answered, 0 dropped, port released", answered);
+    println!("\nHTTP serving complete — shed under overload, zero drops under drain.");
+}
+
+/// An ask-only [`Dispatcher`]: the route front stays on the main deployment.
+struct AskOnly<P: QueryPipeline + 'static>(AskService<P>);
+
+impl<P: QueryPipeline + 'static> Dispatcher for AskOnly<P> {
+    fn ask(&self, question: &str) -> Arc<dbcopilot_serve::AskOutcome> {
+        self.0.ask(question)
+    }
 }

@@ -37,6 +37,7 @@
 pub use dbcopilot_core as core;
 pub use dbcopilot_eval as eval;
 pub use dbcopilot_graph as graph;
+pub use dbcopilot_http as http;
 pub use dbcopilot_nl2sql as nl2sql;
 pub use dbcopilot_nn as nn;
 pub use dbcopilot_retrieval as retrieval;
