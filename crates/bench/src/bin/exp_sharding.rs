@@ -185,6 +185,9 @@ fn demo_hot_swap(
     std::thread::scope(|s| {
         for client in 0..clients {
             let (service, answered) = (&service, &answered);
+            // dbc-lint: allow(no-raw-spawn): hot-swap demo clients must be
+            // independent OS threads hammering the service concurrently —
+            // pooling them would serialize the swap being demonstrated.
             s.spawn(move || {
                 for round in 0..rounds {
                     let q = &questions[((client + round * clients) as usize) % questions.len()];

@@ -299,3 +299,71 @@ fn repeated_runs_are_bit_identical() {
         s2.epoch_losses
     );
 }
+
+#[test]
+fn sparse_retrieval_is_bit_identical_across_instances() {
+    // BM25 and CRUSH accumulate f32 scores in intermediate maps. Each
+    // std HashMap instance gets its own random hasher state, so any path
+    // where map iteration order reaches the scores (the bug class
+    // dbc-lint's `hashmap-iter-order` rule guards) shows up as two
+    // freshly built indexes disagreeing bit-for-bit. The sweep moved
+    // those maps to BTreeMap; this pins the behavior.
+    use dbcopilot_retrieval::{Bm25Index, Bm25Params, Crush, SchemaRouter, Target, TargetSet};
+
+    let targets = TargetSet {
+        targets: vec![
+            Target {
+                database: "world".into(),
+                table: "country".into(),
+                text: "country code name continent region population".into(),
+            },
+            Target {
+                database: "world".into(),
+                table: "city".into(),
+                text: "city name countrycode district population".into(),
+            },
+            Target {
+                database: "world".into(),
+                table: "countrylanguage".into(),
+                text: "countrylanguage countrycode language official percentage".into(),
+            },
+            Target {
+                database: "concert_singer".into(),
+                table: "singer".into(),
+                text: "singer singer id name age country".into(),
+            },
+        ],
+    };
+    let questions =
+        ["population of each country", "official language percentage", "age of singers by country"];
+
+    type Fingerprint = Vec<(String, Vec<(String, String, u32)>)>;
+    let fingerprint = |label: &str| -> Fingerprint {
+        let bm25 = Bm25Index::build(targets.clone(), Bm25Params::default());
+        let graph = SchemaGraph::build(&collection());
+        let crush =
+            Crush::new(Bm25Index::build(targets.clone(), Bm25Params::default()), graph, label);
+        questions
+            .iter()
+            .flat_map(|q| {
+                [
+                    (bm25.route(q, 10), format!("bm25:{q}")),
+                    (crush.route(q, 10), format!("crush:{q}")),
+                ]
+                .into_iter()
+                .map(|(r, tag)| {
+                    let rows = r
+                        .tables
+                        .iter()
+                        .map(|(db, t, s)| (db.clone(), t.clone(), s.to_bits()))
+                        .collect();
+                    (tag, rows)
+                })
+            })
+            .collect()
+    };
+
+    let a = fingerprint("A");
+    let b = fingerprint("B");
+    assert_eq!(a, b, "fresh retrieval instances diverged (hasher-state leak)");
+}

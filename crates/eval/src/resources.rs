@@ -1,5 +1,8 @@
 //! Efficiency and resource measurement (Table 5).
 
+// dbc-lint: allow(no-wallclock-determinism): this module *measures* wall
+// time (Table 5's QPS column is its deliverable); timings are reported,
+// never folded into routed results or DBC1 bytes.
 use std::time::Instant;
 
 use dbcopilot_retrieval::SchemaRouter;
@@ -26,6 +29,8 @@ pub fn measure_qps(
     batch: usize,
 ) -> f64 {
     assert!(!questions.is_empty());
+    // dbc-lint: allow(no-wallclock-determinism): QPS measurement is the
+    // deliverable; the timing never reaches a routing result.
     let start = Instant::now();
     for i in 0..batch {
         let q = &questions[i % questions.len()];
@@ -49,9 +54,14 @@ fn measure_concurrent(
     let clients = clients.max(1);
     let per_client = total.div_ceil(clients);
     let serve_one = &serve_one;
+    // dbc-lint: allow(no-wallclock-determinism): QPS measurement is the
+    // deliverable; the timing never reaches a routing result.
     let start = Instant::now();
     std::thread::scope(|s| {
         for client in 0..clients {
+            // dbc-lint: allow(no-raw-spawn): load-generator clients must be
+            // independent OS threads — running them on the WorkerPool would
+            // serialize the very concurrency being measured.
             s.spawn(move || {
                 for i in 0..per_client {
                     serve_one(&questions[(client * per_client + i) % questions.len()]);
@@ -122,9 +132,14 @@ pub fn measure_served_http_qps(
     assert!(!questions.is_empty());
     let clients = clients.max(1);
     let per_client = total.div_ceil(clients);
+    // dbc-lint: allow(no-wallclock-determinism): QPS measurement is the
+    // deliverable; the timing never reaches a routing result.
     let start = Instant::now();
     std::thread::scope(|s| {
         for client in 0..clients {
+            // dbc-lint: allow(no-raw-spawn): load-generator clients must be
+            // independent OS threads — running them on the WorkerPool would
+            // serialize the very concurrency being measured.
             s.spawn(move || {
                 let mut conn = dbcopilot_http::HttpClient::connect(addr)
                     .expect("http measurement client connects");

@@ -5,7 +5,7 @@
 //! 0.85." Detection runs over populated databases and feeds
 //! [`crate::graph::SchemaGraph::add_joinable_edge`].
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use dbcopilot_sqlengine::{Database, Value};
 
@@ -15,7 +15,7 @@ use crate::graph::SchemaGraph;
 pub const DEFAULT_JACCARD_THRESHOLD: f64 = 0.85;
 
 /// Jaccard similarity of two value sets (exact-match overlap).
-pub fn jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+pub fn jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 0.0;
     }
@@ -52,10 +52,10 @@ pub struct JoinablePair {
 /// pairs whose value sets overlap above `threshold`.
 pub fn detect_joinable(db: &Database, threshold: f64) -> Vec<JoinablePair> {
     // Precompute value sets per (table, column).
-    let mut sets: Vec<(String, String, HashSet<String>)> = Vec::new();
+    let mut sets: Vec<(String, String, BTreeSet<String>)> = Vec::new();
     for table in db.tables.values() {
         for (ci, col) in table.schema.columns.iter().enumerate() {
-            let vals: HashSet<String> = table.column_values(ci).map(canon).collect();
+            let vals: BTreeSet<String> = table.column_values(ci).map(canon).collect();
             if !vals.is_empty() {
                 sets.push((table.schema.name.clone(), col.name.clone(), vals));
             }
@@ -129,11 +129,11 @@ mod tests {
 
     #[test]
     fn jaccard_basics() {
-        let a: HashSet<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
-        let b: HashSet<String> = ["y", "z"].iter().map(|s| s.to_string()).collect();
+        let a: BTreeSet<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        let b: BTreeSet<String> = ["y", "z"].iter().map(|s| s.to_string()).collect();
         assert!((jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-9);
         assert_eq!(jaccard(&a, &a), 1.0);
-        assert_eq!(jaccard(&HashSet::new(), &HashSet::new()), 0.0);
+        assert_eq!(jaccard(&BTreeSet::new(), &BTreeSet::new()), 0.0);
     }
 
     #[test]

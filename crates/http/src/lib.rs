@@ -81,6 +81,8 @@ pub mod doctest_support {
 
     impl QueryPipeline for NoPipeline {
         fn ask_with(&self, _question: &str, _opts: &AskOptions) -> Result<AskReport, AskError> {
+            // dbc-lint: allow(panic-free-serving): doctest-only type; never
+            // constructed by a real deployment.
             unimplemented!("doc example placeholder")
         }
     }
@@ -92,6 +94,8 @@ pub mod doctest_support {
             "doc example placeholder"
         }
         fn route(&self, _question: &str, _top_tables: usize) -> RoutingResult {
+            // dbc-lint: allow(panic-free-serving): doctest-only type; never
+            // constructed by a real deployment.
             unimplemented!("doc example placeholder")
         }
     }

@@ -160,6 +160,8 @@ fn pick(n: usize, skew: f64, seed: u64, stream: u64) -> usize {
 /// (shed 429s and error responses close it); every configured request is
 /// issued unless the transport breaks.
 pub fn run_load(addr: std::net::SocketAddr, questions: &[String], cfg: &LoadConfig) -> LoadReport {
+    // dbc-lint: allow(panic-free-serving): precondition on the *test
+    // driver's* own arguments, checked before any connection exists.
     assert!(!questions.is_empty(), "load generator needs at least one question");
     let issued = AtomicU64::new(0);
     let ok = AtomicU64::new(0);
@@ -174,6 +176,9 @@ pub fn run_load(addr: std::net::SocketAddr, questions: &[String], cfg: &LoadConf
             let (issued, ok, shed, failed, protocol_errors, latency) =
                 (&issued, &ok, &shed, &failed, &protocol_errors, &latency);
             let cfg = cfg.clone();
+            // dbc-lint: allow(no-raw-spawn): load clients must be
+            // independent OS threads — pooling them would serialize the
+            // concurrency the generator exists to produce.
             scope.spawn(move || {
                 let mut client: Option<HttpClient> = None;
                 // Open-loop schedule: this client's slice of the global rate.
@@ -195,6 +200,8 @@ pub fn run_load(addr: std::net::SocketAddr, questions: &[String], cfg: &LoadConf
                         }
                     }
                     let stream = (client_id * cfg.requests_per_client + request_no) as u64;
+                    // dbc-lint: allow(panic-free-serving): pick() clamps
+                    // with .min(n - 1) and n > 0 was asserted above.
                     let question = &questions[pick(questions.len(), cfg.skew, cfg.seed, stream)];
                     let body = wire::question_body(question);
 

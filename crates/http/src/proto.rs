@@ -167,6 +167,8 @@ impl<T: Transport> Conn<T> {
 
     /// Bytes buffered but not yet consumed.
     fn buffered(&self) -> &[u8] {
+        // dbc-lint: allow(panic-free-serving): `start <= buf.len()` is the
+        // consume() invariant (debug-asserted there).
         &self.buf[self.start..]
     }
 
@@ -193,6 +195,8 @@ impl<T: Transport> Conn<T> {
         loop {
             match self.transport.read(&mut chunk) {
                 Ok(n) => {
+                    // dbc-lint: allow(panic-free-serving): `read` returns
+                    // at most the buffer's length.
                     self.buf.extend_from_slice(&chunk[..n]);
                     return Ok(n);
                 }
@@ -219,6 +223,8 @@ fn is_timeout(e: &io::Error) -> bool {
 pub(crate) fn find_head_end(bytes: &[u8]) -> Option<usize> {
     let mut i = 0;
     while i < bytes.len() {
+        // dbc-lint: allow(panic-free-serving): `i < bytes.len()` is the
+        // loop condition.
         match bytes[i] {
             b'\n' if bytes.get(i + 1) == Some(&b'\n') => return Some(i + 2),
             b'\n' if bytes.get(i + 1) == Some(&b'\r') && bytes.get(i + 2) == Some(&b'\n') => {
@@ -298,6 +304,8 @@ pub fn read_request<T: Transport>(
         }
     };
 
+    // dbc-lint: allow(panic-free-serving): `head_end` was returned by
+    // find_head_end over this same buffer, so the slice is in bounds.
     let head = conn.buffered()[..head_end].to_vec();
     conn.consume(head_end);
     let head =
@@ -395,6 +403,8 @@ pub fn read_request<T: Transport>(
             Err(e) => return Err(RequestError::Io(e)),
         }
     }
+    // dbc-lint: allow(panic-free-serving): the read loop above only exits
+    // once the buffer holds at least `declared` bytes.
     request.body = conn.buffered()[..declared].to_vec();
     conn.consume(declared);
     Ok(request)

@@ -26,12 +26,12 @@ use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dbcopilot_retrieval::RoutingResult;
-use dbcopilot_runtime::WorkerPool;
+use dbcopilot_runtime::{lock_rank, OrderedMutex, WorkerPool};
 use dbcopilot_serve::{AskOutcome, AskService, QueryPipeline, RouterService, ServiceStats};
 use serde::Value;
 
@@ -262,17 +262,13 @@ struct State {
     shed: AtomicU64,
     requests: AtomicU64,
     in_flight: AtomicU64,
-    responses: Mutex<std::collections::BTreeMap<u16, u64>>,
+    responses: OrderedMutex<std::collections::BTreeMap<u16, u64>>,
     latency: Histogram,
-}
-
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl State {
     fn count_response(&self, status: u16) {
-        *lock(&self.responses).entry(status).or_insert(0) += 1;
+        *self.responses.lock().entry(status).or_insert(0) += 1;
     }
 
     fn snapshot(&self) -> ServerStats {
@@ -280,7 +276,7 @@ impl State {
             accepted: self.accepted.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
-            responses: lock(&self.responses).iter().map(|(&s, &n)| (s, n)).collect(),
+            responses: self.responses.lock().iter().map(|(&s, &n)| (s, n)).collect(),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             p50_us: self.latency.p50_us(),
             p95_us: self.latency.p95_us(),
@@ -329,7 +325,11 @@ impl HttpServer {
             shed: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
-            responses: Mutex::new(std::collections::BTreeMap::new()),
+            responses: OrderedMutex::new(
+                "responses",
+                lock_rank::RESPONSES,
+                std::collections::BTreeMap::new(),
+            ),
             latency: Histogram::new(),
         });
         let accept = {
@@ -337,8 +337,10 @@ impl HttpServer {
             let pool_handle = pool.handle();
             std::thread::Builder::new()
                 .name("dbc-http-accept".into())
-                .spawn(move || accept_loop(&listener, &state, &pool_handle))
-                .expect("failed to spawn accept thread")
+                // dbc-lint: allow(no-raw-spawn): the accept loop blocks in
+                // accept() for the server's lifetime — it must own a
+                // dedicated thread, not occupy a pool worker.
+                .spawn(move || accept_loop(&listener, &state, &pool_handle))?
         };
         Ok(HttpServer { state, addr, accept: Some(accept), pool: Some(pool) })
     }
@@ -521,11 +523,10 @@ fn protocol_error_response(error: &RequestError) -> Option<Response> {
 fn route_request(state: &State, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
-            let body = serde_json::to_string(&wire::obj(vec![
+            let body = wire::render(&wire::obj(vec![
                 ("status", Value::String("ok".into())),
                 ("generation", Value::UInt(state.app.generation())),
-            ]))
-            .expect("healthz body");
+            ]));
             Response::json(200, body)
         }
         ("GET", "/stats") => {
@@ -569,11 +570,8 @@ fn route_request(state: &State, request: &Request) -> Response {
             match spec {
                 Ok(spec) => match state.app.publish(&spec) {
                     Ok(generation) => {
-                        let body = serde_json::to_string(&wire::obj(vec![(
-                            "generation",
-                            Value::UInt(generation),
-                        )]))
-                        .expect("publish body");
+                        let body =
+                            wire::render(&wire::obj(vec![("generation", Value::UInt(generation))]));
                         Response::json(200, body)
                     }
                     Err(why) => {
@@ -631,9 +629,5 @@ fn stats_body(server: &ServerStats, services: &[(&'static str, ServiceStats)]) -
         .iter()
         .map(|(name, stats)| (name.to_string(), wire::service_stats_value(stats)))
         .collect::<Vec<_>>();
-    serde_json::to_string(&wire::obj(vec![
-        ("server", server_value),
-        ("services", Value::Object(services)),
-    ]))
-    .expect("stats body")
+    wire::render(&wire::obj(vec![("server", server_value), ("services", Value::Object(services))]))
 }

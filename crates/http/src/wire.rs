@@ -32,8 +32,18 @@ fn s(text: impl Into<String>) -> Value {
     Value::String(text.into())
 }
 
-fn render(value: &Value) -> String {
-    serde_json::to_string(value).expect("wire values always serialize")
+/// Serialize a wire value, degrading to a stable error body instead of
+/// panicking: wire values are built from strings and integers only, so
+/// failure is unreachable today — but a degraded-yet-valid response beats
+/// killing the worker if that ever changes.
+pub(crate) fn render(value: &Value) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| {
+        concat!(
+            "{\"error\":{\"stage\":\"wire\",\"status\":500,",
+            "\"message\":\"response serialization failed\"}}"
+        )
+        .to_string()
+    })
 }
 
 /// The request body for `POST /ask` and `POST /route`.

@@ -1,0 +1,524 @@
+//! A comment/string/raw-string-aware Rust lexer.
+//!
+//! The rule engine in this crate works on a *token stream*, never on raw
+//! text, so content inside string literals, raw strings, char literals,
+//! byte strings, and (nested) block comments can never be mistaken for
+//! code. That property is what makes token-level rules like
+//! `panic-free-serving` trustworthy — `"call .unwrap() here"` in an error
+//! message is not a violation — and it is pinned by a property test in
+//! `tests/lexer_props.rs`.
+//!
+//! The lexer also extracts `// dbc-lint: allow(<rule>)` suppression
+//! pragmas from line comments, recording whether each pragma stands alone
+//! on its line (it then applies to the *next* line) or trails code (it
+//! applies to its own line), and whether it carries the mandatory
+//! justification text.
+
+/// What a token is. Rules mostly look at identifiers and punctuation;
+/// literals are kept as opaque single tokens so their *content* is inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, ...).
+    Ident,
+    /// One punctuation character (`.`, `(`, `[`, `!`, ...).
+    Punct,
+    /// A string (`"..."`, `r#"..."#`, `b"..."`), char (`'x'`), or byte
+    /// char literal, content excluded from rule matching.
+    Str,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`) or the loop-label form (`'outer:`).
+    Lifetime,
+}
+
+/// One lexed token: kind, source text, and 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A `// dbc-lint: allow(...)` pragma found in a line comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Line the comment sits on (1-based).
+    pub line: u32,
+    /// Rule names listed inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Justification text after the closing paren, trimmed of separator
+    /// punctuation. Empty = missing (itself a lint violation).
+    pub justification: String,
+    /// `true` when code tokens precede the comment on the same line (the
+    /// pragma then applies to its own line); `false` when the comment
+    /// stands alone (it applies to the next line).
+    pub trailing: bool,
+}
+
+impl Pragma {
+    /// The 1-based line this pragma suppresses findings on.
+    pub fn target_line(&self) -> u32 {
+        if self.trailing {
+            self.line
+        } else {
+            self.line + 1
+        }
+    }
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragma comments (`dbc-lint:` marker present but the
+    /// `allow(...)` clause unparseable), as `(line, message)`.
+    pub errors: Vec<(u32, String)>,
+}
+
+/// Marker that introduces a suppression pragma inside a line comment.
+pub const PRAGMA_MARKER: &str = "dbc-lint:";
+
+/// Lex `source` into tokens plus extracted pragmas.
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Whether any code token has been emitted on the current line (drives
+    /// the trailing-vs-standalone pragma distinction).
+    code_on_line: bool,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            code_on_line: false,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.code_on_line = false;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.tokens.push(Tok { kind, text, line });
+        self.code_on_line = true;
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek() {
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(),
+                b'"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(TokKind::Str, start, line);
+                }
+                b'r' | b'b' if self.raw_or_byte_string() => {
+                    self.push(TokKind::Str, start, line);
+                }
+                b'\'' => {
+                    self.char_or_lifetime(start, line);
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokKind::Num, start, line);
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                    self.ident();
+                    self.push(TokKind::Ident, start, line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn ident(&mut self) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        // Good enough for rule purposes: digits, radix/exponent letters,
+        // `_` separators, one `.` if followed by a digit (so `0..n` and
+        // `1.max(2)` lex the dots as punctuation).
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' | b'_' | b'x' | b'o' | b'i' | b'u' => {
+                    self.bump();
+                }
+                b'.' if self.peek_at(1).is_some_and(|n| n.is_ascii_digit()) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// `//` comment: consume to end of line; extract a pragma if present.
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.code_on_line;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // `text` starts with the `//` that brought us here. Doc comments
+        // (`///`, `//!`) never carry pragmas — examples quoted in
+        // documentation must stay inert — and in plain comments the
+        // marker must open the comment body, so prose *about* pragmas is
+        // not itself a pragma.
+        let body = text.get(2..).unwrap_or("");
+        if body.starts_with('/') || body.starts_with('!') {
+            return;
+        }
+        if let Some(rest) = body.trim_start().strip_prefix(PRAGMA_MARKER) {
+            self.parse_pragma(rest, line, trailing);
+        }
+    }
+
+    fn parse_pragma(&mut self, rest: &str, line: u32, trailing: bool) {
+        let rest = rest.trim_start();
+        let Some(inner) = rest.strip_prefix("allow") else {
+            self.out.errors.push((
+                line,
+                format!(
+                    "unrecognized {PRAGMA_MARKER} directive (only `allow(<rule>)` is supported)"
+                ),
+            ));
+            return;
+        };
+        let inner = inner.trim_start();
+        let Some(open) = inner.strip_prefix('(') else {
+            self.out.errors.push((line, "malformed pragma: expected `allow(<rule>)`".into()));
+            return;
+        };
+        let Some(close) = open.find(')') else {
+            self.out.errors.push((line, "malformed pragma: unclosed `allow(`".into()));
+            return;
+        };
+        let rules: Vec<String> = open[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            self.out.errors.push((line, "malformed pragma: empty `allow()`".into()));
+            return;
+        }
+        let justification = open[close + 1..]
+            .trim_start_matches([' ', '\t'])
+            .trim_start_matches(['-', ':', '—', ';'])
+            .trim()
+            .to_string();
+        self.out.pragmas.push(Pragma { line, rules, justification, trailing });
+    }
+
+    /// `/* ... */` with nesting, as Rust defines it.
+    fn block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        while depth > 0 {
+            match self.bump() {
+                Some(b'/') if self.peek() == Some(b'*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some(b'*') if self.peek() == Some(b'/') => {
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {}
+                None => break, // unterminated: tolerate, EOF ends it
+            }
+        }
+    }
+
+    /// Body of a `"..."` string after the opening quote.
+    fn string_body(&mut self) {
+        loop {
+            match self.bump() {
+                Some(b'\\') => {
+                    self.bump(); // escaped char (covers \" and \\)
+                }
+                Some(b'"') | None => break,
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// If the cursor sits on a raw string (`r"`, `r#"`, `br"`, ...) or a
+    /// byte string/char (`b"`, `b'`), consume it and return `true`.
+    /// Otherwise consume nothing and return `false` (plain identifier).
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut ahead = 0usize;
+        let first = self.peek();
+        if first == Some(b'b') {
+            ahead += 1;
+        }
+        let raw = self.peek_at(ahead) == Some(b'r');
+        if raw {
+            ahead += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek_at(ahead + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        let quote = self.peek_at(ahead + hashes);
+        if raw {
+            if quote != Some(b'"') {
+                return false;
+            }
+            // consume prefix + hashes + opening quote
+            for _ in 0..(ahead + hashes + 1) {
+                self.bump();
+            }
+            self.raw_string_body(hashes);
+            return true;
+        }
+        if first == Some(b'b') && hashes == 0 {
+            match quote {
+                Some(b'"') => {
+                    self.bump(); // b
+                    self.bump(); // "
+                    self.string_body();
+                    return true;
+                }
+                Some(b'\'') => {
+                    self.bump(); // b
+                    self.bump(); // '
+                    self.byte_char_body();
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// Body of a raw string after the opening quote: ends at `"` followed
+    /// by `hashes` `#` characters.
+    fn raw_string_body(&mut self, hashes: usize) {
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    let mut n = 0usize;
+                    while n < hashes && self.peek() == Some(b'#') {
+                        self.bump();
+                        n += 1;
+                    }
+                    if n == hashes {
+                        return;
+                    }
+                }
+                Some(_) => {}
+                None => return,
+            }
+        }
+    }
+
+    /// Body of `b'x'` after the opening quote.
+    fn byte_char_body(&mut self) {
+        if self.peek() == Some(b'\\') {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump();
+        }
+        if self.peek() == Some(b'\'') {
+            self.bump();
+        }
+    }
+
+    /// Disambiguate `'a'` (char literal) from `'a` (lifetime). A quote is
+    /// a char literal iff the matching close quote appears after one char
+    /// or escape sequence; otherwise it is a lifetime/label.
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        self.bump(); // opening '
+        match self.peek() {
+            Some(b'\\') => {
+                // escape: always a char literal; consume to closing quote
+                self.bump();
+                loop {
+                    match self.bump() {
+                        Some(b'\'') | None => break,
+                        Some(_) => {}
+                    }
+                }
+                self.push(TokKind::Str, start, line);
+            }
+            Some(_) => {
+                // `'X'` is a char literal; `'Xyz` is a lifetime. A lifetime
+                // is ident-like, so scan the ident run then check for a
+                // closing quote (handles `'a'` vs `'a` vs `'static`).
+                let ident_start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80 {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let consumed = self.pos - ident_start;
+                if self.peek() == Some(b'\'') {
+                    // `'x'` is a char literal; a multi-char body is not
+                    // valid Rust, but eating the close quote keeps the
+                    // lexer from desyncing on malformed input.
+                    self.bump();
+                    self.push(TokKind::Str, start, line);
+                } else if consumed == 0 {
+                    // The body is not ident-like, so this is either a
+                    // punctuation char literal (`'"'`, `'{'`, `'/'` —
+                    // one byte then a closing quote) or a stray quote.
+                    // Emitting `'"'`'s inner `"` as punctuation would
+                    // open a phantom string that swallows real code.
+                    if self.src.get(self.pos + 1) == Some(&b'\'') {
+                        self.bump();
+                        self.bump();
+                        self.push(TokKind::Str, start, line);
+                    } else {
+                        self.push(TokKind::Punct, start, line);
+                    }
+                } else {
+                    self.push(TokKind::Lifetime, start, line);
+                }
+            }
+            None => {
+                self.push(TokKind::Punct, start, line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_inert() {
+        let src = r##"
+            let a = "x.unwrap() HashMap"; // .expect( in comment
+            /* thread::spawn */ let b = r#"panic!("no")"#;
+            let c = 'u'; let d = b"unwrap"; let e = '\n';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap" || i == "HashMap" || i == "spawn"));
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c", "let", "d", "let", "e"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ fn ok() {}";
+        assert_eq!(idents(src), vec!["fn", "ok"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "f", "x", "str", "str", "x"]);
+        let lifetimes: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = r###"let x = r#"contains "quotes" and .unwrap()"#; let y = 1;"###;
+        assert_eq!(idents(src), vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn pragma_extraction_trailing_and_standalone() {
+        let src = "let x = m.f(); // dbc-lint: allow(some-rule) -- lookup only\n\
+                   // dbc-lint: allow(other-rule): next line is fine\n\
+                   let y = 1;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.pragmas.len(), 2);
+        assert!(lexed.pragmas[0].trailing);
+        assert_eq!(lexed.pragmas[0].target_line(), 1);
+        assert_eq!(lexed.pragmas[0].rules, vec!["some-rule"]);
+        assert_eq!(lexed.pragmas[0].justification, "lookup only");
+        assert!(!lexed.pragmas[1].trailing);
+        assert_eq!(lexed.pragmas[1].target_line(), 3);
+        assert_eq!(lexed.pragmas[1].justification, "next line is fine");
+    }
+
+    #[test]
+    fn malformed_pragmas_are_reported() {
+        let lexed = lex("// dbc-lint: allow(\nlet x = 1;\n// dbc-lint: deny(foo)\n");
+        assert_eq!(lexed.errors.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "fn a() {}\n\nfn b() {}\n";
+        let toks = lex(src).tokens;
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture (deterministic scope): a `for` loop over a HashMap built in the
+// same function. Point lookups (`entry`) are fine; the loop is the leak.
+// Must trigger exactly `hashmap-iter-order`, once, on the second loop.
+use std::collections::HashMap;
+
+pub fn histogram_total(words: &[String]) -> u32 {
+    let mut counts = HashMap::new();
+    for w in words {
+        *counts.entry(w.clone()).or_insert(0u32) += 1;
+    }
+    let mut total = 0;
+    for (_word, n) in &counts {
+        total += n;
+    }
+    total
+}

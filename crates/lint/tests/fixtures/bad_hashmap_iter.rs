@@ -1,0 +1,7 @@
+// Fixture (deterministic scope): `.keys()` on a HashMap leaks iteration
+// order into the returned Vec. Must trigger exactly `hashmap-iter-order`.
+use std::collections::HashMap;
+
+pub fn database_names(index: HashMap<String, u32>) -> Vec<String> {
+    index.keys().cloned().collect()
+}

@@ -1,0 +1,9 @@
+// Fixture (deterministic scope): a binding typed only through a turbofish
+// `collect::<HashSet<_>>()` is still a hash container; iterating it leaks
+// order. Must trigger exactly `hashmap-iter-order`.
+use std::collections::HashSet;
+
+pub fn dedup_order_leak(items: &[String]) -> Vec<String> {
+    let seen = items.iter().cloned().collect::<HashSet<String>>();
+    seen.into_iter().collect()
+}

@@ -1,0 +1,11 @@
+// Fixture (any scope — lock discipline is workspace-wide): `cache`
+// (rank 30) is held while `slots` (rank 20) is acquired, the classic
+// inversion. Must trigger exactly `lock-order`.
+use dbcopilot_runtime::OrderedMutex;
+
+pub fn swap_entries(cache: &OrderedMutex<u32>, slots: &OrderedMutex<u32>) {
+    let first = cache.lock();
+    let second = slots.lock();
+    drop(second);
+    drop(first);
+}

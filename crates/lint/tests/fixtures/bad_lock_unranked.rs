@@ -1,0 +1,8 @@
+// Fixture (any scope): a lock whose field name is not in the declared
+// ranking — new locks must be added to `dbcopilot_runtime::lock_rank`
+// and the linter's LOCK_RANKS. Must trigger exactly `lock-order`.
+use std::sync::Mutex;
+
+pub fn peek(mystery: &Mutex<u32>) -> u32 {
+    *mystery.lock().unwrap()
+}

@@ -1,0 +1,7 @@
+// Fixture (serving scope): a pragma with no justification suppresses
+// nothing and is itself a finding. Must trigger `pragma` AND the
+// un-suppressed `panic-free-serving`.
+pub fn head_byte(buf: &[u8]) -> u8 {
+    // dbc-lint: allow(panic-free-serving)
+    buf[0]
+}

@@ -1,0 +1,6 @@
+// Fixture (any scope): a pragma naming a rule the linter does not know.
+// Must trigger exactly `pragma`.
+pub fn fine() -> u32 {
+    // dbc-lint: allow(no-such-rule): this rule does not exist anywhere
+    42
+}

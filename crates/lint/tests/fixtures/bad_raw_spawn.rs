@@ -1,0 +1,10 @@
+// Fixture (default scope, i.e. any crate outside dbcopilot-runtime):
+// an ad-hoc OS thread bypasses the pool's determinism, drain, and
+// panic-containment contracts. Must trigger exactly `no-raw-spawn`.
+pub fn start_worker() {
+    std::thread::spawn(|| {
+        do_work();
+    });
+}
+
+fn do_work() {}

@@ -1,0 +1,5 @@
+// Fixture (serving scope): direct slice indexing panics out of bounds on
+// a short read. Must trigger exactly `panic-free-serving`.
+pub fn status_class(buf: &[u8]) -> u8 {
+    buf[0]
+}

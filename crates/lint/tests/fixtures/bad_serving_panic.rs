@@ -1,0 +1,8 @@
+// Fixture (serving scope): `panic!` in request routing. Must trigger
+// exactly `panic-free-serving`.
+pub fn route(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "ok",
+        _other => panic!("unknown path"),
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture (serving scope): `.unwrap()` on the request path panics the
+// worker on bad input. Must trigger exactly `panic-free-serving`.
+pub fn content_length(header: &str) -> usize {
+    header.trim().parse().unwrap()
+}

@@ -1,0 +1,8 @@
+// Fixture (deterministic scope): a wall-clock read in a crate under the
+// bit-identical contract. Must trigger exactly `no-wallclock-determinism`.
+pub fn score_with_timing(x: f32) -> f32 {
+    let start = std::time::Instant::now();
+    let y = x * 2.0;
+    let _elapsed = start.elapsed();
+    y
+}

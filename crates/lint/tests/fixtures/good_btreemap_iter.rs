@@ -1,0 +1,7 @@
+// Fixture (deterministic scope): BTreeMap iteration is ordered and
+// deterministic. Must be clean.
+use std::collections::BTreeMap;
+
+pub fn names(index: &BTreeMap<String, u32>) -> Vec<String> {
+    index.keys().cloned().collect()
+}

@@ -1,0 +1,14 @@
+// Fixture (deterministic scope): HashMap used only through point
+// operations — `get`, `contains_key`, `insert` — which are order-free.
+// Must be clean.
+use std::collections::HashMap;
+
+pub fn lookup(mut index: HashMap<String, u32>, key: &str) -> u32 {
+    index.insert("default".to_string(), 0);
+    let base = index.get(key).copied().unwrap_or(0);
+    if index.contains_key("default") {
+        base + 1
+    } else {
+        base
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture (any scope): nested acquisitions in strictly ascending rank
+// order, and re-acquisition of a lower rank after `drop` releases the
+// higher guard. Must be clean.
+use dbcopilot_runtime::OrderedMutex;
+
+pub fn drain(slots: &OrderedMutex<u32>, cache: &OrderedMutex<u32>) {
+    let held_slots = slots.lock();
+    let held_cache = cache.lock();
+    drop(held_cache);
+    drop(held_slots);
+}
+
+pub fn reacquire(slots: &OrderedMutex<u32>, receiver: &OrderedMutex<u32>) {
+    let guard = slots.lock();
+    drop(guard);
+    let _low = receiver.lock();
+}

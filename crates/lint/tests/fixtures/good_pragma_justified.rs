@@ -1,0 +1,12 @@
+// Fixture (serving scope): violations suppressed by justified pragmas —
+// a trailing pragma on its own line and a standalone pragma covering the
+// next code line. Must be clean.
+pub fn head_byte(buf: &[u8]) -> u8 {
+    buf[0] // dbc-lint: allow(panic-free-serving): caller rejects empty buffers one frame up
+}
+
+pub fn must_parse(header: &str) -> usize {
+    // dbc-lint: allow(panic-free-serving): header already validated by the
+    // request grammar check before this helper runs.
+    header.trim().parse().unwrap()
+}

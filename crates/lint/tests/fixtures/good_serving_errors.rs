@@ -1,0 +1,9 @@
+// Fixture (serving scope): the same operations done panic-free — typed
+// errors and `.get()`/`.first()` misses. Must be clean.
+pub fn content_length(header: &str) -> Result<usize, String> {
+    header.trim().parse().map_err(|_| "bad content-length".to_string())
+}
+
+pub fn status_class(buf: &[u8]) -> Option<u8> {
+    buf.first().copied()
+}

@@ -1,0 +1,14 @@
+// Fixture (default scope): `#[cfg(test)]` regions are exempt — tests may
+// spawn threads and unwrap freely. Must be clean.
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawn_is_fine_here() {
+        let t = std::thread::spawn(|| super::add(1, 2));
+        assert_eq!(t.join().unwrap(), 3);
+    }
+}

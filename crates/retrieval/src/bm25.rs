@@ -1,6 +1,6 @@
 //! Okapi BM25 over an inverted index (the paper's sparse baseline).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::targets::{RoutingResult, SchemaRouter, TargetId, TargetSet};
 use crate::text::tokenize;
@@ -44,12 +44,12 @@ impl Bm25Index {
         let per_doc: Vec<(u32, Vec<(String, u32)>)> =
             dbcopilot_runtime::parallel_map(&targets.targets, |_, t| {
                 let toks = tokenize(&t.text);
-                let mut tf: HashMap<&str, u32> = HashMap::new();
+                let mut tf: BTreeMap<&str, u32> = BTreeMap::new();
                 for tok in &toks {
                     *tf.entry(tok.as_str()).or_insert(0) += 1;
                 }
-                // within-doc term order is unobservable (postings lists are
-                // ordered by the doc-id fold below), so no sort is needed
+                // BTreeMap iteration is term-sorted, so the per-doc term
+                // list (and everything folded from it) is order-stable.
                 let tf: Vec<(String, u32)> =
                     tf.into_iter().map(|(t, f)| (t.to_string(), f)).collect();
                 (toks.len() as u32, tf)
@@ -79,6 +79,9 @@ impl Bm25Index {
     /// encoding, matching the `DBC1` accounting the learned methods use.
     pub fn size_bytes(&self) -> usize {
         let mut sz = self.doc_len.len() * 4;
+        // dbc-lint: allow(hashmap-iter-order): a commutative sum over all
+        // entries — the fold's order cannot reach the result. `postings`
+        // stays a HashMap for O(1) term lookup in the search hot path.
         for (term, posts) in &self.postings {
             sz += term.len() + posts.len() * 8;
         }
@@ -88,7 +91,9 @@ impl Bm25Index {
     /// Score all documents for a query, returning the top `k`.
     pub fn search(&self, query: &str, k: usize) -> Vec<(TargetId, f32)> {
         let n = self.num_docs() as f32;
-        let mut scores: HashMap<TargetId, f32> = HashMap::new();
+        // BTreeMap: score accumulation *and* the final collect stay in
+        // doc-id order, independent of hasher state.
+        let mut scores: BTreeMap<TargetId, f32> = BTreeMap::new();
         for term in tokenize(query) {
             let Some(posts) = self.postings.get(&term) else { continue };
             let df = posts.len() as f32;

@@ -11,7 +11,7 @@
 //! reranking — the structural limitation the paper contrasts with
 //! DBCopilot's joint retrieval.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use dbcopilot_graph::SchemaGraph;
@@ -161,7 +161,9 @@ impl<R: SegmentSearch> SchemaRouter for Crush<R> {
         }
         let segments = self.hallucinator.hallucinate(question);
         // Collective retrieval: max-normalized score sum over segments.
-        let mut combined: HashMap<TargetId, f32> = HashMap::new();
+        // BTreeMap keeps every downstream step (candidate scan, rerank,
+        // final collect) in doc-id order, independent of hasher state.
+        let mut combined: BTreeMap<TargetId, f32> = BTreeMap::new();
         for seg in &segments {
             let hits = self.inner.search_segment(seg, 50);
             let max = hits.first().map(|&(_, s)| s).unwrap_or(1.0).max(1e-6);
@@ -179,14 +181,14 @@ impl<R: SegmentSearch> SchemaRouter for Crush<R> {
         // Relationship-aware rerank: bonus per graph edge to another
         // candidate table.
         let targets = self.inner.target_set();
-        let candidate_nodes: HashMap<TargetId, dbcopilot_graph::NodeId> = combined
+        let candidate_nodes: BTreeMap<TargetId, dbcopilot_graph::NodeId> = combined
             .keys()
             .filter_map(|&id| {
                 let t = targets.get(id);
                 self.graph.table_node(&t.database, &t.table).map(|n| (id, n))
             })
             .collect();
-        let node_set: std::collections::HashSet<dbcopilot_graph::NodeId> =
+        let node_set: std::collections::BTreeSet<dbcopilot_graph::NodeId> =
             candidate_nodes.values().copied().collect();
         let mut ranked: Vec<(TargetId, f32)> = combined
             .into_iter()

@@ -78,8 +78,11 @@ impl RoutingResult {
                 (t.database.clone(), t.table.clone(), s)
             })
             .collect();
-        let mut by_db: std::collections::HashMap<&str, (f32, usize)> =
-            std::collections::HashMap::new();
+        // BTreeMap: the collect below feeds a sort whose f32 ties break
+        // on name, but the accumulation order itself must not float with
+        // hasher state either.
+        let mut by_db: std::collections::BTreeMap<&str, (f32, usize)> =
+            std::collections::BTreeMap::new();
         for (db, _, s) in &tables {
             let e = by_db.entry(db.as_str()).or_insert((0.0, 0));
             e.0 += s;

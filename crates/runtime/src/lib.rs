@@ -59,8 +59,10 @@ use std::sync::OnceLock;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+pub mod ordered;
 pub mod pool;
 
+pub use ordered::{lock_rank, OrderedGuard, OrderedMutex};
 pub use pool::{global_pool, pooled_map, pooled_map_chunks, PoolHandle, WorkerPool};
 
 /// Upper bound applied when the thread count comes from hardware detection

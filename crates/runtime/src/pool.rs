@@ -35,9 +35,10 @@ use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, OnceLock};
 use std::thread::JoinHandle;
 
+use crate::ordered::{lock_rank, OrderedGuard, OrderedMutex};
 use crate::{thread_count, with_thread_count, MIN_PARALLEL_ITEMS};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -65,7 +66,7 @@ impl WorkerPool {
     pub fn new(size: usize) -> Self {
         let size = size.max(1);
         let (sender, receiver) = channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
+        let receiver = Arc::new(OrderedMutex::new("receiver", lock_rank::RECEIVER, receiver));
         let panics = Arc::new(AtomicUsize::new(0));
         let handles = (0..size)
             .map(|i| {
@@ -149,9 +150,13 @@ impl WorkerPool {
 
         let shared = MapShared {
             next: AtomicUsize::new(0),
-            slots: Mutex::new((0..n_chunks).map(|_| None).collect()),
-            panic: Mutex::new(None),
-            pending: Mutex::new(helpers),
+            slots: OrderedMutex::new(
+                "slots",
+                lock_rank::SLOTS,
+                (0..n_chunks).map(|_| None).collect(),
+            ),
+            panic: OrderedMutex::new("panic", lock_rank::PANIC, None),
+            pending: OrderedMutex::new("pending", lock_rank::PENDING, helpers),
             settled: Condvar::new(),
         };
         let run = |shared: &MapShared<U>| {
@@ -163,9 +168,9 @@ impl WorkerPool {
                 let lo = c * chunk_size;
                 let hi = (lo + chunk_size).min(items.len());
                 match catch_unwind(AssertUnwindSafe(|| f(c, &items[lo..hi]))) {
-                    Ok(u) => lock_ignore_poison(&shared.slots)[c] = Some(u),
+                    Ok(u) => shared.slots.lock()[c] = Some(u),
                     Err(payload) => {
-                        let mut slot = lock_ignore_poison(&shared.panic);
+                        let mut slot = shared.panic.lock();
                         if slot.is_none() {
                             *slot = Some(payload);
                         }
@@ -198,16 +203,16 @@ impl WorkerPool {
         }
         // The caller works through chunks too, then waits for the helpers.
         run(&shared);
-        let mut pending = lock_ignore_poison(&shared.pending);
+        let mut pending = shared.pending.lock();
         while *pending > 0 {
-            pending = shared.settled.wait(pending).unwrap_or_else(|e| e.into_inner());
+            pending = OrderedGuard::wait(&shared.settled, pending);
         }
         drop(pending);
 
-        if let Some(payload) = lock_ignore_poison(&shared.panic).take() {
+        if let Some(payload) = shared.panic.lock().take() {
             resume_unwind(payload);
         }
-        let slots = std::mem::take(&mut *lock_ignore_poison(&shared.slots));
+        let slots = std::mem::take(&mut *shared.slots.lock());
         slots.into_iter().map(|s| s.expect("all chunks computed when no worker panicked")).collect()
     }
 }
@@ -258,11 +263,11 @@ struct MapShared<U> {
     /// Next unclaimed chunk index (dynamic scheduling).
     next: AtomicUsize,
     /// One result slot per chunk, filled out of order, read in order.
-    slots: Mutex<Vec<Option<U>>>,
+    slots: OrderedMutex<Vec<Option<U>>>,
     /// First panic payload raised by the mapped closure, if any.
-    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    panic: OrderedMutex<Option<Box<dyn Any + Send>>>,
     /// Helper jobs still running; the caller waits for this to hit zero.
-    pending: Mutex<usize>,
+    pending: OrderedMutex<usize>,
     settled: Condvar,
 }
 
@@ -271,21 +276,17 @@ struct MapShared<U> {
 /// makes the safety argument for the lifetime erasure local.
 fn guarded<U>(shared: &MapShared<U>, body: impl Fn(&MapShared<U>)) {
     body(shared);
-    let mut pending = lock_ignore_poison(&shared.pending);
+    let mut pending = shared.pending.lock();
     *pending -= 1;
     if *pending == 0 {
         shared.settled.notify_all();
     }
 }
 
-fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-fn worker_loop(receiver: &Mutex<Receiver<Job>>, panics: &AtomicUsize) {
+fn worker_loop(receiver: &OrderedMutex<Receiver<Job>>, panics: &AtomicUsize) {
     loop {
         // Hold the lock only while receiving, never while running a job.
-        let job = match lock_ignore_poison(receiver).recv() {
+        let job = match receiver.lock().recv() {
             Ok(job) => job,
             // Queue closed *and* drained: graceful exit.
             Err(_) => return,

@@ -78,6 +78,20 @@ pub struct LruCache<V> {
 }
 
 impl<V> LruCache<V> {
+    /// Slab access. Every index stored in `map`, `head`, `tail`, `free`,
+    /// or an entry's link fields refers to a live slab slot — that is the
+    /// intrusive-list invariant every mutation below preserves, which is
+    /// what makes the two indexing sites here infallible.
+    fn entry(&self, idx: usize) -> &Entry<V> {
+        // dbc-lint: allow(panic-free-serving): see the invariant above.
+        &self.slab[idx]
+    }
+
+    fn entry_mut(&mut self, idx: usize) -> &mut Entry<V> {
+        // dbc-lint: allow(panic-free-serving): see the invariant above.
+        &mut self.slab[idx]
+    }
+
     /// An empty cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         LruCache {
@@ -121,7 +135,7 @@ impl<V> LruCache<V> {
                 self.hits += 1;
                 self.unlink(idx);
                 self.push_front(idx);
-                Some(&self.slab[idx].value)
+                Some(&self.entry(idx).value)
             }
             None => {
                 self.misses += 1;
@@ -137,7 +151,7 @@ impl<V> LruCache<V> {
             return;
         }
         if let Some(&idx) = self.map.get(&key) {
-            self.slab[idx].value = value;
+            self.entry_mut(idx).value = value;
             self.unlink(idx);
             self.push_front(idx);
             return;
@@ -145,13 +159,13 @@ impl<V> LruCache<V> {
         if self.map.len() == self.capacity {
             let lru = self.tail;
             self.unlink(lru);
-            let evicted = std::mem::take(&mut self.slab[lru].key);
+            let evicted = std::mem::take(&mut self.entry_mut(lru).key);
             self.map.remove(&evicted);
             self.free.push(lru);
         }
         let idx = match self.free.pop() {
             Some(idx) => {
-                self.slab[idx] = Entry { key: key.clone(), value, prev: NIL, next: NIL };
+                *self.entry_mut(idx) = Entry { key: key.clone(), value, prev: NIL, next: NIL };
                 idx
             }
             None => {
@@ -179,33 +193,41 @@ impl<V> LruCache<V> {
         let mut out = Vec::with_capacity(self.map.len());
         let mut idx = self.head;
         while idx != NIL {
-            out.push(self.slab[idx].key.as_str());
-            idx = self.slab[idx].next;
+            out.push(self.entry(idx).key.as_str());
+            idx = self.entry(idx).next;
         }
         out
     }
 
     fn unlink(&mut self, idx: usize) {
-        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        let (prev, next) = {
+            let e = self.entry(idx);
+            (e.prev, e.next)
+        };
         if prev != NIL {
-            self.slab[prev].next = next;
+            self.entry_mut(prev).next = next;
         } else if self.head == idx {
             self.head = next;
         }
         if next != NIL {
-            self.slab[next].prev = prev;
+            self.entry_mut(next).prev = prev;
         } else if self.tail == idx {
             self.tail = prev;
         }
-        self.slab[idx].prev = NIL;
-        self.slab[idx].next = NIL;
+        let e = self.entry_mut(idx);
+        e.prev = NIL;
+        e.next = NIL;
     }
 
     fn push_front(&mut self, idx: usize) {
-        self.slab[idx].prev = NIL;
-        self.slab[idx].next = self.head;
-        if self.head != NIL {
-            self.slab[self.head].prev = idx;
+        let head = self.head;
+        {
+            let e = self.entry_mut(idx);
+            e.prev = NIL;
+            e.next = head;
+        }
+        if head != NIL {
+            self.entry_mut(head).prev = idx;
         }
         self.head = idx;
         if self.tail == NIL {

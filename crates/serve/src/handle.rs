@@ -1,6 +1,7 @@
 //! Generation-versioned router slot for zero-downtime hot swap.
 //!
-//! [`RouterHandle`] is a hand-rolled ArcSwap on std: a `Mutex<Arc<_>>` slot
+//! [`RouterHandle`] is a hand-rolled ArcSwap on std: a rank-ordered
+//! mutex (`OrderedMutex<Arc<_>>`) slot
 //! whose readers clone the `Arc` under the lock ([`RouterHandle::lease`] —
 //! a few nanoseconds) and then route entirely outside it. Publishing a new
 //! router ([`RouterHandle::publish`]) swaps the slot, bumps the generation
@@ -9,8 +10,9 @@
 //! complete on the router they leased (the old `Arc` keeps it alive), and
 //! requests arriving after the swap lease the new one.
 
+use dbcopilot_runtime::{lock_rank, OrderedMutex};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// One published router generation: the router, its generation number, and
 /// how many leased requests are still using it.
@@ -22,7 +24,7 @@ struct Generation<R> {
 
 /// A shared, swappable slot holding the currently-published router.
 pub struct RouterHandle<R> {
-    current: Mutex<Arc<Generation<R>>>,
+    current: OrderedMutex<Arc<Generation<R>>>,
 }
 
 /// A leased reference to one router generation. The lease counts toward the
@@ -50,19 +52,15 @@ impl<R> Drop for RouterLease<R> {
     }
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 impl<R> RouterHandle<R> {
     /// A handle starting at generation 1.
     pub fn new(router: Arc<R>) -> Self {
         RouterHandle {
-            current: Mutex::new(Arc::new(Generation {
-                router,
-                number: 1,
-                in_flight: AtomicU64::new(0),
-            })),
+            current: OrderedMutex::new(
+                "current",
+                lock_rank::CURRENT,
+                Arc::new(Generation { router, number: 1, in_flight: AtomicU64::new(0) }),
+            ),
         }
     }
 
@@ -73,19 +71,19 @@ impl<R> RouterHandle<R> {
     ///
     /// [`publish`]: RouterHandle::publish
     pub fn lease(&self) -> RouterLease<R> {
-        let generation = Arc::clone(&lock(&self.current));
+        let generation = Arc::clone(&self.current.lock());
         generation.in_flight.fetch_add(1, Ordering::Acquire);
         RouterLease { generation }
     }
 
     /// The currently-published router.
     pub fn current(&self) -> Arc<R> {
-        Arc::clone(&lock(&self.current).router)
+        Arc::clone(&self.current.lock().router)
     }
 
     /// The current generation number (starts at 1, +1 per publish).
     pub fn generation(&self) -> u64 {
-        lock(&self.current).number
+        self.current.lock().number
     }
 
     /// Atomically publish `router` as the next generation, then block until
@@ -97,7 +95,7 @@ impl<R> RouterHandle<R> {
     /// new generation (so the drain terminates regardless of new traffic).
     pub fn publish(&self, router: Arc<R>) -> u64 {
         let old = {
-            let mut current = lock(&self.current);
+            let mut current = self.current.lock();
             let next = Arc::new(Generation {
                 router,
                 number: current.number + 1,

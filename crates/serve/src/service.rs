@@ -24,14 +24,14 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dbcopilot_retrieval::{
     PrecisionSwitch, RoutePrecision, RoutingResult, SchemaRouter, ShardCounters,
 };
-use dbcopilot_runtime::{global_pool, WorkerPool};
+use dbcopilot_runtime::{global_pool, lock_rank, OrderedMutex, WorkerPool};
 
 use crate::cache::{normalize_question, LruCache};
 use crate::handle::RouterHandle;
@@ -182,7 +182,7 @@ struct Shared<B: Backend> {
     cfg: ServiceConfig,
     /// Values are tagged with the backend generation that computed them; a
     /// tag that is no longer current is treated as a miss.
-    cache: Mutex<LruCache<(u64, Arc<B::Out>)>>,
+    cache: OrderedMutex<LruCache<(u64, Arc<B::Out>)>>,
     /// `None` → use the process-wide `global_pool()`.
     pool: Option<WorkerPool>,
     batches: AtomicU64,
@@ -210,7 +210,7 @@ impl<B: Backend> Shared<B> {
         let generation = self.backend.generation();
         let results: Vec<Arc<B::Out>> =
             self.pool().map(unique, |_, (_, q)| Arc::new(self.backend.compute(q)));
-        let mut cache = lock(&self.cache);
+        let mut cache = self.cache.lock();
         for ((key, _), result) in unique.iter().zip(&results) {
             cache.insert(key.clone(), (generation, Arc::clone(result)));
         }
@@ -220,10 +220,6 @@ impl<B: Backend> Shared<B> {
         self.max_batch_observed.fetch_max(unique.len() as u64, Ordering::Relaxed);
         results
     }
-}
-
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The generic serving core: cache fast path, dispatcher micro-batching,
@@ -244,7 +240,7 @@ impl<B: Backend> Engine<B> {
         };
         let shared = Arc::new(Shared {
             backend,
-            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            cache: OrderedMutex::new("cache", lock_rank::CACHE, LruCache::new(cfg.cache_capacity)),
             pool: (cfg.workers > 0).then(|| WorkerPool::new(cfg.workers)),
             cfg,
             batches: AtomicU64::new(0),
@@ -257,7 +253,12 @@ impl<B: Backend> Engine<B> {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(B::thread_label().to_string())
+                // dbc-lint: allow(no-raw-spawn): the dispatcher is a single
+                // dedicated thread owning the micro-batch queue, joined by
+                // Engine::drop — pool jobs must not block on each other.
                 .spawn(move || dispatch_loop(&shared, &receiver))
+                // dbc-lint: allow(panic-free-serving): runs once at engine
+                // construction, never on the request path.
                 .expect("failed to spawn service dispatcher")
         };
         Engine { shared, sender: Some(sender), dispatcher: Some(dispatcher) }
@@ -273,7 +274,7 @@ impl<B: Backend> Engine<B> {
     pub(crate) fn submit(&self, question: &str) -> Arc<B::Out> {
         let key = normalize_question(question);
         let generation = self.shared.backend.generation();
-        if let Some((tag, hit)) = lock(&self.shared.cache).get(&key) {
+        if let Some((tag, hit)) = self.shared.cache.lock().get(&key) {
             // An entry computed by a retired generation is a miss: fall
             // through and recompute on the current backend.
             if *tag == generation {
@@ -282,15 +283,24 @@ impl<B: Backend> Engine<B> {
         }
         let (reply, result) = channel();
         self.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
-        self.sender
+        let sent = self
+            .sender
             .as_ref()
-            .expect("sender alive until drop")
-            .send(Request { key, question: question.to_string(), reply })
-            .expect("dispatcher alive until drop");
+            .map(|s| s.send(Request { key, question: question.to_string(), reply }).is_ok())
+            .unwrap_or(false);
+        if !sent {
+            // The engine is mid-drop (or the dispatcher is gone): serve the
+            // request inline instead of panicking the caller. Slower, never
+            // wrong — the backend itself is still alive via `shared`.
+            self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            return Arc::new(self.shared.backend.compute(question));
+        }
         // A dropped reply sender means the backend panicked on this batch
-        // (the dispatcher contained it and kept serving); surface the
-        // failure to the affected caller only.
+        // (the dispatcher contained it and kept serving); re-raise on the
+        // affected caller only — the HTTP edge catches it and maps to 500.
         result.recv().unwrap_or_else(|_| {
+            // dbc-lint: allow(panic-free-serving): deliberate re-raise of a
+            // contained backend panic; the serving edge's catch_unwind owns it.
             panic!("serving backend panicked on the batch containing {question:?}")
         })
     }
@@ -309,7 +319,7 @@ impl<B: Backend> Engine<B> {
             let mut seen: HashMap<String, usize> = HashMap::new();
             let generation = self.shared.backend.generation();
             {
-                let mut cache = lock(&self.shared.cache);
+                let mut cache = self.shared.cache.lock();
                 for q in window {
                     let key = normalize_question(q);
                     if let Some((_, hit)) = cache.get(&key).filter(|(tag, _)| *tag == generation) {
@@ -327,6 +337,9 @@ impl<B: Backend> Engine<B> {
             for step in plan {
                 out.push(match step {
                     Ok(hit) => hit,
+                    // dbc-lint: allow(panic-free-serving): every Err(at) was
+                    // pushed with at < unique.len(), and compute_unique
+                    // returns exactly one result per unique entry.
                     Err(at) => Arc::clone(&computed[at]),
                 });
             }
@@ -335,7 +348,7 @@ impl<B: Backend> Engine<B> {
     }
 
     pub(crate) fn stats(&self) -> ServiceStats {
-        let cache = lock(&self.shared.cache);
+        let cache = self.shared.cache.lock();
         ServiceStats {
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
@@ -353,7 +366,7 @@ impl<B: Backend> Engine<B> {
     /// generation are tag-invalidated already; clearing reclaims their
     /// capacity immediately).
     pub(crate) fn clear_cache(&self) {
-        lock(&self.shared.cache).clear();
+        self.shared.cache.lock().clear();
     }
 }
 
@@ -410,6 +423,8 @@ fn run_batch<B: Backend>(shared: &Shared<B>, batch: Vec<Request<B::Out>>) {
     let mut seen: HashMap<String, usize> = HashMap::new();
     for req in batch {
         match seen.get(&req.key) {
+            // dbc-lint: allow(panic-free-serving): `seen` only stores
+            // indexes of entries already pushed onto `waiters`.
             Some(&at) => waiters[at].push(req.reply),
             None => {
                 seen.insert(req.key.clone(), unique.len());
